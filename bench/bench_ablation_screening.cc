@@ -1,0 +1,155 @@
+// Reproduces Table VI (effectiveness of suspicious group screening:
+// RICD-UI vs RICD-I vs RICD) and runs the design-choice ablations called
+// out in DESIGN.md: SquarePruning on/off, two-hop candidate ordering
+// on/off, and seed-based graph pruning on/off.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/timer.h"
+#include "eval/experiment.h"
+#include "graph/mutable_view.h"
+#include "ricd/extension_biclique.h"
+#include "ricd/framework.h"
+
+namespace ricd::bench {
+namespace {
+
+int Run() {
+  PrintHeader("Screening ablation and pruning design-choice ablations",
+              "Table VI (+ Section V-C design choices)");
+
+  const auto scale = ScaleFromEnv(gen::ScenarioScale::kMedium);
+  const auto workload = MakeWorkload(scale, SeedFromEnv(42));
+  const core::RicdParams params = PaperDefaultParams();
+
+  // --- Table VI: screening module ablation ---
+  std::vector<eval::ExperimentRow> rows;
+  for (const auto mode :
+       {core::ScreeningMode::kNone, core::ScreeningMode::kUserCheckOnly,
+        core::ScreeningMode::kFull}) {
+    core::FrameworkOptions options;
+    options.params = params;
+    options.screening = mode;
+    core::RicdFramework ricd(options);
+    auto row =
+        eval::RunExperiment(ricd, workload.graph, workload.scenario.labels);
+    RICD_CHECK(row.ok()) << row.status();
+    rows.push_back(std::move(row).value());
+  }
+  std::printf("--- Table VI: effectiveness of suspicious group screening ---\n");
+  eval::PrintRows(std::cout, rows);
+  std::printf("(paper: RICD-UI 0.03/0.82/0.06, RICD-I 0.14/0.78/0.23, "
+              "RICD 0.81/0.51/0.63 —\n expected shape: precision rises and "
+              "recall falls down the table, F1 best for RICD)\n\n");
+
+  // --- Property (4a): top-k punishment precision of the risk ranking ---
+  {
+    core::FrameworkOptions options;
+    options.params = params;
+    core::RicdFramework ricd(options);
+    auto result = ricd.RunOnGraph(workload.graph);
+    RICD_CHECK(result.ok()) << result.status();
+    const auto pk = eval::RankedPrecision(result->ranked,
+                                          workload.scenario.labels,
+                                          {10, 50, 100, 200});
+    std::printf("--- Property (4a): precision of the top-k risk ranking ---\n");
+    std::printf("%8s %14s %14s\n", "k", "user P@k", "item P@k");
+    for (const auto& row : pk) {
+      std::printf("%8zu %14.3f %14.3f\n", row.k, row.user_precision,
+                  row.item_precision);
+    }
+    std::printf("(business experts punish the top-k rows; the ranking should "
+                "be front-loaded)\n\n");
+  }
+
+  // --- Ablation: SquarePruning on/off ---
+  {
+    core::ExtensionBicliqueExtractor extractor(params);
+    WallTimer timer;
+    core::ExtractionStats full_stats;
+    auto full = extractor.Extract(workload.graph, &full_stats);
+    const double full_time = timer.ElapsedSeconds();
+    timer.Restart();
+    core::ExtractionStats core_stats;
+    auto core_only = extractor.ExtractCoreOnly(workload.graph, &core_stats);
+    const double core_time = timer.ElapsedSeconds();
+    RICD_CHECK(full.ok() && core_only.ok());
+
+    size_t full_nodes = 0;
+    size_t core_nodes = 0;
+    for (const auto& g : *full) full_nodes += g.size();
+    for (const auto& g : *core_only) core_nodes += g.size();
+    std::printf("--- Ablation: SquarePruning (Lemma 2) ---\n");
+    std::printf("%-28s %12s %14s %12s\n", "variant", "groups", "kept nodes",
+                "elapsed(s)");
+    std::printf("%-28s %12zu %14zu %12.3f\n", "CorePruning only",
+                core_only->size(), core_nodes, core_time);
+    std::printf("%-28s %12zu %14zu %12.3f\n", "Core + SquarePruning",
+                full->size(), full_nodes, full_time);
+    std::printf("(square pruning removed %u users / %u items that core "
+                "pruning kept)\n\n",
+                full_stats.users_removed_square, full_stats.items_removed_square);
+  }
+
+  // --- Ablation: two-hop candidate ordering in SquarePruning ---
+  {
+    core::ExtensionBicliqueExtractor extractor(params);
+    std::printf("--- Ablation: reduce2Hop candidate ordering ---\n");
+    std::printf("%-28s %14s %14s %12s\n", "variant", "active users",
+                "active items", "elapsed(s)");
+    for (const bool ordered : {false, true}) {
+      graph::MutableView view(workload.graph);
+      extractor.CorePruning(view, nullptr);
+      WallTimer timer;
+      extractor.SquarePruning(view, ordered, nullptr);
+      std::printf("%-28s %14u %14u %12.3f\n",
+                  ordered ? "two-hop non-decreasing" : "arbitrary order",
+                  view.NumActive(graph::Side::kUser),
+                  view.NumActive(graph::Side::kItem), timer.ElapsedSeconds());
+    }
+    std::printf("\n");
+  }
+
+  // --- Ablation: seed-based graph pruning (Algorithm 2) ---
+  {
+    std::printf("--- Ablation: known-attacker seeds (Algorithm 2) ---\n");
+    std::printf("%-28s %10s %10s %10s %12s\n", "variant", "precision",
+                "recall", "f1", "elapsed(s)");
+    for (const bool with_seeds : {false, true}) {
+      core::FrameworkOptions options;
+      options.params = params;
+      if (with_seeds) {
+        // One known worker per injected group, as the business feed would
+        // supply.
+        for (const auto& group : workload.scenario.groups) {
+          options.seeds.users.push_back(group.workers[0]);
+        }
+      }
+      core::RicdFramework ricd(options);
+      WallTimer timer;
+      // Build the (possibly seed-pruned) graph explicitly so metrics are
+      // evaluated in the same dense-id space the detector ran in.
+      auto graph = core::GenerateGraph(workload.scenario.table, options.seeds);
+      RICD_CHECK(graph.ok()) << graph.status();
+      auto result = ricd.RunOnGraph(*graph);
+      const double elapsed = timer.ElapsedSeconds();
+      RICD_CHECK(result.ok()) << result.status();
+      const auto metrics =
+          eval::Evaluate(*graph, result->detection, workload.scenario.labels);
+      std::printf("%-28s %10.3f %10.3f %10.3f %12.3f\n",
+                  with_seeds ? "seeded (1 worker/group)" : "no seeds",
+                  metrics.precision, metrics.recall, metrics.f1, elapsed);
+    }
+    std::printf("(seeding restricts the graph to seed neighborhoods: faster "
+                "end-to-end,\n same or better quality on the seeded groups)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ricd::bench
+
+int main() { return ricd::bench::Run(); }

@@ -1,0 +1,114 @@
+// Reproduces Fig. 8a (precision / recall / F1 of RICD vs all baselines,
+// each baseline augmented with the +UI screening module, exactly as the
+// paper does for fairness) and Fig. 8b (elapsed time; COPYCATCH and
+// FRAUDAR excluded from the timing comparison, as in the paper).
+//
+// Expected shape (paper): RICD has the best F1; LPA matches RICD's recall
+// at markedly lower precision; FRAUDAR matches precision at markedly lower
+// recall; CN and Naive are mid-pack; Louvain and COPYCATCH trail; Naive is
+// the fastest method.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "baselines/brim.h"
+#include "baselines/catchsync.h"
+#include "baselines/common_neighbors.h"
+#include "baselines/copycatch.h"
+#include "baselines/fraudar.h"
+#include "baselines/louvain.h"
+#include "baselines/lpa.h"
+#include "baselines/naive.h"
+#include "bench/bench_common.h"
+#include "eval/experiment.h"
+#include "ricd/framework.h"
+#include "ricd/ui_adapter.h"
+
+namespace ricd::bench {
+namespace {
+
+int Run() {
+  PrintHeader("Baseline comparison: precision, recall, F1 and elapsed time",
+              "Fig. 8a, Fig. 8b (defaults: k1=k2=10, alpha=1.0, "
+              "T_hot=1000, T_click=12)");
+
+  const auto scale = ScaleFromEnv(gen::ScenarioScale::kMedium);
+  const auto workload = MakeWorkload(scale, SeedFromEnv(42));
+  const core::RicdParams params = PaperDefaultParams();
+
+  std::vector<std::unique_ptr<baselines::Detector>> detectors;
+  {
+    core::FrameworkOptions options;
+    options.params = params;
+    detectors.push_back(std::make_unique<core::RicdFramework>(options));
+  }
+  const auto screened = [&params](std::unique_ptr<baselines::Detector> inner) {
+    return std::make_unique<core::ScreenedDetector>(std::move(inner), params);
+  };
+  detectors.push_back(screened(std::make_unique<baselines::Lpa>()));
+  detectors.push_back(screened(std::make_unique<baselines::Fraudar>()));
+  {
+    baselines::CommonNeighborsParams cn_params;
+    cn_params.cn_threshold = 10;  // paper: aligned with k1/k2
+    detectors.push_back(
+        screened(std::make_unique<baselines::CommonNeighbors>(cn_params)));
+  }
+  detectors.push_back(screened(std::make_unique<baselines::NaiveAlgorithm>()));
+  detectors.push_back(screened(std::make_unique<baselines::Louvain>()));
+  {
+    baselines::CopyCatchParams cc_params;
+    cc_params.min_users = params.k1;
+    cc_params.min_items = params.k2;
+    detectors.push_back(
+        screened(std::make_unique<baselines::CopyCatch>(cc_params)));
+  }
+  // Extensions beyond the paper's Fig. 8 set: CATCHSYNC (discussed in its
+  // related work as non-robust to experienced adversaries) and bipartite
+  // modularity (the Guimera-style objective it cites), for completeness.
+  detectors.push_back(screened(std::make_unique<baselines::CatchSync>()));
+  detectors.push_back(screened(std::make_unique<baselines::Brim>()));
+
+  std::vector<eval::ExperimentRow> rows;
+  for (auto& detector : detectors) {
+    auto row =
+        eval::RunExperiment(*detector, workload.graph, workload.scenario.labels);
+    if (!row.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", detector->name().c_str(),
+                   row.status().ToString().c_str());
+      continue;
+    }
+    rows.push_back(std::move(row).value());
+    std::fprintf(stderr, "finished %s\n", rows.back().method.c_str());
+  }
+
+  std::printf("--- Fig. 8a: detection quality ---\n");
+  eval::PrintRows(std::cout, rows);
+
+  std::printf("\n--- Fig. 8b: elapsed time (excluding COPYCATCH and FRAUDAR, "
+              "as in the paper) ---\n");
+  std::printf("%-16s %12s\n", "method", "elapsed(s)");
+  for (const auto& row : rows) {
+    if (row.method.rfind("COPYCATCH", 0) == 0 ||
+        row.method.rfind("FRAUDAR", 0) == 0) {
+      continue;
+    }
+    std::printf("%-16s %12.3f\n", row.method.c_str(), row.elapsed_seconds);
+  }
+  std::printf("\n(paper shape: Naive fastest; LPA slightly faster than RICD;\n"
+              " single-core caveat: the paper's RICD/CN/Louvain numbers come\n"
+              " from a 16-worker Grape cluster, so absolute ratios differ)\n");
+  std::printf("\nExtension rows: CATCHSYNC scoring near zero is the expected\n"
+              "outcome — our workers camouflage, and the RICD paper's stated\n"
+              "reason for excluding it is exactly that it is \"not robust\n"
+              "against experienced adversaries\". Bipartite modularity (BiMod)\n"
+              "suffers the classic resolution limit: attack groups are far\n"
+              "smaller than sqrt(E) and get absorbed into larger communities.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ricd::bench
+
+int main() { return ricd::bench::Run(); }

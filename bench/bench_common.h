@@ -1,0 +1,82 @@
+#ifndef RICD_BENCH_BENCH_COMMON_H_
+#define RICD_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+#include "gen/scenario.h"
+#include "graph/graph_builder.h"
+#include "ricd/params.h"
+
+namespace ricd::bench {
+
+/// Scale selection for experiment benches: set RICD_SCALE to tiny, small,
+/// medium, or large. Each bench picks its own default.
+inline gen::ScenarioScale ScaleFromEnv(gen::ScenarioScale default_scale) {
+  const char* env = std::getenv("RICD_SCALE");
+  if (env == nullptr) return default_scale;
+  const std::string value(env);
+  if (value == "tiny") return gen::ScenarioScale::kTiny;
+  if (value == "small") return gen::ScenarioScale::kSmall;
+  if (value == "medium") return gen::ScenarioScale::kMedium;
+  if (value == "large") return gen::ScenarioScale::kLarge;
+  RICD_LOG(WARNING) << "unknown RICD_SCALE '" << value << "', using default";
+  return default_scale;
+}
+
+/// Seed selection: RICD_SEED overrides the default workload seed.
+inline uint64_t SeedFromEnv(uint64_t default_seed) {
+  const char* env = std::getenv("RICD_SEED");
+  if (env == nullptr) return default_seed;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// The paper's default detection parameters (Section VI-B): k1 = k2 = 10,
+/// alpha = 1.0, T_hot = 1000, T_click = 12.
+inline core::RicdParams PaperDefaultParams() {
+  core::RicdParams params;
+  params.k1 = 10;
+  params.k2 = 10;
+  params.alpha = 1.0;
+  params.t_hot = 1000;
+  params.t_click = 12;
+  return params;
+}
+
+/// Generates the evaluation scenario and its graph, logging the scale, or
+/// dies: benches have no meaningful fallback when generation fails.
+struct BenchWorkload {
+  gen::Scenario scenario;
+  graph::BipartiteGraph graph;
+};
+
+inline BenchWorkload MakeWorkload(gen::ScenarioScale scale, uint64_t seed) {
+  auto scenario = gen::MakeScenario(scale, seed);
+  RICD_CHECK(scenario.ok()) << scenario.status();
+  auto graph = graph::GraphBuilder::FromTable(scenario->table);
+  RICD_CHECK(graph.ok()) << graph.status();
+  std::printf(
+      "workload: scale=%s seed=%llu users=%u items=%u edges=%llu clicks=%llu\n"
+      "labels:   abnormal users=%zu abnormal items=%zu (injected groups=%zu)\n\n",
+      gen::ScenarioScaleName(scale), static_cast<unsigned long long>(seed),
+      graph->num_users(), graph->num_items(),
+      static_cast<unsigned long long>(graph->num_edges()),
+      static_cast<unsigned long long>(graph->total_clicks()),
+      scenario->labels.abnormal_users.size(),
+      scenario->labels.abnormal_items.size(), scenario->groups.size());
+  return BenchWorkload{std::move(scenario).value(), std::move(graph).value()};
+}
+
+/// Prints a section header in the style used across all benches.
+inline void PrintHeader(const char* experiment, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper reference: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace ricd::bench
+
+#endif  // RICD_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,185 @@
+// Google-benchmark microbenchmarks of the kernels underlying RICD and the
+// baselines: graph construction, adjacency intersection, CorePruning,
+// SquarePruning, connected components and I2I scoring. These back the
+// Section V-D complexity discussion: CorePruning is O(U + V + E) and its
+// time should scale linearly across the workload sizes below, while
+// SquarePruning carries the quadratic-ish neighborhood term.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "gen/scenario.h"
+#include "graph/connected_components.h"
+#include "graph/graph_builder.h"
+#include "graph/intersection.h"
+#include "graph/mutable_view.h"
+#include "i2i/i2i_score.h"
+#include "ricd/extension_biclique.h"
+
+namespace ricd::bench {
+namespace {
+
+/// Workload cache: generating scenarios per benchmark iteration would
+/// dominate runtime, so each scale is built once.
+const gen::Scenario& CachedScenario(gen::ScenarioScale scale) {
+  static auto* cache = new std::map<int, std::unique_ptr<gen::Scenario>>;
+  auto& slot = (*cache)[static_cast<int>(scale)];
+  if (slot == nullptr) {
+    auto scenario = gen::MakeScenario(scale, 42);
+    RICD_CHECK(scenario.ok());
+    slot = std::make_unique<gen::Scenario>(std::move(scenario).value());
+  }
+  return *slot;
+}
+
+const graph::BipartiteGraph& CachedGraph(gen::ScenarioScale scale) {
+  static auto* cache = new std::map<int, std::unique_ptr<graph::BipartiteGraph>>;
+  auto& slot = (*cache)[static_cast<int>(scale)];
+  if (slot == nullptr) {
+    auto graph = graph::GraphBuilder::FromTable(CachedScenario(scale).table);
+    RICD_CHECK(graph.ok());
+    slot = std::make_unique<graph::BipartiteGraph>(std::move(graph).value());
+  }
+  return *slot;
+}
+
+gen::ScenarioScale ScaleArg(int64_t arg) {
+  return static_cast<gen::ScenarioScale>(arg);
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  const auto& scenario = CachedScenario(ScaleArg(state.range(0)));
+  for (auto _ : state) {
+    auto g = graph::GraphBuilder::FromTable(scenario.table);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(scenario.table.num_rows()));
+}
+BENCHMARK(BM_GraphBuild)
+    ->Arg(static_cast<int>(gen::ScenarioScale::kTiny))
+    ->Arg(static_cast<int>(gen::ScenarioScale::kSmall))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IntersectionMerge(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  std::vector<graph::VertexId> a;
+  std::vector<graph::VertexId> b;
+  for (int64_t i = 0; i < n; ++i) {
+    a.push_back(static_cast<graph::VertexId>(rng.Uniform(4 * n)));
+    b.push_back(static_cast<graph::VertexId>(rng.Uniform(4 * n)));
+  }
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::IntersectionSize(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_IntersectionMerge)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_IntersectionGallop(benchmark::State& state) {
+  // 32-element needle in a large haystack: exercises the galloping path.
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  std::vector<graph::VertexId> small;
+  std::vector<graph::VertexId> large;
+  for (int64_t i = 0; i < 32; ++i) {
+    small.push_back(static_cast<graph::VertexId>(rng.Uniform(4 * n)));
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    large.push_back(static_cast<graph::VertexId>(rng.Uniform(4 * n)));
+  }
+  std::sort(small.begin(), small.end());
+  small.erase(std::unique(small.begin(), small.end()), small.end());
+  std::sort(large.begin(), large.end());
+  large.erase(std::unique(large.begin(), large.end()), large.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::IntersectionSize(small, large));
+  }
+}
+BENCHMARK(BM_IntersectionGallop)->Arg(4096)->Arg(65536);
+
+core::RicdParams KernelParams() {
+  core::RicdParams p;
+  p.k1 = 10;
+  p.k2 = 10;
+  p.alpha = 1.0;
+  p.t_hot = 1000;
+  return p;
+}
+
+void BM_CorePruning(benchmark::State& state) {
+  const auto& g = CachedGraph(ScaleArg(state.range(0)));
+  core::ExtensionBicliqueExtractor extractor(KernelParams());
+  graph::MutableView view(g);
+  for (auto _ : state) {
+    view.Reset();
+    extractor.CorePruning(view, nullptr);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_CorePruning)
+    ->Arg(static_cast<int>(gen::ScenarioScale::kTiny))
+    ->Arg(static_cast<int>(gen::ScenarioScale::kSmall))
+    ->Arg(static_cast<int>(gen::ScenarioScale::kMedium))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SquarePruning(benchmark::State& state) {
+  const auto& g = CachedGraph(ScaleArg(state.range(0)));
+  core::ExtensionBicliqueExtractor extractor(KernelParams());
+  graph::MutableView view(g);
+  for (auto _ : state) {
+    view.Reset();
+    extractor.CorePruning(view, nullptr);
+    extractor.SquarePruning(view, /*ordered=*/true, nullptr);
+  }
+}
+BENCHMARK(BM_SquarePruning)
+    ->Arg(static_cast<int>(gen::ScenarioScale::kTiny))
+    ->Arg(static_cast<int>(gen::ScenarioScale::kSmall))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const auto& g = CachedGraph(ScaleArg(state.range(0)));
+  graph::MutableView view(g);
+  for (auto _ : state) {
+    auto groups = graph::ActiveConnectedComponents(view);
+    benchmark::DoNotOptimize(groups);
+  }
+}
+BENCHMARK(BM_ConnectedComponents)
+    ->Arg(static_cast<int>(gen::ScenarioScale::kTiny))
+    ->Arg(static_cast<int>(gen::ScenarioScale::kSmall))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_I2iRelatedItems(benchmark::State& state) {
+  const auto& g = CachedGraph(gen::ScenarioScale::kSmall);
+  // Use the hottest item as the anchor (worst case: biggest audience).
+  graph::VertexId anchor = 0;
+  uint64_t best = 0;
+  for (graph::VertexId v = 0; v < g.num_items(); ++v) {
+    if (g.ItemTotalClicks(v) > best) {
+      best = g.ItemTotalClicks(v);
+      anchor = v;
+    }
+  }
+  i2i::I2iScorer scorer(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.RelatedItems(anchor, 20));
+  }
+}
+BENCHMARK(BM_I2iRelatedItems)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ricd::bench
+
+BENCHMARK_MAIN();

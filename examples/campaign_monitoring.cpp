@@ -1,0 +1,121 @@
+// Campaign monitoring: the operational loop a marketplace risk team would
+// run around a sales campaign (the paper's Section VII scenario). Each
+// simulated day the click stream grows; RICD is run with known-attacker
+// seeds from yesterday's confirmations, and the traffic model shows what
+// the cleanup saves.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "eval/metrics.h"
+#include "gen/scenario.h"
+#include "graph/graph_builder.h"
+#include "i2i/traffic_model.h"
+#include "ricd/framework.h"
+
+int main() {
+  using namespace ricd;
+
+  // Day 0 state of the marketplace: organic traffic + an in-progress
+  // campaign attack (one aggressive crew, one cautious crew).
+  gen::BackgroundConfig background = gen::BackgroundConfigFor(
+      gen::ScenarioScale::kSmall);
+  gen::AttackConfig attack = gen::AttackConfigFor(gen::ScenarioScale::kSmall);
+  attack.num_groups = 4;
+  auto scenario = gen::MakeScenario(background, attack,
+                                    gen::OrganicConfigFor(
+                                        gen::ScenarioScale::kSmall),
+                                    /*seed=*/2025);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== campaign monitoring: day-by-day detection loop ===\n\n");
+
+  // Day 1: cold start — no seeds, full-graph scan.
+  core::FrameworkOptions options;
+  options.params.k1 = 10;
+  options.params.k2 = 10;
+  options.params.t_hot = 1000;
+  options.params.t_click = 12;
+  // Feedback: the risk team expects at least 50 flagged nodes during a
+  // campaign; if the default parameters under-deliver, relax them.
+  options.expectation = 50;
+  options.max_feedback_rounds = 2;
+
+  core::RicdFramework cold_scan(options);
+  auto day1 = cold_scan.Run(scenario->table);
+  if (!day1.ok()) {
+    std::fprintf(stderr, "%s\n", day1.status().ToString().c_str());
+    return 1;
+  }
+  auto graph = graph::GraphBuilder::FromTable(scenario->table);
+  const auto m1 = eval::Evaluate(*graph, day1->detection, scenario->labels);
+  std::printf("day 1 (cold scan): %zu groups, %llu nodes flagged "
+              "(precision %.2f, recall %.2f)\n",
+              day1->detection.groups.size(),
+              static_cast<unsigned long long>(m1.output_nodes), m1.precision,
+              m1.recall);
+  if (day1->feedback_rounds_used > 0) {
+    std::printf("  feedback loop relaxed parameters %u time(s); effective "
+                "T_click = %u, alpha = %.2f\n",
+                day1->feedback_rounds_used, day1->effective_params.t_click,
+                day1->effective_params.alpha);
+  }
+
+  // Day 2: analysts confirmed a handful of accounts; seed tomorrow's scan
+  // with them so the graph generator prunes to their neighborhoods.
+  core::SeedSet seeds;
+  for (const auto& user : core::TopKUsers(day1->ranked, 5)) {
+    seeds.users.push_back(user.external_id);
+  }
+  std::printf("\nday 2 (seeded rescan with %zu confirmed accounts):\n",
+              seeds.users.size());
+  options.seeds = seeds;
+  options.expectation = 0;
+  core::RicdFramework seeded_scan(options);
+  auto seeded_graph = core::GenerateGraph(scenario->table, seeds);
+  if (!seeded_graph.ok()) {
+    std::fprintf(stderr, "%s\n", seeded_graph.status().ToString().c_str());
+    return 1;
+  }
+  auto day2 = seeded_scan.RunOnGraph(*seeded_graph);
+  if (!day2.ok()) {
+    std::fprintf(stderr, "%s\n", day2.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  pruned graph: %u users, %u items (full graph: %u / %u)\n",
+              seeded_graph->num_users(), seeded_graph->num_items(),
+              graph->num_users(), graph->num_items());
+  const auto m2 = eval::Evaluate(*seeded_graph, day2->detection, scenario->labels);
+  std::printf("  flagged %llu nodes at precision %.2f in the seeded "
+              "neighborhoods\n",
+              static_cast<unsigned long long>(m2.output_nodes), m2.precision);
+
+  // What the cleanup is worth: traffic the targets would have harvested
+  // with and without a day-9 detection.
+  std::printf("\n=== traffic impact of the cleanup (Fig. 10 model) ===\n");
+  i2i::TrafficModelConfig traffic;
+  Rng rng(3);
+  auto with_detection = i2i::SimulateCampaignTraffic(traffic, rng);
+  i2i::TrafficModelConfig unprotected = traffic;
+  unprotected.detection_day = unprotected.num_days + 1;  // never detected
+  unprotected.delist_day = unprotected.num_days + 1;
+  Rng rng2(3);
+  auto without_detection = i2i::SimulateCampaignTraffic(unprotected, rng2);
+  if (!with_detection.ok() || !without_detection.ok()) {
+    std::fprintf(stderr, "traffic simulation failed\n");
+    return 1;
+  }
+  double stolen_with = 0.0;
+  double stolen_without = 0.0;
+  for (const auto& d : *with_detection) stolen_with += d.normal_traffic;
+  for (const auto& d : *without_detection) stolen_without += d.normal_traffic;
+  std::printf("misdirected user clicks over the campaign:\n");
+  std::printf("  without detection: %.0f\n", stolen_without);
+  std::printf("  with day-%d RICD cleanup: %.0f (%.0f%% prevented)\n",
+              traffic.detection_day, stolen_with,
+              100.0 * (1.0 - stolen_with / stolen_without));
+  return 0;
+}

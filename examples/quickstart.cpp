@@ -1,0 +1,83 @@
+// Quickstart: load (or generate) a click table, run the RICD framework with
+// the paper's default parameters, and print the ranked suspicious users and
+// items.
+//
+// Usage:
+//   quickstart [clicks.csv]
+//
+// Without an argument a small synthetic workload with planted "Ride Item's
+// Coattails" attacks is generated, so the example is runnable out of the
+// box. With a CSV (columns: user,item,clicks) it analyzes your data.
+
+#include <cstdio>
+#include <string>
+
+#include "gen/scenario.h"
+#include "ricd/framework.h"
+#include "table/table_io.h"
+
+namespace {
+
+ricd::Result<ricd::table::ClickTable> LoadOrGenerate(int argc, char** argv) {
+  if (argc > 1) {
+    std::printf("loading clicks from %s\n", argv[1]);
+    return ricd::table::ReadCsv(argv[1]);
+  }
+  std::printf("no input file given; generating a synthetic workload with "
+              "planted attacks\n");
+  auto scenario =
+      ricd::gen::MakeScenario(ricd::gen::ScenarioScale::kSmall, /*seed=*/7);
+  if (!scenario.ok()) return scenario.status();
+  return std::move(scenario).value().table;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto table = LoadOrGenerate(argc, argv);
+  if (!table.ok()) {
+    std::fprintf(stderr, "failed to load clicks: %s\n",
+                 table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("click table: %zu rows, %llu total clicks\n\n",
+              table->num_rows(),
+              static_cast<unsigned long long>(table->TotalClicks()));
+
+  // Configure RICD. The defaults below are the paper's experiment settings;
+  // t_hot = 0 derives the hot-item threshold from the 80/20 click-mass
+  // rule, which adapts to whatever data you feed in.
+  ricd::core::FrameworkOptions options;
+  options.params.k1 = 10;      // minimum suspicious users per group
+  options.params.k2 = 10;      // minimum suspicious items per group
+  options.params.alpha = 1.0;  // 1.0 = demand perfect bicliques
+  options.params.t_hot = 1000; // items with >= this many clicks are "hot"
+  options.params.t_click = 12; // hammering threshold per (user, item)
+
+  ricd::core::RicdFramework framework(options);
+  auto result = framework.Run(*table);
+  if (!result.ok()) {
+    std::fprintf(stderr, "detection failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("detected %zu suspicious group(s)\n",
+              result->detection.groups.size());
+  std::printf("screening removed %u users and %u items as bystanders/"
+              "camouflage\n\n",
+              result->screening_stats.users_removed,
+              result->screening_stats.items_removed);
+
+  std::printf("top suspicious users (risk = suspicious items clicked):\n");
+  for (const auto& user : ricd::core::TopKUsers(result->ranked, 10)) {
+    std::printf("  user %-12lld risk %.0f\n",
+                static_cast<long long>(user.external_id), user.risk);
+  }
+  std::printf("top suspicious items (risk = avg clicker risk):\n");
+  for (const auto& item : ricd::core::TopKItems(result->ranked, 10)) {
+    std::printf("  item %-12lld risk %.2f\n",
+                static_cast<long long>(item.external_id), item.risk);
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+#include "baselines/brim.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace ricd::baselines {
+
+Result<DetectionResult> Brim::Detect(const graph::BipartiteGraph& g) {
+  using graph::Side;
+  using graph::VertexId;
+
+  const uint32_t nu = g.num_users();
+  const uint32_t ni = g.num_items();
+  if (nu == 0 || ni == 0 || g.num_edges() == 0) return DetectionResult{};
+  const double e = static_cast<double>(g.num_edges());
+
+  // Community ids live in [0, ni): items start as singletons, users start
+  // in the community of their first (smallest-id) neighbor item.
+  std::vector<uint32_t> item_comm(ni);
+  for (VertexId v = 0; v < ni; ++v) item_comm[v] = v;
+  std::vector<uint32_t> user_comm(nu, 0);
+
+  // Per-community degree masses.
+  std::vector<double> item_mass(ni, 0.0);  // D_c: sum of item degrees in c
+  std::vector<double> user_mass(ni, 0.0);  // K_c: sum of user degrees in c
+  for (VertexId v = 0; v < ni; ++v) {
+    item_mass[v] = static_cast<double>(g.Degree(Side::kItem, v));
+  }
+  for (VertexId u = 0; u < nu; ++u) {
+    const auto items = g.UserNeighbors(u);
+    user_comm[u] = items.empty() ? 0 : item_comm[items.front()];
+    user_mass[user_comm[u]] += static_cast<double>(items.size());
+  }
+
+  std::unordered_map<uint32_t, double> edge_mass;  // e_{node, community}
+  for (uint32_t sweep = 0; sweep < params_.max_sweeps; ++sweep) {
+    bool moved = false;
+
+    // Users adopt the community maximizing e_{u,c} - k_u * D_c / E.
+    for (VertexId u = 0; u < nu; ++u) {
+      const auto items = g.UserNeighbors(u);
+      if (items.empty()) continue;
+      edge_mass.clear();
+      for (const VertexId v : items) edge_mass[item_comm[v]] += 1.0;
+      const double k_u = static_cast<double>(items.size());
+
+      uint32_t best_c = user_comm[u];
+      double best_gain = edge_mass.count(best_c) > 0
+                             ? edge_mass[best_c] - k_u * item_mass[best_c] / e
+                             : -k_u * item_mass[best_c] / e;
+      for (const auto& [c, mass] : edge_mass) {
+        const double gain = mass - k_u * item_mass[c] / e;
+        if (gain > best_gain + 1e-12 ||
+            (gain > best_gain - 1e-12 && c < best_c)) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+      if (best_c != user_comm[u]) {
+        user_mass[user_comm[u]] -= k_u;
+        user_mass[best_c] += k_u;
+        user_comm[u] = best_c;
+        moved = true;
+      }
+    }
+
+    // Items adopt the community maximizing e_{v,c} - d_v * K_c / E.
+    for (VertexId v = 0; v < ni; ++v) {
+      const auto users = g.ItemNeighbors(v);
+      if (users.empty()) continue;
+      edge_mass.clear();
+      for (const VertexId u : users) edge_mass[user_comm[u]] += 1.0;
+      const double d_v = static_cast<double>(users.size());
+
+      uint32_t best_c = item_comm[v];
+      double best_gain = edge_mass.count(best_c) > 0
+                             ? edge_mass[best_c] - d_v * user_mass[best_c] / e
+                             : -d_v * user_mass[best_c] / e;
+      for (const auto& [c, mass] : edge_mass) {
+        const double gain = mass - d_v * user_mass[c] / e;
+        if (gain > best_gain + 1e-12 ||
+            (gain > best_gain - 1e-12 && c < best_c)) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+      if (best_c != item_comm[v]) {
+        item_mass[item_comm[v]] -= d_v;
+        item_mass[best_c] += d_v;
+        item_comm[v] = best_c;
+        moved = true;
+      }
+    }
+
+    if (!moved) break;
+  }
+
+  // Materialize communities.
+  std::unordered_map<uint32_t, graph::Group> communities;
+  for (VertexId u = 0; u < nu; ++u) {
+    if (g.Degree(Side::kUser, u) == 0) continue;
+    communities[user_comm[u]].users.push_back(u);
+  }
+  for (VertexId v = 0; v < ni; ++v) {
+    if (g.Degree(Side::kItem, v) == 0) continue;
+    communities[item_comm[v]].items.push_back(v);
+  }
+
+  std::vector<uint32_t> keys;
+  keys.reserve(communities.size());
+  for (const auto& [k, grp] : communities) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+
+  DetectionResult result;
+  for (const uint32_t key : keys) {
+    auto& grp = communities[key];
+    if (grp.users.size() < params_.min_users ||
+        grp.items.size() < params_.min_items) {
+      continue;
+    }
+    std::sort(grp.users.begin(), grp.users.end());
+    std::sort(grp.items.begin(), grp.items.end());
+    result.groups.push_back(std::move(grp));
+  }
+  return result;
+}
+
+}  // namespace ricd::baselines

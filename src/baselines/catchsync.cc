@@ -1,0 +1,163 @@
+#include "baselines/catchsync.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace ricd::baselines {
+namespace {
+
+using graph::Side;
+using graph::VertexId;
+
+}  // namespace
+
+Result<DetectionResult> CatchSync::Detect(const graph::BipartiteGraph& g) {
+  if (params_.grid == 0) {
+    return Status::InvalidArgument("grid must be > 0");
+  }
+  const uint32_t nu = g.num_users();
+  const uint32_t ni = g.num_items();
+  if (nu == 0 || ni == 0) return DetectionResult{};
+
+  // Item feature cells: (log1p degree, log1p total clicks), each axis
+  // scaled to [0, grid).
+  double max_log_degree = 0.0;
+  double max_log_clicks = 0.0;
+  std::vector<double> log_degree(ni);
+  std::vector<double> log_clicks(ni);
+  for (VertexId v = 0; v < ni; ++v) {
+    log_degree[v] = std::log1p(static_cast<double>(g.Degree(Side::kItem, v)));
+    log_clicks[v] = std::log1p(static_cast<double>(g.ItemTotalClicks(v)));
+    max_log_degree = std::max(max_log_degree, log_degree[v]);
+    max_log_clicks = std::max(max_log_clicks, log_clicks[v]);
+  }
+  const auto cell_of = [&](VertexId v) -> uint32_t {
+    const auto axis = [&](double value, double max_value) -> uint32_t {
+      if (max_value <= 0.0) return 0;
+      const auto idx = static_cast<uint32_t>(value / max_value *
+                                             static_cast<double>(params_.grid));
+      return std::min(idx, params_.grid - 1);
+    };
+    return axis(log_degree[v], max_log_degree) * params_.grid +
+           axis(log_clicks[v], max_log_clicks);
+  };
+  std::vector<uint32_t> item_cell(ni);
+  for (VertexId v = 0; v < ni; ++v) item_cell[v] = cell_of(v);
+
+  // Background edge distribution q over cells.
+  const uint32_t num_cells = params_.grid * params_.grid;
+  std::vector<double> background(num_cells, 0.0);
+  double total_edges = 0.0;
+  for (VertexId v = 0; v < ni; ++v) {
+    const double d = static_cast<double>(g.Degree(Side::kItem, v));
+    background[item_cell[v]] += d;
+    total_edges += d;
+  }
+  if (total_edges <= 0.0) return DetectionResult{};
+  for (auto& b : background) b /= total_edges;
+
+  // Per-user synchronicity and normality.
+  struct UserScore {
+    VertexId user = 0;
+    double synchronicity = 0.0;
+    double normality = 0.0;
+  };
+  std::vector<UserScore> scores;
+  scores.reserve(nu);
+  std::unordered_map<uint32_t, uint32_t> cell_counts;
+  for (VertexId u = 0; u < nu; ++u) {
+    const auto items = g.UserNeighbors(u);
+    if (items.size() < params_.min_degree) continue;
+    cell_counts.clear();
+    for (const VertexId v : items) ++cell_counts[item_cell[v]];
+    UserScore s;
+    s.user = u;
+    const double degree = static_cast<double>(items.size());
+    for (const auto& [cell, count] : cell_counts) {
+      const double p = static_cast<double>(count) / degree;
+      s.synchronicity += p * p;
+      s.normality += p * background[cell];
+    }
+    scores.push_back(s);
+  }
+  if (scores.size() < 4) return DetectionResult{};
+
+  // Parabolic reference boundary: least-squares fit of
+  // sync ~ a + b * norm + c * norm^2 over the whole population, solved via
+  // the 3x3 normal equations (Cramer's rule).
+  double sx[5] = {0, 0, 0, 0, 0};  // sums of norm^k
+  double sy = 0.0;
+  double sxy = 0.0;
+  double sx2y = 0.0;
+  for (const auto& s : scores) {
+    double p = 1.0;
+    for (int k = 0; k < 5; ++k) {
+      sx[k] += p;
+      p *= s.normality;
+    }
+    sy += s.synchronicity;
+    sxy += s.normality * s.synchronicity;
+    sx2y += s.normality * s.normality * s.synchronicity;
+  }
+  const auto det3 = [](double m[3][3]) {
+    return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+           m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+           m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  };
+  double m[3][3] = {{sx[0], sx[1], sx[2]},
+                    {sx[1], sx[2], sx[3]},
+                    {sx[2], sx[3], sx[4]}};
+  const double rhs[3] = {sy, sxy, sx2y};
+  const double d = det3(m);
+  double coeff[3] = {sy / std::max(sx[0], 1.0), 0.0, 0.0};  // fallback: mean
+  if (std::fabs(d) > 1e-12) {
+    for (int col = 0; col < 3; ++col) {
+      double mc[3][3];
+      for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) mc[r][c] = m[r][c];
+      }
+      for (int r = 0; r < 3; ++r) mc[r][col] = rhs[r];
+      coeff[col] = det3(mc) / d;
+    }
+  }
+  const auto predicted = [&](double norm) {
+    return coeff[0] + coeff[1] * norm + coeff[2] * norm * norm;
+  };
+
+  // Residual sigma and outlier flagging.
+  double res_sq = 0.0;
+  for (const auto& s : scores) {
+    const double r = s.synchronicity - predicted(s.normality);
+    res_sq += r * r;
+  }
+  const double res_sigma =
+      std::sqrt(res_sq / static_cast<double>(scores.size()));
+
+  graph::Group group;
+  for (const auto& s : scores) {
+    const double residual = s.synchronicity - predicted(s.normality);
+    if (residual > params_.sigma * res_sigma + 1e-9) {
+      group.users.push_back(s.user);
+    }
+  }
+  if (group.users.size() < params_.min_users) return DetectionResult{};
+
+  // Attach items supported by enough flagged users.
+  std::unordered_map<VertexId, uint32_t> item_support;
+  for (const VertexId u : group.users) {
+    for (const VertexId v : g.UserNeighbors(u)) ++item_support[v];
+  }
+  for (const auto& [v, support] : item_support) {
+    if (support >= params_.min_supporting_users) group.items.push_back(v);
+  }
+  std::sort(group.items.begin(), group.items.end());
+  if (group.items.size() < params_.min_items) return DetectionResult{};
+
+  DetectionResult result;
+  result.groups.push_back(std::move(group));
+  return result;
+}
+
+}  // namespace ricd::baselines

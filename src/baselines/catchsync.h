@@ -1,0 +1,65 @@
+#ifndef RICD_BASELINES_CATCHSYNC_H_
+#define RICD_BASELINES_CATCHSYNC_H_
+
+#include <cstdint>
+
+#include "baselines/detector.h"
+
+namespace ricd::baselines {
+
+/// Parameters of the CATCHSYNC baseline.
+struct CatchSyncParams {
+  /// Feature-space grid resolution per axis. Item features
+  /// (log degree, log total clicks) are discretized into grid x grid cells
+  /// before synchronicity/normality are computed.
+  uint32_t grid = 20;
+
+  /// Users with fewer distinct items than this have no meaningful
+  /// synchronicity statistic and are skipped.
+  uint32_t min_degree = 3;
+
+  /// Outlier threshold: a quadratic curve synchronicity ~ f(normality) is
+  /// least-squares fitted over all users (the paper's parabolic reference
+  /// boundary); users whose synchronicity exceeds the fit by more than
+  /// `sigma` standard deviations of the residuals are flagged.
+  double sigma = 3.0;
+
+  /// An item joins the output when at least this many flagged users
+  /// clicked it.
+  uint32_t min_supporting_users = 2;
+
+  /// Groups smaller than this on either side are discarded.
+  uint32_t min_users = 2;
+  uint32_t min_items = 2;
+};
+
+/// CATCHSYNC (Jiang et al., KDD'14), adapted from directed follower graphs
+/// to the user-item click graph. Crowd workers act in lockstep: the items
+/// a worker clicks concentrate in a small region of the item feature space
+/// (degree x click volume), unlike an organic user's spread-out tastes.
+///
+/// Per user u with target cells {c_i} holding fractions p_i of its edges:
+///   synchronicity(u) = sum_i p_i^2          (self co-location probability)
+///   normality(u)     = sum_i p_i * q_i      (overlap with the background
+///                                            edge distribution q over cells)
+/// A parabola synchronicity ~ normality is fitted across all users and
+/// residual outliers beyond sigma standard deviations are flagged (the
+/// original paper's parabolic 3-sigma boundary). The RICD paper's critique
+/// — "not robust against experienced
+/// adversaries and lacks performance guarantees" — shows up as camouflage
+/// clicks diluting p_i and pulling attackers back under the threshold.
+class CatchSync : public Detector {
+ public:
+  explicit CatchSync(CatchSyncParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "CATCHSYNC"; }
+
+  Result<DetectionResult> Detect(const graph::BipartiteGraph& graph) override;
+
+ private:
+  CatchSyncParams params_;
+};
+
+}  // namespace ricd::baselines
+
+#endif  // RICD_BASELINES_CATCHSYNC_H_

@@ -1,0 +1,104 @@
+#include "baselines/common_neighbors.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace ricd::baselines {
+namespace {
+
+/// Union-find with path halving + union by size.
+class DisjointSets {
+ public:
+  explicit DisjointSets(uint32_t n) : parent_(n), size_(n, 1) {
+    for (uint32_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+}  // namespace
+
+Result<DetectionResult> CommonNeighbors::Detect(const graph::BipartiteGraph& g) {
+  using graph::Side;
+  using graph::VertexId;
+
+  if (params_.cn_threshold == 0) {
+    return Status::InvalidArgument("cn_threshold must be > 0");
+  }
+
+  const uint32_t nu = g.num_users();
+  DisjointSets sets(nu);
+
+  // For each user, count co-occurrences with later users through non-huge
+  // items; a co-occurrence count is exactly the shared-item count restricted
+  // to those items.
+  std::unordered_map<VertexId, uint32_t> co_count;
+  for (VertexId u = 0; u < nu; ++u) {
+    co_count.clear();
+    for (const VertexId item : g.UserNeighbors(u)) {
+      const auto clickers = g.ItemNeighbors(item);
+      if (clickers.size() > params_.max_item_fanout) continue;
+      for (const VertexId other : clickers) {
+        if (other <= u) continue;  // Each pair once.
+        ++co_count[other];
+      }
+    }
+    for (const auto& [other, cnt] : co_count) {
+      if (cnt >= params_.cn_threshold) sets.Union(u, other);
+    }
+  }
+
+  // Components with >= min_users members become groups; singleton
+  // components are background users.
+  std::unordered_map<uint32_t, std::vector<VertexId>> components;
+  for (VertexId u = 0; u < nu; ++u) components[sets.Find(u)].push_back(u);
+
+  std::vector<uint32_t> roots;
+  for (const auto& [root, members] : components) {
+    if (members.size() >= params_.min_users) roots.push_back(root);
+  }
+  std::sort(roots.begin(), roots.end());
+
+  DetectionResult result;
+  std::unordered_map<VertexId, uint32_t> item_support;
+  for (const uint32_t root : roots) {
+    graph::Group group;
+    group.users = components[root];
+    std::sort(group.users.begin(), group.users.end());
+
+    item_support.clear();
+    for (const VertexId u : group.users) {
+      for (const VertexId item : g.UserNeighbors(u)) ++item_support[item];
+    }
+    for (const auto& [item, support] : item_support) {
+      if (support >= params_.min_supporting_users) group.items.push_back(item);
+    }
+    std::sort(group.items.begin(), group.items.end());
+
+    if (group.items.size() < params_.min_items) continue;
+    result.groups.push_back(std::move(group));
+  }
+  return result;
+}
+
+}  // namespace ricd::baselines

@@ -1,0 +1,47 @@
+#ifndef RICD_BASELINES_COMMON_NEIGHBORS_H_
+#define RICD_BASELINES_COMMON_NEIGHBORS_H_
+
+#include <cstdint>
+
+#include "baselines/detector.h"
+
+namespace ricd::baselines {
+
+/// Parameters of the Common Neighbors baseline.
+struct CommonNeighborsParams {
+  /// Two users are "close" when they share at least this many items
+  /// (the paper's cn_threshold = 10, matching k1/k2 in RICD).
+  uint32_t cn_threshold = 10;
+
+  /// Items whose user list exceeds this size are skipped when enumerating
+  /// co-user candidates: hot items connect almost everyone and would make
+  /// candidate generation quadratic. Co-click counts therefore only accrue
+  /// through non-huge items, which is where attack co-clicks live anyway.
+  uint32_t max_item_fanout = 2000;
+
+  /// An item joins a group when at least this many member users clicked it.
+  uint32_t min_supporting_users = 2;
+
+  /// Groups smaller than this on either side are discarded.
+  uint32_t min_users = 2;
+  uint32_t min_items = 2;
+};
+
+/// Common Neighbors closeness baseline: connects users sharing >=
+/// cn_threshold items, takes connected components of the closeness relation
+/// as user groups, and attaches each group's commonly clicked items.
+class CommonNeighbors : public Detector {
+ public:
+  explicit CommonNeighbors(CommonNeighborsParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "CN"; }
+
+  Result<DetectionResult> Detect(const graph::BipartiteGraph& graph) override;
+
+ private:
+  CommonNeighborsParams params_;
+};
+
+}  // namespace ricd::baselines
+
+#endif  // RICD_BASELINES_COMMON_NEIGHBORS_H_

@@ -1,0 +1,173 @@
+#include "baselines/copycatch.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/timer.h"
+#include "graph/intersection.h"
+#include "graph/mutable_view.h"
+
+namespace ricd::baselines {
+namespace {
+
+using graph::VertexId;
+
+/// Recursive iMBEA-style enumerator over one pre-filtered bipartite graph.
+class Enumerator {
+ public:
+  Enumerator(const std::vector<std::vector<VertexId>>& item_users,
+             const CopyCatchParams& params)
+      : item_users_(item_users), params_(params) {}
+
+  /// Runs enumeration from the root call; results accumulate in groups().
+  void Run(std::vector<VertexId> all_users, std::vector<VertexId> all_items) {
+    timer_.Restart();
+    Expand(std::move(all_users), {}, std::move(all_items), {});
+  }
+
+  std::vector<graph::Group>&& TakeGroups() { return std::move(groups_); }
+  bool budget_exhausted() const { return out_of_time_; }
+
+ private:
+  bool OutOfTime() {
+    if (out_of_time_) return true;
+    if (timer_.ElapsedSeconds() > params_.time_budget_seconds ||
+        groups_.size() >= params_.max_groups) {
+      out_of_time_ = true;
+    }
+    return out_of_time_;
+  }
+
+  const std::vector<VertexId>& Users(VertexId item) const {
+    return item_users_[item];
+  }
+
+  // L: users common to all items in R. P: candidate items. Q: processed
+  // items used for maximality checks.
+  void Expand(std::vector<VertexId> L, std::vector<VertexId> R,
+              std::vector<VertexId> P, std::vector<VertexId> Q) {
+    while (!P.empty()) {
+      if (OutOfTime()) return;
+      const VertexId x = P.back();
+      P.pop_back();
+
+      // L' = users of L adjacent to x.
+      std::vector<VertexId> L2;
+      L2.reserve(std::min(L.size(), Users(x).size()));
+      std::set_intersection(L.begin(), L.end(), Users(x).begin(),
+                            Users(x).end(), std::back_inserter(L2));
+      if (L2.size() < params_.min_users) {
+        Q.push_back(x);
+        continue;
+      }
+
+      std::vector<VertexId> R2 = R;
+      R2.push_back(x);
+
+      // Maximality: some processed item covering all of L' means this
+      // branch re-derives a biclique already reported elsewhere.
+      bool maximal = true;
+      std::vector<VertexId> Q2;
+      for (const VertexId q : Q) {
+        const uint64_t common = graph::IntersectionSize(
+            {L2.data(), L2.size()}, {Users(q).data(), Users(q).size()});
+        if (common == L2.size()) {
+          maximal = false;
+          break;
+        }
+        if (common > 0) Q2.push_back(q);
+      }
+
+      if (maximal) {
+        // iMBEA improvement: absorb remaining candidates fully connected to
+        // L' directly into R'; keep partially connected ones as candidates.
+        std::vector<VertexId> P2;
+        for (const VertexId p : P) {
+          const uint64_t common = graph::IntersectionSize(
+              {L2.data(), L2.size()}, {Users(p).data(), Users(p).size()});
+          if (common == L2.size()) {
+            R2.push_back(p);
+          } else if (common > 0) {
+            P2.push_back(p);
+          }
+        }
+        if (R2.size() >= params_.min_items) {
+          graph::Group grp;
+          grp.users = L2;
+          grp.items = R2;
+          std::sort(grp.items.begin(), grp.items.end());
+          groups_.push_back(std::move(grp));
+          if (OutOfTime()) return;
+        }
+        if (!P2.empty()) {
+          Expand(L2, R2, std::move(P2), Q2);
+          if (out_of_time_) return;
+        }
+      }
+      Q.push_back(x);
+    }
+  }
+
+  const std::vector<std::vector<VertexId>>& item_users_;
+  const CopyCatchParams& params_;
+  std::vector<graph::Group> groups_;
+  WallTimer timer_;
+  bool out_of_time_ = false;
+};
+
+}  // namespace
+
+Result<DetectionResult> CopyCatch::Detect(const graph::BipartiteGraph& g) {
+  using graph::Side;
+  if (params_.min_users == 0 || params_.min_items == 0) {
+    return Status::InvalidArgument("min_users/min_items must be > 0");
+  }
+
+  // Standard MBE preprocessing: iteratively drop vertices that cannot be in
+  // any min_users x min_items biclique (insufficient degree).
+  graph::MutableView view(g);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId u = 0; u < g.num_users(); ++u) {
+      if (view.IsActive(Side::kUser, u) &&
+          view.ActiveDegree(Side::kUser, u) < params_.min_items) {
+        view.Remove(Side::kUser, u);
+        changed = true;
+      }
+    }
+    for (VertexId v = 0; v < g.num_items(); ++v) {
+      if (view.IsActive(Side::kItem, v) &&
+          view.ActiveDegree(Side::kItem, v) < params_.min_users) {
+        view.Remove(Side::kItem, v);
+        changed = true;
+      }
+    }
+  }
+
+  // Local adjacency restricted to surviving vertices.
+  std::vector<std::vector<VertexId>> item_users(g.num_items());
+  std::vector<VertexId> items = view.ActiveVertices(Side::kItem);
+  std::vector<VertexId> users = view.ActiveVertices(Side::kUser);
+  for (const VertexId v : items) {
+    item_users[v] = view.ActiveNeighbors(Side::kItem, v);
+  }
+
+  // iMBEA ordering: candidates by ascending degree, processed from the
+  // back, so sparse items (small branching) are expanded first.
+  std::sort(items.begin(), items.end(), [&](VertexId a, VertexId b) {
+    if (item_users[a].size() != item_users[b].size()) {
+      return item_users[a].size() > item_users[b].size();
+    }
+    return a > b;
+  });
+
+  Enumerator enumerator(item_users, params_);
+  enumerator.Run(std::move(users), std::move(items));
+
+  DetectionResult result;
+  result.groups = enumerator.TakeGroups();
+  return result;
+}
+
+}  // namespace ricd::baselines

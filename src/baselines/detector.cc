@@ -1,0 +1,36 @@
+#include "baselines/detector.h"
+
+#include <algorithm>
+
+namespace ricd::baselines {
+namespace {
+
+std::vector<graph::VertexId> DedupSorted(std::vector<graph::VertexId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+std::vector<graph::VertexId> DetectionResult::AllUsers() const {
+  std::vector<graph::VertexId> out;
+  for (const auto& g : groups) {
+    out.insert(out.end(), g.users.begin(), g.users.end());
+  }
+  return DedupSorted(std::move(out));
+}
+
+std::vector<graph::VertexId> DetectionResult::AllItems() const {
+  std::vector<graph::VertexId> out;
+  for (const auto& g : groups) {
+    out.insert(out.end(), g.items.begin(), g.items.end());
+  }
+  return DedupSorted(std::move(out));
+}
+
+size_t DetectionResult::NumFlagged() const {
+  return AllUsers().size() + AllItems().size();
+}
+
+}  // namespace ricd::baselines

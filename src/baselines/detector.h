@@ -1,0 +1,46 @@
+#ifndef RICD_BASELINES_DETECTOR_H_
+#define RICD_BASELINES_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/bipartite_graph.h"
+#include "graph/group.h"
+
+namespace ricd::baselines {
+
+/// Output of any detection method: candidate attack groups over one
+/// BipartiteGraph (dense vertex ids). Community methods return one group per
+/// community; dense-subgraph methods one group per block; the Naive
+/// algorithm a single group of all flagged nodes.
+struct DetectionResult {
+  std::vector<graph::Group> groups;
+
+  /// All distinct users across groups, ascending.
+  std::vector<graph::VertexId> AllUsers() const;
+
+  /// All distinct items across groups, ascending.
+  std::vector<graph::VertexId> AllItems() const;
+
+  /// Total distinct flagged nodes (users + items).
+  size_t NumFlagged() const;
+};
+
+/// Interface shared by RICD and every baseline, so the benchmark harness can
+/// sweep methods uniformly. Implementations must be deterministic for a
+/// fixed graph and configuration.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Short display name used in benchmark tables (e.g. "FRAUDAR").
+  virtual std::string name() const = 0;
+
+  /// Runs detection over `graph`.
+  virtual Result<DetectionResult> Detect(const graph::BipartiteGraph& graph) = 0;
+};
+
+}  // namespace ricd::baselines
+
+#endif  // RICD_BASELINES_DETECTOR_H_

@@ -1,0 +1,163 @@
+#include "baselines/fraudar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+namespace ricd::baselines {
+namespace {
+
+using graph::Side;
+using graph::VertexId;
+
+struct HeapEntry {
+  double degree;
+  uint32_t node;   // users: [0, nu), items: [nu, nu + ni)
+  uint64_t version;
+
+  bool operator>(const HeapEntry& other) const {
+    if (degree != other.degree) return degree > other.degree;
+    return node > other.node;  // Deterministic tie-break.
+  }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>>;
+
+}  // namespace
+
+Result<DetectionResult> Fraudar::Detect(const graph::BipartiteGraph& g) {
+  if (params_.density_floor_ratio < 0.0 || params_.density_floor_ratio > 1.0) {
+    return Status::InvalidArgument("density_floor_ratio must be in [0, 1]");
+  }
+
+  const uint32_t nu = g.num_users();
+  const uint32_t ni = g.num_items();
+  const uint32_t n = nu + ni;
+  if (n == 0) return DetectionResult{};
+
+  // Edge mass and global column weights (fixed across blocks, as in the
+  // reference implementation).
+  const auto edge_mass = [&](table::ClickCount clicks) -> double {
+    return params_.log_scale_clicks
+               ? std::log2(1.0 + static_cast<double>(clicks))
+               : 1.0;
+  };
+  std::vector<double> column_weight(ni);
+  for (VertexId v = 0; v < ni; ++v) {
+    const auto clicks = g.ItemEdgeClicks(v);
+    double mass = 0.0;
+    for (const auto c : clicks) mass += edge_mass(c);
+    column_weight[v] = 1.0 / std::log(mass + params_.column_weight_c);
+  }
+
+  std::vector<uint8_t> available(n, 1);  // Not yet claimed by a prior block.
+  DetectionResult result;
+  double first_block_density = -1.0;
+
+  for (uint32_t block = 0; block < params_.max_blocks; ++block) {
+    // Weighted degrees within the residual graph.
+    std::vector<double> degree(n, 0.0);
+    double total_f = 0.0;
+    uint32_t active_count = 0;
+    for (VertexId u = 0; u < nu; ++u) {
+      if (!available[u]) continue;
+      const auto items = g.UserNeighbors(u);
+      const auto clicks = g.UserEdgeClicks(u);
+      for (size_t i = 0; i < items.size(); ++i) {
+        const VertexId v = items[i];
+        if (!available[nu + v]) continue;
+        const double m = edge_mass(clicks[i]) * column_weight[v];
+        degree[u] += m;
+        degree[nu + v] += m;
+        total_f += m;
+      }
+    }
+    for (uint32_t x = 0; x < n; ++x) {
+      if (available[x]) ++active_count;
+    }
+    if (active_count == 0 || total_f <= 0.0) break;
+
+    std::vector<uint64_t> version(n, 0);
+    std::vector<uint8_t> active(available);  // Peeled within this block run.
+    MinHeap heap;
+    for (uint32_t x = 0; x < n; ++x) {
+      if (active[x]) heap.push({degree[x], x, 0});
+    }
+
+    // Peel everything, tracking the best prefix by g(S) = f(S)/|S|.
+    std::vector<uint32_t> removal_order;
+    removal_order.reserve(active_count);
+    double best_g = total_f / static_cast<double>(active_count);
+    size_t best_prefix = 0;  // Number of removals performed at the optimum.
+    double f = total_f;
+    uint32_t remaining = active_count;
+
+    while (remaining > 0 && !heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      if (!active[top.node] || top.version != version[top.node]) continue;
+
+      const uint32_t x = top.node;
+      active[x] = 0;
+      f -= degree[x];
+      --remaining;
+      removal_order.push_back(x);
+
+      // Update neighbors.
+      const bool is_user = x < nu;
+      const VertexId vid = is_user ? x : x - nu;
+      const Side side = is_user ? Side::kUser : Side::kItem;
+      const auto neighbors = g.Neighbors(side, vid);
+      const auto clicks = g.EdgeClicks(side, vid);
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        const uint32_t y = is_user ? nu + neighbors[i] : neighbors[i];
+        if (!active[y]) continue;
+        const VertexId item = is_user ? neighbors[i] : vid;
+        const double m = edge_mass(clicks[i]) * column_weight[item];
+        degree[y] -= m;
+        heap.push({degree[y], y, ++version[y]});
+      }
+
+      if (remaining > 0) {
+        const double gscore = f / static_cast<double>(remaining);
+        if (gscore > best_g) {
+          best_g = gscore;
+          best_prefix = removal_order.size();
+        }
+      }
+    }
+
+    if (first_block_density < 0.0) {
+      first_block_density = best_g;
+    } else if (best_g < params_.density_floor_ratio * first_block_density) {
+      break;
+    }
+
+    // The best block = residual nodes minus the first `best_prefix` removals.
+    std::vector<uint8_t> in_block(available);
+    for (size_t i = 0; i < best_prefix; ++i) in_block[removal_order[i]] = 0;
+
+    graph::Group group;
+    for (VertexId u = 0; u < nu; ++u) {
+      if (in_block[u]) group.users.push_back(u);
+    }
+    for (VertexId v = 0; v < ni; ++v) {
+      if (in_block[nu + v]) group.items.push_back(v);
+    }
+    if (group.users.size() < params_.min_users ||
+        group.items.size() < params_.min_items) {
+      break;  // Blocks only get sparser from here.
+    }
+
+    // Claim the block so the next iteration peels the residual graph.
+    for (const VertexId u : group.users) available[u] = 0;
+    for (const VertexId v : group.items) available[nu + v] = 0;
+    result.groups.push_back(std::move(group));
+  }
+  return result;
+}
+
+}  // namespace ricd::baselines

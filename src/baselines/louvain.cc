@@ -1,0 +1,219 @@
+#include "baselines/louvain.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace ricd::baselines {
+namespace {
+
+/// Flat weighted undirected graph used across aggregation levels. Self
+/// loops (intra-community mass after aggregation) are stored per node.
+struct FlatGraph {
+  std::vector<uint64_t> offsets{0};
+  std::vector<uint32_t> adj;
+  std::vector<double> weights;
+  std::vector<double> self_loops;
+  double total_weight = 0.0;  // 2m: sum of degrees incl. self loops twice
+
+  uint32_t num_nodes() const {
+    return static_cast<uint32_t>(offsets.size()) - 1;
+  }
+  double WeightedDegree(uint32_t x) const {
+    double d = self_loops[x];
+    for (uint64_t e = offsets[x]; e < offsets[x + 1]; ++e) d += weights[e];
+    return d + self_loops[x];  // Self loop counts twice in degree.
+  }
+};
+
+/// One level of Louvain local moving. Returns the community assignment and
+/// whether any node moved.
+bool LocalMoving(const FlatGraph& g, uint32_t max_passes, double min_gain,
+                 std::vector<uint32_t>* community) {
+  const uint32_t n = g.num_nodes();
+  community->resize(n);
+  for (uint32_t x = 0; x < n; ++x) (*community)[x] = x;
+
+  std::vector<double> node_degree(n);
+  for (uint32_t x = 0; x < n; ++x) node_degree[x] = g.WeightedDegree(x);
+
+  // Sigma_tot per community (sum of member degrees).
+  std::vector<double> community_total = node_degree;
+
+  const double two_m = g.total_weight;
+  if (two_m <= 0.0) return false;
+
+  bool any_moved = false;
+  std::unordered_map<uint32_t, double> neighbor_mass;
+  for (uint32_t pass = 0; pass < max_passes; ++pass) {
+    bool moved_this_pass = false;
+    for (uint32_t x = 0; x < n; ++x) {
+      const uint32_t old_c = (*community)[x];
+
+      neighbor_mass.clear();
+      for (uint64_t e = g.offsets[x]; e < g.offsets[x + 1]; ++e) {
+        const uint32_t y = g.adj[e];
+        if (y == x) continue;
+        neighbor_mass[(*community)[y]] += g.weights[e];
+      }
+
+      // Remove x from its community.
+      community_total[old_c] -= node_degree[x];
+
+      // Best destination by modularity gain:
+      //   gain(c) = k_{x,in}(c) - Sigma_tot(c) * k_x / 2m
+      // Staying put is the baseline; strictly better gain (with an epsilon
+      // and smallest-id tie-break) is required to move.
+      const double k_x = node_degree[x];
+      const auto old_it = neighbor_mass.find(old_c);
+      double best_gain = (old_it == neighbor_mass.end() ? 0.0 : old_it->second) -
+                         community_total[old_c] * k_x / two_m;
+      uint32_t best_c = old_c;
+      for (const auto& [c, k_in] : neighbor_mass) {
+        if (c == old_c) continue;
+        const double gain = k_in - community_total[c] * k_x / two_m;
+        if (gain > best_gain + min_gain) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+
+      community_total[best_c] += node_degree[x];
+      if (best_c != old_c) {
+        (*community)[x] = best_c;
+        moved_this_pass = true;
+        any_moved = true;
+      }
+    }
+    if (!moved_this_pass) break;
+  }
+  return any_moved;
+}
+
+/// Renumbers communities to 0..k-1 and aggregates the graph.
+FlatGraph Aggregate(const FlatGraph& g, std::vector<uint32_t>* community) {
+  const uint32_t n = g.num_nodes();
+  std::unordered_map<uint32_t, uint32_t> renumber;
+  for (uint32_t x = 0; x < n; ++x) {
+    const auto [it, inserted] = renumber.try_emplace(
+        (*community)[x], static_cast<uint32_t>(renumber.size()));
+    (*community)[x] = it->second;
+  }
+  const uint32_t k = static_cast<uint32_t>(renumber.size());
+
+  // Accumulate inter-community edge mass and intra-community self loops.
+  std::vector<std::unordered_map<uint32_t, double>> agg(k);
+  std::vector<double> self_loops(k, 0.0);
+  for (uint32_t x = 0; x < n; ++x) {
+    const uint32_t cx = (*community)[x];
+    self_loops[cx] += g.self_loops[x];
+    for (uint64_t e = g.offsets[x]; e < g.offsets[x + 1]; ++e) {
+      const uint32_t cy = (*community)[g.adj[e]];
+      if (cx == cy) {
+        self_loops[cx] += g.weights[e] / 2.0;  // Each edge visited twice.
+      } else {
+        agg[cx][cy] += g.weights[e];
+      }
+    }
+  }
+
+  FlatGraph out;
+  out.offsets.reserve(k + 1);
+  out.self_loops = std::move(self_loops);
+  for (uint32_t c = 0; c < k; ++c) {
+    std::vector<std::pair<uint32_t, double>> edges(agg[c].begin(), agg[c].end());
+    std::sort(edges.begin(), edges.end());
+    for (const auto& [y, w] : edges) {
+      out.adj.push_back(y);
+      out.weights.push_back(w);
+    }
+    out.offsets.push_back(out.adj.size());
+  }
+  out.total_weight = g.total_weight;
+  return out;
+}
+
+}  // namespace
+
+Result<DetectionResult> Louvain::Detect(const graph::BipartiteGraph& g) {
+  using graph::Side;
+  using graph::VertexId;
+
+  const uint32_t nu = g.num_users();
+  const uint32_t ni = g.num_items();
+  const uint32_t n = nu + ni;
+  if (n == 0) return DetectionResult{};
+
+  // Build the unified flat graph (users then items, click weights).
+  FlatGraph flat;
+  flat.offsets.reserve(n + 1);
+  flat.self_loops.assign(n, 0.0);
+  for (VertexId u = 0; u < nu; ++u) {
+    const auto items = g.UserNeighbors(u);
+    const auto clicks = g.UserEdgeClicks(u);
+    for (size_t i = 0; i < items.size(); ++i) {
+      flat.adj.push_back(nu + items[i]);
+      flat.weights.push_back(static_cast<double>(clicks[i]));
+    }
+    flat.offsets.push_back(flat.adj.size());
+  }
+  for (VertexId v = 0; v < ni; ++v) {
+    const auto users = g.ItemNeighbors(v);
+    const auto clicks = g.ItemEdgeClicks(v);
+    for (size_t i = 0; i < users.size(); ++i) {
+      flat.adj.push_back(users[i]);
+      flat.weights.push_back(static_cast<double>(clicks[i]));
+    }
+    flat.offsets.push_back(flat.adj.size());
+  }
+  for (const double w : flat.weights) flat.total_weight += w;
+
+  // node -> original community chain.
+  std::vector<uint32_t> assignment(n);
+  for (uint32_t x = 0; x < n; ++x) assignment[x] = x;
+
+  FlatGraph current = std::move(flat);
+  for (uint32_t level = 0; level < params_.max_levels; ++level) {
+    std::vector<uint32_t> community;
+    const bool moved = LocalMoving(current, params_.max_passes,
+                                   params_.min_modularity_gain, &community);
+    if (!moved) break;
+    FlatGraph next = Aggregate(current, &community);
+    for (uint32_t x = 0; x < n; ++x) {
+      assignment[x] = community[assignment[x]];
+    }
+    if (next.num_nodes() == current.num_nodes()) break;
+    current = std::move(next);
+  }
+
+  // Materialize communities as groups.
+  std::unordered_map<uint32_t, graph::Group> communities;
+  for (VertexId u = 0; u < nu; ++u) {
+    if (g.Degree(Side::kUser, u) == 0) continue;
+    communities[assignment[u]].users.push_back(u);
+  }
+  for (VertexId v = 0; v < ni; ++v) {
+    if (g.Degree(Side::kItem, v) == 0) continue;
+    communities[assignment[nu + v]].items.push_back(v);
+  }
+
+  std::vector<uint32_t> keys;
+  keys.reserve(communities.size());
+  for (const auto& [k, grp] : communities) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+
+  DetectionResult result;
+  for (const uint32_t key : keys) {
+    auto& grp = communities[key];
+    if (grp.users.size() < params_.min_users ||
+        grp.items.size() < params_.min_items) {
+      continue;
+    }
+    std::sort(grp.users.begin(), grp.users.end());
+    std::sort(grp.items.begin(), grp.items.end());
+    result.groups.push_back(std::move(grp));
+  }
+  return result;
+}
+
+}  // namespace ricd::baselines

@@ -1,0 +1,46 @@
+#ifndef RICD_BASELINES_LOUVAIN_H_
+#define RICD_BASELINES_LOUVAIN_H_
+
+#include <cstdint>
+
+#include "baselines/detector.h"
+
+namespace ricd::baselines {
+
+/// Parameters of the Louvain baseline.
+struct LouvainParams {
+  /// Maximum aggregation levels.
+  uint32_t max_levels = 10;
+
+  /// Maximum local-moving sweeps per level.
+  uint32_t max_passes = 10;
+
+  /// Minimum total modularity improvement for a level to continue
+  /// (the paper's tolerance-style stopping knob).
+  double min_modularity_gain = 1e-6;
+
+  /// Communities smaller than this on either side are discarded.
+  uint32_t min_users = 2;
+  uint32_t min_items = 2;
+};
+
+/// Louvain heuristic modularity optimization (Blondel et al. 2008), run on
+/// the unified user+item click graph with click counts as edge weights —
+/// matching the paper's use of Grape's Louvain on the bipartite graph.
+/// Local moving visits nodes in ascending id order, so runs are
+/// deterministic.
+class Louvain : public Detector {
+ public:
+  explicit Louvain(LouvainParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "Louvain"; }
+
+  Result<DetectionResult> Detect(const graph::BipartiteGraph& graph) override;
+
+ private:
+  LouvainParams params_;
+};
+
+}  // namespace ricd::baselines
+
+#endif  // RICD_BASELINES_LOUVAIN_H_

@@ -1,0 +1,121 @@
+#include "common/flags.h"
+
+#include "common/string_util.h"
+
+namespace ricd {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  Parse(args);
+}
+
+FlagParser::FlagParser(const std::vector<std::string>& args) { Parse(args); }
+
+void FlagParser::Parse(const std::vector<std::string>& args) {
+  bool flags_done = false;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (flags_done || arg.size() < 3 || arg.substr(0, 2) != "--") {
+      if (arg == "--") {
+        flags_done = true;
+        continue;
+      }
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; bare
+    // `--name` otherwise (boolean).
+    if (i + 1 < args.size() && args[i + 1].substr(0, 2) != "--") {
+      values_[body] = args[i + 1];
+      ++i;
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  requested_.insert(name);
+  return values_.count(name) > 0;
+}
+
+Result<std::string> FlagParser::GetString(const std::string& name,
+                                          const std::string& default_value) const {
+  requested_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  return it->second;
+}
+
+Result<int64_t> FlagParser::GetInt(const std::string& name,
+                                   int64_t default_value) const {
+  requested_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  int64_t out = 0;
+  if (!ParseInt64(it->second, &out)) {
+    return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return out;
+}
+
+Result<double> FlagParser::GetDouble(const std::string& name,
+                                     double default_value) const {
+  requested_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  double out = 0.0;
+  if (!ParseDouble(it->second, &out)) {
+    return Status::InvalidArgument("--" + name + " expects a number, got '" +
+                                   it->second + "'");
+  }
+  return out;
+}
+
+Result<bool> FlagParser::GetBool(const std::string& name,
+                                 bool default_value) const {
+  requested_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return Status::InvalidArgument("--" + name + " expects a boolean, got '" + v +
+                                 "'");
+}
+
+Result<std::vector<int64_t>> FlagParser::GetIntList(const std::string& name) const {
+  requested_.insert(name);
+  std::vector<int64_t> out;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return out;
+  for (const auto part : SplitString(it->second, ',')) {
+    if (TrimString(part).empty()) continue;
+    int64_t v = 0;
+    if (!ParseInt64(part, &v)) {
+      return Status::InvalidArgument("--" + name + " has a non-integer entry '" +
+                                     std::string(part) + "'");
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::string> FlagParser::UnknownFlags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (requested_.count(name) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace ricd

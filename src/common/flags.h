@@ -1,0 +1,56 @@
+#ifndef RICD_COMMON_FLAGS_H_
+#define RICD_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ricd {
+
+/// Minimal command-line flag parser for the tool binaries.
+///
+/// Accepted syntax: `--name=value`, `--name value`, and bare `--name`
+/// (boolean true). Everything else is a positional argument. A `--` stops
+/// flag parsing. Flags are looked up lazily with typed getters carrying
+/// defaults; `UnknownFlags()` reports flags that were passed but never
+/// looked up, so tools can reject typos.
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv);
+  explicit FlagParser(const std::vector<std::string>& args);
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& name) const;
+
+  /// Typed getters: return the default when absent; error on a present but
+  /// unparsable value.
+  Result<std::string> GetString(const std::string& name,
+                                const std::string& default_value) const;
+  Result<int64_t> GetInt(const std::string& name, int64_t default_value) const;
+  Result<double> GetDouble(const std::string& name, double default_value) const;
+  Result<bool> GetBool(const std::string& name, bool default_value) const;
+
+  /// Comma-separated list of integers (e.g. --seeds=1,2,3).
+  Result<std::vector<int64_t>> GetIntList(const std::string& name) const;
+
+  /// Flags present on the command line that no getter asked about.
+  std::vector<std::string> UnknownFlags() const;
+
+ private:
+  void Parse(const std::vector<std::string>& args);
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> requested_;
+};
+
+}  // namespace ricd
+
+#endif  // RICD_COMMON_FLAGS_H_

@@ -1,0 +1,84 @@
+#ifndef RICD_COMMON_LOGGING_H_
+#define RICD_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ricd {
+
+/// Log severities in increasing order. The global threshold (default kInfo)
+/// suppresses lower-severity messages.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum severity that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is below threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace ricd
+
+#define RICD_LOG_DEBUG ::ricd::LogLevel::kDebug
+#define RICD_LOG_INFO ::ricd::LogLevel::kInfo
+#define RICD_LOG_WARNING ::ricd::LogLevel::kWarning
+#define RICD_LOG_ERROR ::ricd::LogLevel::kError
+#define RICD_LOG_FATAL ::ricd::LogLevel::kFatal
+
+/// Streams a log line at the given severity, e.g.
+///   RICD_LOG(INFO) << "loaded " << n << " rows";
+#define RICD_LOG(severity)                                      \
+  if (RICD_LOG_##severity < ::ricd::GetLogLevel() &&            \
+      RICD_LOG_##severity != ::ricd::LogLevel::kFatal) {        \
+  } else                                                        \
+    ::ricd::internal::LogMessage(RICD_LOG_##severity, __FILE__, __LINE__).stream()
+
+/// Aborts with a message when `cond` is false. Active in all build types:
+/// these guard data-structure invariants whose violation would silently
+/// corrupt detection results.
+#define RICD_CHECK(cond)                                                \
+  if (cond) {                                                           \
+  } else                                                                \
+    ::ricd::internal::LogMessage(::ricd::LogLevel::kFatal, __FILE__,    \
+                                 __LINE__)                              \
+            .stream()                                                   \
+        << "Check failed: " #cond " "
+
+#define RICD_CHECK_EQ(a, b) RICD_CHECK((a) == (b))
+#define RICD_CHECK_NE(a, b) RICD_CHECK((a) != (b))
+#define RICD_CHECK_LT(a, b) RICD_CHECK((a) < (b))
+#define RICD_CHECK_LE(a, b) RICD_CHECK((a) <= (b))
+#define RICD_CHECK_GT(a, b) RICD_CHECK((a) > (b))
+#define RICD_CHECK_GE(a, b) RICD_CHECK((a) >= (b))
+
+#endif  // RICD_COMMON_LOGGING_H_

@@ -1,0 +1,78 @@
+#ifndef RICD_COMMON_RANDOM_H_
+#define RICD_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ricd {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256** seeded via
+/// SplitMix64). Every stochastic component in the project takes an explicit
+/// Rng so runs are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from a single 64-bit value.
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling, so the distribution is exactly uniform.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Pareto-distributed value with scale x_m > 0 and shape alpha > 0.
+  /// Heavy-tailed: used for per-user activity and per-item popularity.
+  double Pareto(double x_m, double alpha);
+
+  /// Geometric number of trials >= 1 with success probability p in (0,1].
+  uint64_t Geometric(double p);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Samples ranks from a Zipf distribution over {0, ..., n-1} with exponent
+/// `s`: P(k) proportional to 1/(k+1)^s. Precomputes the CDF once (O(n)) so
+/// each Sample() is an O(log n) binary search. Deterministic given the Rng.
+class ZipfSampler {
+ public:
+  /// `n` must be > 0; `s` >= 0 (s = 0 degenerates to uniform).
+  ZipfSampler(size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ricd
+
+#endif  // RICD_COMMON_RANDOM_H_

@@ -1,0 +1,75 @@
+#ifndef RICD_COMMON_RESULT_H_
+#define RICD_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace ricd {
+
+/// Either a value of type T or an error Status. The invariant maintained by
+/// construction is: a Result never holds an OK status without a value.
+///
+/// Typical use:
+///   Result<ClickTable> r = ReadCsv(path);
+///   if (!r.ok()) return r.status();
+///   ClickTable table = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+
+  /// Constructs from an error status. `status.ok()` is a programming error.
+  Result(Status status) : data_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(data_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return data_.index() == 0; }
+
+  /// The error status; Status::Ok() when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<1>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status
+/// from the enclosing function, otherwise moves the value into `lhs`.
+#define RICD_ASSIGN_OR_RETURN(lhs, rexpr)                   \
+  RICD_ASSIGN_OR_RETURN_IMPL_(                              \
+      RICD_RESULT_CONCAT_(_ricd_result, __LINE__), lhs, rexpr)
+
+#define RICD_RESULT_CONCAT_INNER_(a, b) a##b
+#define RICD_RESULT_CONCAT_(a, b) RICD_RESULT_CONCAT_INNER_(a, b)
+#define RICD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace ricd
+
+#endif  // RICD_COMMON_RESULT_H_

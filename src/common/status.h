@@ -1,0 +1,98 @@
+#ifndef RICD_COMMON_STATUS_H_
+#define RICD_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ricd {
+
+/// Canonical error codes used across all ricd libraries. Modeled after the
+/// RocksDB/Arrow status idiom: library boundaries never throw; they return a
+/// Status (or Result<T>) that callers must inspect.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIoError = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kCorruption = 6,
+  kInternal = 7,
+  kDeadlineExceeded = 8,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("Ok",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying success or an error code plus message.
+///
+/// The OK state stores no message and allocates nothing, so returning
+/// Status::Ok() from hot paths is free.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define RICD_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::ricd::Status _ricd_status = (expr);           \
+    if (!_ricd_status.ok()) return _ricd_status;    \
+  } while (false)
+
+}  // namespace ricd
+
+#endif  // RICD_COMMON_STATUS_H_

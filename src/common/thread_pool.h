@@ -1,0 +1,50 @@
+#ifndef RICD_COMMON_THREAD_POOL_H_
+#define RICD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ricd {
+
+/// A fixed-size worker pool executing void() tasks. This is the execution
+/// substrate for the `engine` module (our Grape substitute); algorithms do
+/// not touch threads directly.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1 enforced).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains remaining tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;  // queued + currently running
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ricd
+
+#endif  // RICD_COMMON_THREAD_POOL_H_

@@ -1,0 +1,33 @@
+#ifndef RICD_COMMON_TIMER_H_
+#define RICD_COMMON_TIMER_H_
+
+#include <chrono>
+#include <string>
+
+namespace ricd {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness to report
+/// elapsed time of detection stages.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ricd
+
+#endif  // RICD_COMMON_TIMER_H_

@@ -1,0 +1,20 @@
+#include "engine/partitioner.h"
+
+namespace ricd::engine {
+
+std::vector<VertexRange> PartitionRange(uint32_t n, size_t num_parts) {
+  if (num_parts == 0) num_parts = 1;
+  std::vector<VertexRange> ranges;
+  ranges.reserve(num_parts);
+  const uint32_t base = n / static_cast<uint32_t>(num_parts);
+  const uint32_t extra = n % static_cast<uint32_t>(num_parts);
+  uint32_t begin = 0;
+  for (size_t p = 0; p < num_parts; ++p) {
+    const uint32_t len = base + (p < extra ? 1 : 0);
+    ranges.push_back({begin, begin + len});
+    begin += len;
+  }
+  return ranges;
+}
+
+}  // namespace ricd::engine

@@ -1,0 +1,26 @@
+#ifndef RICD_ENGINE_PARTITIONER_H_
+#define RICD_ENGINE_PARTITIONER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ricd::engine {
+
+/// A contiguous half-open range of vertex ids owned by one worker.
+struct VertexRange {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  uint32_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+};
+
+/// Splits [0, n) into at most `num_parts` balanced contiguous ranges — the
+/// same hash-free range partitioning Grape applies to vertex sets. Ranges
+/// cover [0, n) exactly once; trailing ranges may be empty when n < parts.
+std::vector<VertexRange> PartitionRange(uint32_t n, size_t num_parts);
+
+}  // namespace ricd::engine
+
+#endif  // RICD_ENGINE_PARTITIONER_H_

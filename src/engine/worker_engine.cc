@@ -1,0 +1,42 @@
+#include "engine/worker_engine.h"
+
+#include <thread>
+
+namespace ricd::engine {
+
+WorkerEngine::WorkerEngine(size_t num_workers) {
+  if (num_workers == 0) {
+    num_workers = std::thread::hardware_concurrency();
+    if (num_workers == 0) num_workers = 1;
+  }
+  pool_ = std::make_unique<ThreadPool>(num_workers);
+}
+
+void WorkerEngine::ParallelForRanges(
+    uint32_t n, const std::function<void(size_t, VertexRange)>& fn) const {
+  const auto ranges = PartitionRange(n, num_workers());
+  if (num_workers() == 1) {
+    fn(0, ranges[0]);
+    return;
+  }
+  for (size_t w = 0; w < ranges.size(); ++w) {
+    pool_->Submit([w, range = ranges[w], &fn] { fn(w, range); });
+  }
+  pool_->Wait();
+}
+
+void WorkerEngine::ParallelFor(uint32_t n,
+                               const std::function<void(uint32_t)>& fn) const {
+  ParallelForRanges(n, [&fn](size_t, VertexRange range) {
+    for (uint32_t i = range.begin; i < range.end; ++i) fn(i);
+  });
+}
+
+const WorkerEngine& DefaultEngine() {
+  // Intentionally leaked: avoids shutdown-order issues with static dtors
+  // (per style guide, static objects must be trivially destructible).
+  static const WorkerEngine* engine = new WorkerEngine(0);
+  return *engine;
+}
+
+}  // namespace ricd::engine

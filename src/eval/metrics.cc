@@ -1,0 +1,67 @@
+#include "eval/metrics.h"
+
+namespace ricd::eval {
+
+Metrics Evaluate(const graph::BipartiteGraph& graph,
+                 const baselines::DetectionResult& result,
+                 const gen::LabelSet& labels) {
+  Metrics m;
+  m.known_nodes = labels.size();
+
+  const auto users = result.AllUsers();
+  const auto items = result.AllItems();
+  m.output_nodes = users.size() + items.size();
+
+  for (const graph::VertexId u : users) {
+    if (labels.IsAbnormalUser(graph.ExternalUserId(u))) ++m.detected_nodes;
+  }
+  for (const graph::VertexId v : items) {
+    if (labels.IsAbnormalItem(graph.ExternalItemId(v))) ++m.detected_nodes;
+  }
+
+  if (m.output_nodes > 0) {
+    m.precision = static_cast<double>(m.detected_nodes) /
+                  static_cast<double>(m.output_nodes);
+  }
+  if (m.known_nodes > 0) {
+    m.recall = static_cast<double>(m.detected_nodes) /
+               static_cast<double>(m.known_nodes);
+  }
+  if (m.precision + m.recall > 0.0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+std::vector<PrecisionAtK> RankedPrecision(const core::RankedOutput& ranked,
+                                          const gen::LabelSet& labels,
+                                          const std::vector<size_t>& ks) {
+  std::vector<PrecisionAtK> out;
+  out.reserve(ks.size());
+  for (const size_t k : ks) {
+    PrecisionAtK p;
+    p.k = k;
+    const size_t nu = std::min(k, ranked.users.size());
+    size_t user_hits = 0;
+    for (size_t i = 0; i < nu; ++i) {
+      if (labels.IsAbnormalUser(ranked.users[i].external_id)) ++user_hits;
+    }
+    if (nu > 0) {
+      p.user_precision =
+          static_cast<double>(user_hits) / static_cast<double>(nu);
+    }
+    const size_t ni = std::min(k, ranked.items.size());
+    size_t item_hits = 0;
+    for (size_t i = 0; i < ni; ++i) {
+      if (labels.IsAbnormalItem(ranked.items[i].external_id)) ++item_hits;
+    }
+    if (ni > 0) {
+      p.item_precision =
+          static_cast<double>(item_hits) / static_cast<double>(ni);
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace ricd::eval

@@ -1,0 +1,51 @@
+#ifndef RICD_EVAL_METRICS_H_
+#define RICD_EVAL_METRICS_H_
+
+#include <cstdint>
+
+#include <vector>
+
+#include "baselines/detector.h"
+#include "gen/label_set.h"
+#include "graph/bipartite_graph.h"
+#include "ricd/identification.h"
+
+namespace ricd::eval {
+
+/// Node-level detection quality per the paper's Eq. 5-6: output nodes are
+/// the distinct users+items across all groups; a node counts as detected
+/// when it appears in the ground-truth label set.
+struct Metrics {
+  uint64_t output_nodes = 0;    // |output| (users + items)
+  uint64_t detected_nodes = 0;  // output ∩ known abnormal
+  uint64_t known_nodes = 0;     // |known abnormal|
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Scores `result` (dense ids over `graph`) against ground truth `labels`
+/// (external ids). Empty output yields zero precision/recall by convention.
+Metrics Evaluate(const graph::BipartiteGraph& graph,
+                 const baselines::DetectionResult& result,
+                 const gen::LabelSet& labels);
+
+/// Precision within the top-k rows of a risk-ranked output — the paper's
+/// property (4a): business experts "select the top-k nodes for analysis
+/// and punishment", so ranking quality matters beyond set-level precision.
+struct PrecisionAtK {
+  size_t k = 0;
+  double user_precision = 0.0;  // fraction of top-k users truly abnormal
+  double item_precision = 0.0;  // fraction of top-k items truly abnormal
+};
+
+/// Evaluates P@k for each k in `ks`. When fewer than k rows exist, the
+/// available prefix is scored (denominator = actual rows considered);
+/// an empty side scores 0.
+std::vector<PrecisionAtK> RankedPrecision(const core::RankedOutput& ranked,
+                                          const gen::LabelSet& labels,
+                                          const std::vector<size_t>& ks);
+
+}  // namespace ricd::eval
+
+#endif  // RICD_EVAL_METRICS_H_

@@ -1,0 +1,281 @@
+#include "gen/attack_injector.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace ricd::gen {
+namespace {
+
+/// Top `k` background items by total clicks, descending (the hot-item pool
+/// attacks ride on).
+std::vector<table::ItemId> TopItems(const table::ClickTable& background, size_t k) {
+  auto totals = background.TotalClicksByItem();
+  std::sort(totals.begin(), totals.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<table::ItemId> out;
+  out.reserve(std::min(k, totals.size()));
+  for (size_t i = 0; i < totals.size() && i < k; ++i) {
+    out.push_back(totals[i].first);
+  }
+  return out;
+}
+
+/// Distinct background user ids (organic clicker pool).
+std::vector<table::UserId> DistinctUsers(const table::ClickTable& background) {
+  std::unordered_set<table::UserId> seen;
+  for (size_t i = 0; i < background.num_rows(); ++i) {
+    seen.insert(background.user(i));
+  }
+  std::vector<table::UserId> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Distinct background item ids (camouflage pool).
+std::vector<table::ItemId> DistinctItems(const table::ClickTable& background) {
+  std::unordered_set<table::ItemId> seen;
+  for (size_t i = 0; i < background.num_rows(); ++i) {
+    seen.insert(background.item(i));
+  }
+  std::vector<table::ItemId> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status ValidateConfig(const AttackConfig& config) {
+  if (config.num_groups == 0) {
+    return Status::InvalidArgument("num_groups must be > 0");
+  }
+  if (config.workers_per_group == 0 || config.targets_per_group == 0 ||
+      config.hot_items_per_group == 0) {
+    return Status::InvalidArgument("group composition counts must be > 0");
+  }
+  if (config.participation <= 0.0 || config.participation > 1.0 ||
+      config.reduced_participation <= 0.0 || config.reduced_participation > 1.0) {
+    return Status::InvalidArgument("participation must be in (0, 1]");
+  }
+  if (config.min_target_clicks == 0 ||
+      config.min_target_clicks > config.max_target_clicks) {
+    return Status::InvalidArgument("target click range invalid");
+  }
+  if (config.evading_min_target_clicks == 0 ||
+      config.evading_min_target_clicks > config.evading_max_target_clicks) {
+    return Status::InvalidArgument("evading click range invalid");
+  }
+  const double style_total = config.cautious_fraction +
+                             config.structure_evading_fraction +
+                             config.budget_evading_fraction;
+  if (config.cautious_fraction < 0.0 || config.structure_evading_fraction < 0.0 ||
+      config.budget_evading_fraction < 0.0 || style_total > 1.0 + 1e-9) {
+    return Status::InvalidArgument("crew style fractions must sum to <= 1");
+  }
+  return Status::Ok();
+}
+
+bool ReducedParticipation(CrewStyle style) {
+  return style == CrewStyle::kStructureEvading || style == CrewStyle::kCautious;
+}
+
+bool ReducedBudget(CrewStyle style) {
+  return style == CrewStyle::kBudgetEvading || style == CrewStyle::kCautious;
+}
+
+}  // namespace
+
+const char* CrewStyleName(CrewStyle style) {
+  switch (style) {
+    case CrewStyle::kBlatant:
+      return "blatant";
+    case CrewStyle::kStructureEvading:
+      return "structure-evading";
+    case CrewStyle::kBudgetEvading:
+      return "budget-evading";
+    case CrewStyle::kCautious:
+      return "cautious";
+  }
+  return "unknown";
+}
+
+Result<InjectionResult> InjectAttacks(const AttackConfig& config,
+                                      const table::ClickTable& background,
+                                      Rng& rng) {
+  RICD_RETURN_IF_ERROR(ValidateConfig(config));
+  if (background.empty()) {
+    return Status::FailedPrecondition("background table is empty");
+  }
+
+  // Hot pool: enough distinct hot items that groups rarely share all of
+  // them, but small enough that they really are the platform's hottest.
+  const size_t hot_pool_size = std::max<size_t>(
+      static_cast<size_t>(config.num_groups) * config.hot_items_per_group, 16);
+  const auto hot_pool = TopItems(background, hot_pool_size * 2);
+  if (hot_pool.size() < config.hot_items_per_group) {
+    return Status::FailedPrecondition("background has too few items for hot pool");
+  }
+  const auto camouflage_pool = DistinctItems(background);
+  const auto organic_pool = DistinctUsers(background);
+
+  if (!organic_pool.empty() && organic_pool.back() >= config.worker_id_base) {
+    return Status::InvalidArgument(
+        "worker_id_base collides with background user ids");
+  }
+  if (!camouflage_pool.empty() && camouflage_pool.back() >= config.target_id_base) {
+    return Status::InvalidArgument(
+        "target_id_base collides with background item ids");
+  }
+
+  // ---- Phase 1: plan group structure from a dedicated random stream. ----
+  Rng structure_rng(rng.Next());
+  const auto jittered = [&](uint32_t base) -> uint32_t {
+    if (config.group_size_jitter <= 0.0) return base;
+    const double factor = 1.0 - config.group_size_jitter +
+                          2.0 * config.group_size_jitter *
+                              structure_rng.UniformDouble();
+    return std::max<uint32_t>(
+        2, static_cast<uint32_t>(static_cast<double>(base) * factor + 0.5));
+  };
+
+  const uint32_t n_cautious = static_cast<uint32_t>(
+      config.cautious_fraction * static_cast<double>(config.num_groups));
+  const uint32_t n_structure = static_cast<uint32_t>(
+      config.structure_evading_fraction * static_cast<double>(config.num_groups));
+  const uint32_t n_budget = static_cast<uint32_t>(
+      config.budget_evading_fraction * static_cast<double>(config.num_groups));
+
+  std::vector<GroupPlan> plans;
+  plans.reserve(config.num_groups);
+  for (uint32_t gidx = 0; gidx < config.num_groups; ++gidx) {
+    GroupPlan plan;
+    if (gidx < n_cautious) {
+      plan.style = CrewStyle::kCautious;
+    } else if (gidx < n_cautious + n_structure) {
+      plan.style = CrewStyle::kStructureEvading;
+    } else if (gidx < n_cautious + n_structure + n_budget) {
+      plan.style = CrewStyle::kBudgetEvading;
+    } else {
+      plan.style = CrewStyle::kBlatant;
+    }
+    plan.num_workers = jittered(config.workers_per_group);
+    plan.num_targets = jittered(config.targets_per_group);
+    if (!ReducedBudget(plan.style) && config.full_budget_jitter > 0.0) {
+      plan.budget_multiplier = 1.0 - config.full_budget_jitter +
+                               2.0 * config.full_budget_jitter *
+                                   structure_rng.UniformDouble();
+    }
+    std::unordered_set<size_t> chosen;
+    while (chosen.size() < config.hot_items_per_group) {
+      chosen.insert(static_cast<size_t>(structure_rng.Uniform(hot_pool.size())));
+    }
+    for (const size_t idx : chosen) plan.hot_items.push_back(hot_pool[idx]);
+    std::sort(plan.hot_items.begin(), plan.hot_items.end());
+    plans.push_back(std::move(plan));
+  }
+
+  // ---- Phase 2: materialize clicks from the behaviour stream. ----
+  InjectionResult result;
+  table::UserId next_worker = config.worker_id_base;
+  table::ItemId next_target = config.target_id_base;
+
+  for (const GroupPlan& plan : plans) {
+    InjectedGroup group;
+    group.hot_items = plan.hot_items;
+    for (uint32_t t = 0; t < plan.num_targets; ++t) {
+      group.targets.push_back(next_target++);
+    }
+    for (uint32_t w = 0; w < plan.num_workers; ++w) {
+      group.workers.push_back(next_worker++);
+    }
+
+    const double participation = ReducedParticipation(plan.style)
+                                     ? config.reduced_participation
+                                     : config.participation;
+    const uint32_t num_core =
+        ReducedParticipation(plan.style)
+            ? std::min(plan.num_workers, config.reduced_core_workers)
+            : std::max<uint32_t>(
+                  1, static_cast<uint32_t>(config.core_fraction *
+                                           static_cast<double>(plan.num_workers)));
+
+    uint32_t lo;
+    uint32_t hi;
+    if (ReducedBudget(plan.style)) {
+      lo = config.evading_min_target_clicks;
+      hi = config.evading_max_target_clicks;
+    } else {
+      lo = std::max(config.min_target_clicks,
+                    static_cast<uint32_t>(
+                        static_cast<double>(config.min_target_clicks) *
+                            plan.budget_multiplier +
+                        0.5));
+      hi = std::max(lo + 1, static_cast<uint32_t>(
+                                static_cast<double>(config.max_target_clicks) *
+                                    plan.budget_multiplier +
+                                0.5));
+    }
+
+    for (uint32_t w = 0; w < plan.num_workers; ++w) {
+      const table::UserId worker = group.workers[w];
+      const bool core = w < num_core;
+      const bool disguised = rng.Bernoulli(config.disguised_worker_fraction);
+      const auto participates = [&](void) {
+        return core || rng.Bernoulli(participation);
+      };
+
+      // Optimal strategy (Eq. 3): touch each hot item with one or two
+      // clicks — just enough to create the co-click edge. Experienced
+      // workers instead mimic normal enthusiasts with many hot clicks.
+      for (const table::ItemId hot : group.hot_items) {
+        if (!participates()) continue;
+        table::ClickCount c;
+        if (disguised) {
+          c = static_cast<table::ClickCount>(rng.UniformInt(
+              config.min_disguise_hot_clicks, config.max_disguise_hot_clicks));
+        } else {
+          c = rng.Bernoulli(0.25) ? 2 : 1;
+        }
+        result.attack_clicks.Append(worker, hot, c);
+      }
+
+      // Hammer the target items with the crew's click budget.
+      for (const table::ItemId target : group.targets) {
+        if (!participates()) continue;
+        const auto clicks = static_cast<table::ClickCount>(rng.UniformInt(lo, hi));
+        result.attack_clicks.Append(worker, target, clicks);
+      }
+
+      // Camouflage: light clicks on random ordinary items.
+      for (uint32_t c = 0; c < config.camouflage_items; ++c) {
+        if (camouflage_pool.empty()) break;
+        const table::ItemId item =
+            camouflage_pool[rng.Uniform(camouflage_pool.size())];
+        const auto clicks = static_cast<table::ClickCount>(
+            rng.UniformInt(1, std::max<uint32_t>(1, config.max_camouflage_clicks)));
+        result.attack_clicks.Append(worker, item, clicks);
+      }
+    }
+
+    // Organic curiosity clicks on targets from real users (challenge (4)).
+    for (const table::ItemId target : group.targets) {
+      for (uint32_t o = 0; o < config.organic_clicks_per_target; ++o) {
+        if (organic_pool.empty()) break;
+        const table::UserId user = organic_pool[rng.Uniform(organic_pool.size())];
+        result.attack_clicks.Append(user, target, 1);
+      }
+    }
+
+    for (const auto u : group.workers) result.labels.abnormal_users.insert(u);
+    for (const auto t : group.targets) result.labels.abnormal_items.insert(t);
+    result.groups.push_back(std::move(group));
+    result.group_styles.push_back(plan.style);
+  }
+
+  result.attack_clicks.ConsolidateDuplicates();
+  return result;
+}
+
+}  // namespace ricd::gen

@@ -1,0 +1,158 @@
+#ifndef RICD_GEN_ATTACK_INJECTOR_H_
+#define RICD_GEN_ATTACK_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "gen/label_set.h"
+#include "table/click_table.h"
+
+namespace ricd::gen {
+
+/// Evasion style of one attack crew. The behavioural model follows the
+/// paper's Section IV analysis of the optimal strategy (Eq. 2-3) plus the
+/// evasion variants its Section I challenges describe; the mix is what
+/// produces the paper's parameter-sensitivity gradients (Fig. 9):
+///
+///  * kBlatant: full participation, full click budget. Caught at the
+///    default parameters.
+///  * kStructureEvading: reduced participation (alpha-extension structure,
+///    invisible at alpha = 1.0) but full budget — recovered by lowering
+///    alpha (Fig. 9c).
+///  * kBudgetEvading: full participation but per-target clicks just below
+///    T_click = 12 — recovered by lowering T_click (Fig. 9d).
+///  * kCautious: both evasions at once — the hardest crews, missed at all
+///    default-adjacent settings (they cap the achievable recall, like the
+///    paper's 0.51).
+enum class CrewStyle { kBlatant, kStructureEvading, kBudgetEvading, kCautious };
+
+/// Returns a stable display name ("blatant", ...).
+const char* CrewStyleName(CrewStyle style);
+
+/// Parameters of a "Ride Item's Coattails" attack campaign.
+struct AttackConfig {
+  /// Number of independent attack groups (distinct seller campaigns).
+  uint32_t num_groups = 12;
+
+  /// Crowd-worker accounts per group (pre-jitter).
+  uint32_t workers_per_group = 24;
+
+  /// Low-quality target items per group (pre-jitter).
+  uint32_t targets_per_group = 12;
+
+  /// Hot items each group rides on.
+  uint32_t hot_items_per_group = 3;
+
+  /// Full-budget click range a worker lands on one target.
+  uint32_t min_target_clicks = 12;
+  uint32_t max_target_clicks = 24;
+
+  /// Reduced-budget click range (kBudgetEvading / kCautious crews):
+  /// strictly below the default T_click = 12 so behavioural screening
+  /// misses those edges, but above the relaxed T_click = 10.
+  uint32_t evading_min_target_clicks = 9;
+  uint32_t evading_max_target_clicks = 11;
+
+  /// Participation of full-participation crews (probability a worker
+  /// clicks any given group item).
+  double participation = 1.0;
+
+  /// Participation of structure-evading crews; calibrated so pairwise
+  /// shared-item counts (participation^2 x group items, ~9.6 at the default
+  /// ~15 items) land between the alpha = 0.7 and alpha = 1.0 SquarePruning
+  /// thresholds at k = 10.
+  double reduced_participation = 0.8;
+
+  /// Fraction of each full-participation group's workers that click
+  /// everything (the biclique core inside the extension).
+  double core_fraction = 0.5;
+
+  /// Number of core workers in reduced-participation crews — kept tiny so
+  /// no detectable (k1, k2) biclique exists inside those groups.
+  uint32_t reduced_core_workers = 2;
+
+  /// Crew-style mix (remainder is kBlatant). Order of assignment:
+  /// cautious, structure-evading, budget-evading, then blatant.
+  double cautious_fraction = 0.25;
+  double structure_evading_fraction = 0.25;
+  double budget_evading_fraction = 0.15;
+
+  /// Per-group multiplicative size jitter: worker and target counts are
+  /// scaled by U(1 - jitter, 1 + jitter), so the k1/k2 sensitivity sweeps
+  /// (Fig. 9a/b) see groups straddling the swept thresholds.
+  double group_size_jitter = 0.5;
+
+  /// Full-budget groups draw a per-group budget multiplier from
+  /// U(1 - jitter, 1 + jitter) applied to their target click range
+  /// (floored at min_target_clicks). Campaign budgets differ in reality;
+  /// the density spread is what makes average-density methods (FRAUDAR)
+  /// drop low-budget groups that structural extraction still catches.
+  double full_budget_jitter = 0.3;
+
+  /// Fraction of workers that are *experienced*: they disguise themselves
+  /// by clicking hot items many times like a normal enthusiast would
+  /// (paper Section I challenge (3)), which defeats behavioural screening
+  /// of their accounts even when the group structure is found.
+  double disguised_worker_fraction = 0.2;
+
+  /// Click count range an experienced worker lands on each hot item.
+  uint32_t min_disguise_hot_clicks = 4;
+  uint32_t max_disguise_hot_clicks = 8;
+
+  /// Number of random ordinary items each worker clicks as camouflage.
+  uint32_t camouflage_items = 3;
+
+  /// Maximum clicks per camouflage item (1..this, uniformly).
+  uint32_t max_camouflage_clicks = 2;
+
+  /// Organic users attracted to each target item (the paper's challenge
+  /// (4): deceptive items draw some real clicks); each contributes 1 click.
+  uint32_t organic_clicks_per_target = 6;
+
+  /// Worker accounts are assigned ids from this base upward. Must not
+  /// collide with background user ids.
+  table::UserId worker_id_base = 10000000;
+
+  /// Target items are assigned ids from this base upward. Must not collide
+  /// with background item ids.
+  table::ItemId target_id_base = 20000000;
+};
+
+/// One planned group, including its crew style (recorded on InjectedGroup's
+/// counterpart below for test introspection).
+struct GroupPlan {
+  CrewStyle style = CrewStyle::kBlatant;
+  uint32_t num_workers = 0;
+  uint32_t num_targets = 0;
+  double budget_multiplier = 1.0;
+  std::vector<table::ItemId> hot_items;
+};
+
+/// Result of injecting a campaign into a background table.
+struct InjectionResult {
+  table::ClickTable attack_clicks;    // rows to append to the background
+  LabelSet labels;                    // ground truth
+  std::vector<InjectedGroup> groups;  // per-group membership
+  std::vector<CrewStyle> group_styles;  // aligned with `groups`
+};
+
+/// Plans and materializes the attack clicks for `config` against the given
+/// organic `background` table. Hot items are chosen among the top items of
+/// the background by total clicks; camouflage items and organic clickers
+/// are drawn from the background population. The background itself is not
+/// modified; callers append `attack_clicks` and re-consolidate.
+///
+/// Structural randomness (group sizes, budgets, hot-item choices) is drawn
+/// from a dedicated stream forked off `rng` before any behaviour is
+/// materialized, so varying behaviour knobs (camouflage, disguise) does not
+/// reshuffle group structure for a fixed seed — parameter sweeps stay
+/// comparable.
+Result<InjectionResult> InjectAttacks(const AttackConfig& config,
+                                      const table::ClickTable& background,
+                                      Rng& rng);
+
+}  // namespace ricd::gen
+
+#endif  // RICD_GEN_ATTACK_INJECTOR_H_

@@ -1,0 +1,69 @@
+#include "gen/background_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace ricd::gen {
+
+Result<table::ClickTable> GenerateBackground(const BackgroundConfig& config,
+                                             Rng& rng) {
+  if (config.num_users == 0 || config.num_items == 0) {
+    return Status::InvalidArgument("num_users and num_items must be > 0");
+  }
+  if (config.clicks_per_edge_p <= 0.0 || config.clicks_per_edge_p > 1.0) {
+    return Status::InvalidArgument("clicks_per_edge_p must be in (0, 1]");
+  }
+  if (config.user_activity_shape <= 0.0 || config.user_activity_scale <= 0.0) {
+    return Status::InvalidArgument("user activity parameters must be > 0");
+  }
+
+  const ZipfSampler popularity(config.num_items,
+                               config.item_popularity_exponent);
+
+  // Per-rank effective geometric p: hot ranks get heavier per-edge click
+  // counts (see BackgroundConfig::popularity_click_boost).
+  std::vector<double> rank_p(config.num_items);
+  for (uint32_t k = 0; k < config.num_items; ++k) {
+    const double w = std::pow(static_cast<double>(k + 1),
+                              -config.item_popularity_exponent / 2.0);
+    const double multiplier = 1.0 + config.popularity_click_boost * w;
+    rank_p[k] = std::clamp(config.clicks_per_edge_p / multiplier, 0.02, 1.0);
+  }
+
+  table::ClickTable out;
+  out.Reserve(static_cast<size_t>(config.num_users) * 5);
+
+  std::unordered_set<uint32_t> picked;
+  for (uint32_t u = 0; u < config.num_users; ++u) {
+    const double raw =
+        rng.Pareto(config.user_activity_scale, config.user_activity_shape);
+    uint32_t degree = static_cast<uint32_t>(raw);
+    degree = std::clamp<uint32_t>(degree, 1, config.max_items_per_user);
+    // Cannot click more distinct items than exist.
+    degree = std::min(degree, config.num_items);
+
+    picked.clear();
+    // Rejection-sample distinct items; popularity skew makes collisions
+    // common for tiny degrees only, so a bounded retry count suffices.
+    uint32_t attempts = 0;
+    const uint32_t max_attempts = degree * 20 + 64;
+    while (picked.size() < degree && attempts < max_attempts) {
+      picked.insert(static_cast<uint32_t>(popularity.Sample(rng)));
+      ++attempts;
+    }
+
+    const table::UserId user_id = config.user_id_base + u;
+    for (const uint32_t item : picked) {
+      uint64_t clicks = rng.Geometric(rank_p[item]);
+      clicks = std::min<uint64_t>(clicks, config.max_clicks_per_edge);
+      out.Append(user_id, config.item_id_base + item,
+                 static_cast<table::ClickCount>(clicks));
+    }
+  }
+
+  out.ConsolidateDuplicates();
+  return out;
+}
+
+}  // namespace ricd::gen

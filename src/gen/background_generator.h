@@ -1,0 +1,63 @@
+#ifndef RICD_GEN_BACKGROUND_GENERATOR_H_
+#define RICD_GEN_BACKGROUND_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "table/click_table.h"
+
+namespace ricd::gen {
+
+/// Parameters of the organic (non-attack) click workload. Defaults are
+/// calibrated so the generated graph reproduces the statistical shape of the
+/// paper's TaoBao_UI_Clicks table (Table I/II) at 1/100 scale:
+/// heavy-tailed item popularity obeying the 80/20 rule, user Avg_cnt ~ 4.3
+/// distinct items, ~2.6 clicks per edge, large item-side click stdev.
+struct BackgroundConfig {
+  uint32_t num_users = 200000;
+  uint32_t num_items = 40000;
+
+  /// Zipf exponent of item popularity; calibrated so the hot threshold from
+  /// the 80% click-mass rule lands ~10x above the mean item clicks, like the
+  /// paper's Table I/II distribution.
+  double item_popularity_exponent = 1.25;
+
+  /// Pareto shape of the per-user distinct-item count; smaller = heavier tail.
+  double user_activity_shape = 1.6;
+
+  /// Pareto scale (= minimum) of the per-user distinct-item count.
+  double user_activity_scale = 1.8;
+
+  /// Cap on distinct items per user (keeps degenerate super-users bounded).
+  uint32_t max_items_per_user = 400;
+
+  /// Geometric success probability for clicks-per-edge; mean = 1/p.
+  double clicks_per_edge_p = 0.75;
+
+  /// Popular items attract more clicks *per user* as well as more users
+  /// (the paper's Table IV: a normal user hits a hot item 19 times but an
+  /// ordinary item once). The geometric p is divided by
+  /// 1 + boost * popularity^0.5, where popularity of rank k is (k+1)^-s
+  /// normalized to 1 at the top rank.
+  double popularity_click_boost = 6.0;
+
+  /// Cap on clicks on a single edge.
+  uint32_t max_clicks_per_edge = 200;
+
+  /// External user ids are assigned from [user_id_base, ...).
+  table::UserId user_id_base = 1;
+
+  /// External item ids are assigned from [item_id_base, ...).
+  table::ItemId item_id_base = 1;
+};
+
+/// Generates an organic click table (consolidated: one row per (user, item)
+/// pair). Deterministic for a given config + rng state. Fails with
+/// InvalidArgument on nonsensical configs (zero users/items, p out of range).
+Result<table::ClickTable> GenerateBackground(const BackgroundConfig& config,
+                                             Rng& rng);
+
+}  // namespace ricd::gen
+
+#endif  // RICD_GEN_BACKGROUND_GENERATOR_H_

@@ -1,0 +1,57 @@
+#include "gen/label_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace ricd::gen {
+
+Status WriteLabels(const LabelSet& labels, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "kind,id\n";
+  std::vector<table::UserId> users(labels.abnormal_users.begin(),
+                                   labels.abnormal_users.end());
+  std::sort(users.begin(), users.end());
+  for (const auto u : users) out << "user," << u << '\n';
+  std::vector<table::ItemId> items(labels.abnormal_items.begin(),
+                                   labels.abnormal_items.end());
+  std::sort(items.begin(), items.end());
+  for (const auto v : items) out << "item," << v << '\n';
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<LabelSet> ReadLabels(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  LabelSet labels;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view sv = TrimString(line);
+    if (sv.empty()) continue;
+    if (line_no == 1 && sv.starts_with("kind")) continue;
+    const auto fields = SplitString(sv, ',');
+    int64_t id = 0;
+    if (fields.size() != 2 || !ParseInt64(fields[1], &id)) {
+      return Status::Corruption(
+          StringPrintf("%s:%zu: malformed label row", path.c_str(), line_no));
+    }
+    if (fields[0] == "user") {
+      labels.abnormal_users.insert(id);
+    } else if (fields[0] == "item") {
+      labels.abnormal_items.insert(id);
+    } else {
+      return Status::Corruption(
+          StringPrintf("%s:%zu: unknown label kind", path.c_str(), line_no));
+    }
+  }
+  return labels;
+}
+
+}  // namespace ricd::gen

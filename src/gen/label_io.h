@@ -1,0 +1,22 @@
+#ifndef RICD_GEN_LABEL_IO_H_
+#define RICD_GEN_LABEL_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "gen/label_set.h"
+
+namespace ricd::gen {
+
+/// Writes labels as "kind,id" rows (kind = user|item) with a header, in
+/// ascending id order per kind — the format the CLI's `compare` subcommand
+/// and external tooling consume.
+Status WriteLabels(const LabelSet& labels, const std::string& path);
+
+/// Reads a label file written by WriteLabels (header auto-detected).
+/// Malformed rows fail the whole read with Corruption, naming the line.
+Result<LabelSet> ReadLabels(const std::string& path);
+
+}  // namespace ricd::gen
+
+#endif  // RICD_GEN_LABEL_IO_H_

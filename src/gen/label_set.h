@@ -1,0 +1,35 @@
+#ifndef RICD_GEN_LABEL_SET_H_
+#define RICD_GEN_LABEL_SET_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "table/click_record.h"
+
+namespace ricd::gen {
+
+/// Ground-truth labels produced by the attack injector: the external ids of
+/// planted crowd-worker accounts and target items. Hot items abused by a
+/// group are victims, not attackers, and are deliberately NOT labeled — a
+/// detector that flags them pays for it in precision, exactly as in the
+/// paper's expert-labeled evaluation.
+struct LabelSet {
+  std::unordered_set<table::UserId> abnormal_users;
+  std::unordered_set<table::ItemId> abnormal_items;
+
+  size_t size() const { return abnormal_users.size() + abnormal_items.size(); }
+  bool IsAbnormalUser(table::UserId u) const { return abnormal_users.count(u) > 0; }
+  bool IsAbnormalItem(table::ItemId v) const { return abnormal_items.count(v) > 0; }
+};
+
+/// One injected attack group, recorded for debugging and the case study:
+/// which accounts attacked which targets riding which hot items.
+struct InjectedGroup {
+  std::vector<table::UserId> workers;
+  std::vector<table::ItemId> targets;
+  std::vector<table::ItemId> hot_items;
+};
+
+}  // namespace ricd::gen
+
+#endif  // RICD_GEN_LABEL_SET_H_

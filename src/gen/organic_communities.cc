@@ -1,0 +1,85 @@
+#include "gen/organic_communities.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ricd::gen {
+
+Result<OrganicCommunityResult> GenerateOrganicCommunities(
+    const OrganicCommunityConfig& config, const table::ClickTable& background,
+    Rng& rng) {
+  if (config.min_items_per_user == 0 ||
+      config.min_items_per_user > config.max_items_per_user ||
+      config.max_items_per_user > config.items_per_club) {
+    return Status::InvalidArgument("items_per_user range invalid");
+  }
+  if (config.min_clicks == 0 || config.min_clicks > config.max_clicks) {
+    return Status::InvalidArgument("click range invalid");
+  }
+  if (config.num_tight_clubs > 0 &&
+      (config.tight_min_items_per_user == 0 ||
+       config.tight_min_items_per_user > config.tight_max_items_per_user ||
+       config.tight_max_items_per_user > config.tight_items_per_club)) {
+    return Status::InvalidArgument("tight club items_per_user range invalid");
+  }
+  if (background.empty()) {
+    return Status::FailedPrecondition("background table is empty");
+  }
+
+  std::unordered_set<table::UserId> seen;
+  for (size_t i = 0; i < background.num_rows(); ++i) {
+    seen.insert(background.user(i));
+  }
+  std::vector<table::UserId> pool(seen.begin(), seen.end());
+  std::sort(pool.begin(), pool.end());
+  if (pool.size() < config.users_per_club ||
+      (config.num_tight_clubs > 0 && pool.size() < config.tight_users_per_club)) {
+    return Status::FailedPrecondition("background has too few users for a club");
+  }
+
+  OrganicCommunityResult result;
+  table::ItemId next_item = config.club_item_id_base;
+
+  const auto make_club = [&](uint32_t users_per_club, uint32_t items_per_club,
+                             uint32_t min_fan, uint32_t max_fan) {
+    OrganicCommunity club;
+    std::unordered_set<size_t> picked;
+    while (picked.size() < users_per_club) {
+      picked.insert(static_cast<size_t>(rng.Uniform(pool.size())));
+    }
+    for (const size_t idx : picked) club.members.push_back(pool[idx]);
+    std::sort(club.members.begin(), club.members.end());
+
+    for (uint32_t i = 0; i < items_per_club; ++i) {
+      club.items.push_back(next_item++);
+    }
+
+    for (const table::UserId member : club.members) {
+      const uint32_t fan_of =
+          static_cast<uint32_t>(rng.UniformInt(min_fan, max_fan));
+      std::unordered_set<size_t> item_picks;
+      while (item_picks.size() < fan_of) {
+        item_picks.insert(static_cast<size_t>(rng.Uniform(club.items.size())));
+      }
+      for (const size_t idx : item_picks) {
+        const auto clicks = static_cast<table::ClickCount>(
+            rng.UniformInt(config.min_clicks, config.max_clicks));
+        result.clicks.Append(member, club.items[idx], clicks);
+      }
+    }
+    result.clubs.push_back(std::move(club));
+  };
+
+  for (uint32_t c = 0; c < config.num_clubs; ++c) {
+    make_club(config.users_per_club, config.items_per_club,
+              config.min_items_per_user, config.max_items_per_user);
+  }
+  for (uint32_t c = 0; c < config.num_tight_clubs; ++c) {
+    make_club(config.tight_users_per_club, config.tight_items_per_club,
+              config.tight_min_items_per_user, config.tight_max_items_per_user);
+  }
+  result.clicks.ConsolidateDuplicates();
+  return result;
+}
+
+}  // namespace ricd::gen

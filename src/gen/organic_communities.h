@@ -1,0 +1,79 @@
+#ifndef RICD_GEN_ORGANIC_COMMUNITIES_H_
+#define RICD_GEN_ORGANIC_COMMUNITIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "table/click_table.h"
+
+namespace ricd::gen {
+
+/// Organic dense communities — fan clubs and group-buying circles. These
+/// are the paper's hard negatives: legitimate users who repeatedly hammer a
+/// small set of niche items, which superficially resembles a "Ride Item's
+/// Coattails" group (property (4b) exists precisely to avoid flagging
+/// group buying). They are NOT labeled abnormal; detectors that flag them
+/// pay in precision.
+///
+/// Structurally they differ from attack groups: membership is loose — each
+/// member clicks only a small random subset of the club's items — so the
+/// community is connected and click-heavy but far from a biclique.
+struct OrganicCommunityConfig {
+  /// Number of clubs to generate.
+  uint32_t num_clubs = 8;
+
+  /// Existing background users recruited per club.
+  uint32_t users_per_club = 30;
+
+  /// Niche items per club.
+  uint32_t items_per_club = 8;
+
+  /// Each member clicks this many of the club's items (uniform range);
+  /// keep well below items_per_club so the club stays sparse.
+  uint32_t min_items_per_user = 2;
+  uint32_t max_items_per_user = 4;
+
+  /// Heavy repeated clicks, like a fan re-visiting a listing.
+  uint32_t min_clicks = 12;
+  uint32_t max_clicks = 30;
+
+  /// Club items get ids from this base upward; must not collide with
+  /// background or attack-target ids.
+  table::ItemId club_item_id_base = 5000000;
+
+  /// Tight clubs — group-buying rings. Unlike loose fan clubs, members
+  /// click most of the ring's items, so the structure approaches (but does
+  /// not reach) a biclique: pairwise shared-item counts sit between the
+  /// alpha = 0.7 and alpha = 1.0 SquarePruning thresholds at k = 10.
+  /// These are the false positives that make relaxing alpha cost precision
+  /// (paper Fig. 9c) and motivate property (4b).
+  uint32_t num_tight_clubs = 4;
+  uint32_t tight_users_per_club = 18;
+  uint32_t tight_items_per_club = 12;
+  uint32_t tight_min_items_per_user = 8;
+  uint32_t tight_max_items_per_user = 10;
+};
+
+/// One generated club (for test introspection).
+struct OrganicCommunity {
+  std::vector<table::UserId> members;
+  std::vector<table::ItemId> items;
+};
+
+/// Result of generating clubs against a background population.
+struct OrganicCommunityResult {
+  table::ClickTable clicks;
+  std::vector<OrganicCommunity> clubs;
+};
+
+/// Draws club members from the distinct users of `background` and mints
+/// fresh niche items. Deterministic given config + rng.
+Result<OrganicCommunityResult> GenerateOrganicCommunities(
+    const OrganicCommunityConfig& config, const table::ClickTable& background,
+    Rng& rng);
+
+}  // namespace ricd::gen
+
+#endif  // RICD_GEN_ORGANIC_COMMUNITIES_H_

@@ -1,0 +1,29 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+
+namespace ricd::graph {
+
+table::ClickCount BipartiteGraph::EdgeWeight(VertexId u, VertexId v) const {
+  const auto neighbors = UserNeighbors(u);
+  const auto it = std::lower_bound(neighbors.begin(), neighbors.end(), v);
+  if (it == neighbors.end() || *it != v) return 0;
+  const size_t idx = static_cast<size_t>(it - neighbors.begin());
+  return UserEdgeClicks(u)[idx];
+}
+
+bool BipartiteGraph::LookupUser(table::UserId external, VertexId* out) const {
+  const auto it = user_lookup_.find(external);
+  if (it == user_lookup_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+bool BipartiteGraph::LookupItem(table::ItemId external, VertexId* out) const {
+  const auto it = item_lookup_.find(external);
+  if (it == item_lookup_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+}  // namespace ricd::graph

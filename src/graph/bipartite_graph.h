@@ -1,0 +1,125 @@
+#ifndef RICD_GRAPH_BIPARTITE_GRAPH_H_
+#define RICD_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "table/click_record.h"
+
+namespace ricd::graph {
+
+/// Dense internal vertex id. Users and items live in separate id spaces,
+/// each starting at 0.
+using VertexId = uint32_t;
+
+/// Which side of the bipartition a vertex id refers to.
+enum class Side { kUser, kItem };
+
+/// Returns the opposite side.
+inline Side Other(Side s) { return s == Side::kUser ? Side::kItem : Side::kUser; }
+
+/// Immutable weighted bipartite click graph in dual-CSR form: adjacency is
+/// materialized from both sides (user -> items and item -> users), each
+/// sorted by neighbor id so set intersections run in linear time. Edge
+/// weights are click counts.
+///
+/// Construction goes through GraphBuilder, which compacts arbitrary external
+/// 64-bit user/item ids into dense ids.
+class BipartiteGraph {
+ public:
+  BipartiteGraph() = default;
+
+  uint32_t num_users() const { return static_cast<uint32_t>(user_offsets_.size()) - 1; }
+  uint32_t num_items() const { return static_cast<uint32_t>(item_offsets_.size()) - 1; }
+  uint32_t num_vertices(Side side) const {
+    return side == Side::kUser ? num_users() : num_items();
+  }
+  uint64_t num_edges() const { return user_adj_.size(); }
+  uint64_t total_clicks() const { return total_clicks_; }
+
+  /// Sorted neighbor ids of user `u` (item ids).
+  std::span<const VertexId> UserNeighbors(VertexId u) const {
+    return {user_adj_.data() + user_offsets_[u],
+            user_offsets_[u + 1] - user_offsets_[u]};
+  }
+
+  /// Click weights aligned with UserNeighbors(u).
+  std::span<const table::ClickCount> UserEdgeClicks(VertexId u) const {
+    return {user_clicks_.data() + user_offsets_[u],
+            user_offsets_[u + 1] - user_offsets_[u]};
+  }
+
+  /// Sorted neighbor ids of item `v` (user ids).
+  std::span<const VertexId> ItemNeighbors(VertexId v) const {
+    return {item_adj_.data() + item_offsets_[v],
+            item_offsets_[v + 1] - item_offsets_[v]};
+  }
+
+  /// Click weights aligned with ItemNeighbors(v).
+  std::span<const table::ClickCount> ItemEdgeClicks(VertexId v) const {
+    return {item_clicks_.data() + item_offsets_[v],
+            item_offsets_[v + 1] - item_offsets_[v]};
+  }
+
+  /// Side-generic sorted neighbors of vertex `v` on `side`.
+  std::span<const VertexId> Neighbors(Side side, VertexId v) const {
+    return side == Side::kUser ? UserNeighbors(v) : ItemNeighbors(v);
+  }
+
+  /// Side-generic click weights aligned with Neighbors(side, v).
+  std::span<const table::ClickCount> EdgeClicks(Side side, VertexId v) const {
+    return side == Side::kUser ? UserEdgeClicks(v) : ItemEdgeClicks(v);
+  }
+
+  /// Number of distinct counterparts (unweighted degree).
+  uint32_t Degree(Side side, VertexId v) const {
+    return static_cast<uint32_t>(Neighbors(side, v).size());
+  }
+
+  /// Total clicks incident to user `u` (weighted degree).
+  uint64_t UserTotalClicks(VertexId u) const { return user_total_clicks_[u]; }
+
+  /// Total clicks incident to item `v` (the paper's per-item Total_click).
+  uint64_t ItemTotalClicks(VertexId v) const { return item_total_clicks_[v]; }
+
+  /// Click count on edge (u, v); 0 if absent. O(log degree(u)).
+  table::ClickCount EdgeWeight(VertexId u, VertexId v) const;
+
+  /// True if user `u` has clicked item `v`.
+  bool HasEdge(VertexId u, VertexId v) const { return EdgeWeight(u, v) > 0; }
+
+  /// External (table-level) id of user `u`.
+  table::UserId ExternalUserId(VertexId u) const { return user_ids_[u]; }
+
+  /// External (table-level) id of item `v`.
+  table::ItemId ExternalItemId(VertexId v) const { return item_ids_[v]; }
+
+  /// Dense id of an external user id; returns false if unknown.
+  bool LookupUser(table::UserId external, VertexId* out) const;
+
+  /// Dense id of an external item id; returns false if unknown.
+  bool LookupItem(table::ItemId external, VertexId* out) const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<uint64_t> user_offsets_{0};
+  std::vector<VertexId> user_adj_;
+  std::vector<table::ClickCount> user_clicks_;
+  std::vector<uint64_t> item_offsets_{0};
+  std::vector<VertexId> item_adj_;
+  std::vector<table::ClickCount> item_clicks_;
+  std::vector<uint64_t> user_total_clicks_;
+  std::vector<uint64_t> item_total_clicks_;
+  std::vector<table::UserId> user_ids_;
+  std::vector<table::ItemId> item_ids_;
+  std::unordered_map<table::UserId, VertexId> user_lookup_;
+  std::unordered_map<table::ItemId, VertexId> item_lookup_;
+  uint64_t total_clicks_ = 0;
+};
+
+}  // namespace ricd::graph
+
+#endif  // RICD_GRAPH_BIPARTITE_GRAPH_H_

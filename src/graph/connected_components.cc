@@ -1,0 +1,48 @@
+#include "graph/connected_components.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace ricd::graph {
+
+std::vector<Group> ActiveConnectedComponents(const MutableView& view) {
+  const BipartiteGraph& g = view.graph();
+  const uint32_t nu = g.num_users();
+
+  std::vector<uint8_t> user_visited(nu, 0);
+  std::vector<uint8_t> item_visited(g.num_items(), 0);
+  std::vector<Group> groups;
+
+  for (VertexId start = 0; start < nu; ++start) {
+    if (user_visited[start] || !view.IsActive(Side::kUser, start) ||
+        view.ActiveDegree(Side::kUser, start) == 0) {
+      continue;
+    }
+    Group group;
+    std::deque<std::pair<Side, VertexId>> frontier;
+    frontier.emplace_back(Side::kUser, start);
+    user_visited[start] = 1;
+    while (!frontier.empty()) {
+      const auto [side, v] = frontier.front();
+      frontier.pop_front();
+      if (side == Side::kUser) {
+        group.users.push_back(v);
+      } else {
+        group.items.push_back(v);
+      }
+      auto& other_visited = side == Side::kUser ? item_visited : user_visited;
+      const Side other = Other(side);
+      for (const VertexId w : g.Neighbors(side, v)) {
+        if (other_visited[w] || !view.IsActive(other, w)) continue;
+        other_visited[w] = 1;
+        frontier.emplace_back(other, w);
+      }
+    }
+    std::sort(group.users.begin(), group.users.end());
+    std::sort(group.items.begin(), group.items.end());
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace ricd::graph

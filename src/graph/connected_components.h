@@ -1,0 +1,20 @@
+#ifndef RICD_GRAPH_CONNECTED_COMPONENTS_H_
+#define RICD_GRAPH_CONNECTED_COMPONENTS_H_
+
+#include <vector>
+
+#include "graph/group.h"
+#include "graph/mutable_view.h"
+
+namespace ricd::graph {
+
+/// Splits the active subgraph of `view` into connected components, each
+/// returned as a Group. Isolated vertices (active degree 0) are skipped:
+/// after pruning they cannot belong to any near-biclique. Components are
+/// emitted in ascending order of their smallest user id, with sorted member
+/// lists, so output is deterministic.
+std::vector<Group> ActiveConnectedComponents(const MutableView& view);
+
+}  // namespace ricd::graph
+
+#endif  // RICD_GRAPH_CONNECTED_COMPONENTS_H_

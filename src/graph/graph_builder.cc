@@ -1,0 +1,115 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace ricd::graph {
+
+Result<BipartiteGraph> GraphBuilder::FromTable(const table::ClickTable& table) {
+  BipartiteGraph g;
+  const size_t n = table.num_rows();
+
+  // Pass 1: compact external ids in first-seen order.
+  g.user_lookup_.reserve(n / 4 + 1);
+  g.item_lookup_.reserve(n / 8 + 1);
+  std::vector<VertexId> row_user(n);
+  std::vector<VertexId> row_item(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (table.clicks(i) == 0) {
+      return Status::InvalidArgument(
+          StringPrintf("row %zu has zero clicks", i));
+    }
+    const auto [uit, uinserted] = g.user_lookup_.try_emplace(
+        table.user(i), static_cast<VertexId>(g.user_ids_.size()));
+    if (uinserted) g.user_ids_.push_back(table.user(i));
+    row_user[i] = uit->second;
+
+    const auto [iit, iinserted] = g.item_lookup_.try_emplace(
+        table.item(i), static_cast<VertexId>(g.item_ids_.size()));
+    if (iinserted) g.item_ids_.push_back(table.item(i));
+    row_item[i] = iit->second;
+  }
+
+  const uint32_t num_users = static_cast<uint32_t>(g.user_ids_.size());
+  const uint32_t num_items = static_cast<uint32_t>(g.item_ids_.size());
+
+  // Pass 2: counting sort rows into user-CSR order, merging duplicates.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (row_user[a] != row_user[b]) return row_user[a] < row_user[b];
+    return row_item[a] < row_item[b];
+  });
+
+  g.user_offsets_.assign(num_users + 1, 0);
+  g.user_adj_.reserve(n);
+  g.user_clicks_.reserve(n);
+  constexpr uint64_t kMaxClicks = std::numeric_limits<table::ClickCount>::max();
+  {
+    VertexId prev_user = std::numeric_limits<VertexId>::max();
+    VertexId prev_item = std::numeric_limits<VertexId>::max();
+    for (uint32_t k = 0; k < n; ++k) {
+      const uint32_t i = order[k];
+      const VertexId u = row_user[i];
+      const VertexId v = row_item[i];
+      if (u == prev_user && v == prev_item) {
+        const uint64_t sum =
+            static_cast<uint64_t>(g.user_clicks_.back()) + table.clicks(i);
+        g.user_clicks_.back() =
+            static_cast<table::ClickCount>(std::min(sum, kMaxClicks));
+      } else {
+        g.user_adj_.push_back(v);
+        g.user_clicks_.push_back(table.clicks(i));
+        g.user_offsets_[u + 1]++;
+        prev_user = u;
+        prev_item = v;
+      }
+    }
+  }
+  for (uint32_t u = 0; u < num_users; ++u) {
+    g.user_offsets_[u + 1] += g.user_offsets_[u];
+  }
+
+  // Pass 3: transpose user-CSR into item-CSR. Iterating users in order keeps
+  // each item's user list sorted without a per-item sort.
+  const uint64_t num_edges = g.user_adj_.size();
+  g.item_offsets_.assign(num_items + 1, 0);
+  for (const VertexId v : g.user_adj_) g.item_offsets_[v + 1]++;
+  for (uint32_t v = 0; v < num_items; ++v) {
+    g.item_offsets_[v + 1] += g.item_offsets_[v];
+  }
+  g.item_adj_.resize(num_edges);
+  g.item_clicks_.resize(num_edges);
+  {
+    std::vector<uint64_t> cursor(g.item_offsets_.begin(),
+                                 g.item_offsets_.end() - 1);
+    for (uint32_t u = 0; u < num_users; ++u) {
+      for (uint64_t e = g.user_offsets_[u]; e < g.user_offsets_[u + 1]; ++e) {
+        const VertexId v = g.user_adj_[e];
+        const uint64_t slot = cursor[v]++;
+        g.item_adj_[slot] = u;
+        g.item_clicks_[slot] = g.user_clicks_[e];
+      }
+    }
+  }
+
+  // Weighted degrees.
+  g.user_total_clicks_.assign(num_users, 0);
+  g.item_total_clicks_.assign(num_items, 0);
+  for (uint32_t u = 0; u < num_users; ++u) {
+    uint64_t sum = 0;
+    for (uint64_t e = g.user_offsets_[u]; e < g.user_offsets_[u + 1]; ++e) {
+      sum += g.user_clicks_[e];
+      g.item_total_clicks_[g.user_adj_[e]] += g.user_clicks_[e];
+    }
+    g.user_total_clicks_[u] = sum;
+    g.total_clicks_ += sum;
+  }
+
+  return g;
+}
+
+}  // namespace ricd::graph

@@ -1,0 +1,23 @@
+#ifndef RICD_GRAPH_GROUP_H_
+#define RICD_GRAPH_GROUP_H_
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace ricd::graph {
+
+/// A candidate attack group: a set of users and a set of items (dense ids
+/// into one BipartiteGraph). Produced by detectors, consumed by the
+/// screening and identification modules.
+struct Group {
+  std::vector<VertexId> users;
+  std::vector<VertexId> items;
+
+  bool empty() const { return users.empty() && items.empty(); }
+  size_t size() const { return users.size() + items.size(); }
+};
+
+}  // namespace ricd::graph
+
+#endif  // RICD_GRAPH_GROUP_H_

@@ -1,0 +1,60 @@
+#include "graph/intersection.h"
+
+#include <algorithm>
+
+namespace ricd::graph {
+namespace {
+
+// Galloping variant for strongly skewed sizes: binary-search each element of
+// the small span in the large one.
+uint64_t GallopIntersection(std::span<const VertexId> small,
+                            std::span<const VertexId> large, uint64_t cap) {
+  uint64_t count = 0;
+  auto lo = large.begin();
+  for (const VertexId x : small) {
+    lo = std::lower_bound(lo, large.end(), x);
+    if (lo == large.end()) break;
+    if (*lo == x) {
+      if (++count >= cap) return cap;
+      ++lo;
+    }
+  }
+  return count;
+}
+
+uint64_t IntersectCapped(std::span<const VertexId> a, std::span<const VertexId> b,
+                         uint64_t cap) {
+  if (a.empty() || b.empty() || cap == 0) return 0;
+  if (a.size() > b.size()) std::swap(a, b);
+  if (b.size() / a.size() >= 16) return GallopIntersection(a, b, cap);
+
+  uint64_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      if (++count >= cap) return cap;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+uint64_t IntersectionSize(std::span<const VertexId> a,
+                          std::span<const VertexId> b) {
+  return IntersectCapped(a, b, UINT64_MAX);
+}
+
+uint64_t IntersectionAtLeast(std::span<const VertexId> a,
+                             std::span<const VertexId> b, uint64_t threshold) {
+  return IntersectCapped(a, b, threshold);
+}
+
+}  // namespace ricd::graph

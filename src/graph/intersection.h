@@ -1,0 +1,23 @@
+#ifndef RICD_GRAPH_INTERSECTION_H_
+#define RICD_GRAPH_INTERSECTION_H_
+
+#include <cstdint>
+#include <span>
+
+#include "graph/bipartite_graph.h"
+
+namespace ricd::graph {
+
+/// Number of common elements of two sorted id spans. Linear merge; switches
+/// to galloping when one span is much shorter than the other.
+uint64_t IntersectionSize(std::span<const VertexId> a, std::span<const VertexId> b);
+
+/// Like IntersectionSize but stops counting as soon as `threshold` common
+/// elements are found, returning `threshold`. This is the kernel of the
+/// SquarePruning (α, k)-neighbor test, where only "|a ∩ b| >= t" matters.
+uint64_t IntersectionAtLeast(std::span<const VertexId> a,
+                             std::span<const VertexId> b, uint64_t threshold);
+
+}  // namespace ricd::graph
+
+#endif  // RICD_GRAPH_INTERSECTION_H_

@@ -1,0 +1,61 @@
+#include "graph/mutable_view.h"
+
+namespace ricd::graph {
+
+MutableView::MutableView(const BipartiteGraph& graph) : graph_(&graph) {
+  Reset();
+}
+
+void MutableView::Reset() {
+  const uint32_t nu = graph_->num_users();
+  const uint32_t ni = graph_->num_items();
+  user_active_.assign(nu, 1);
+  item_active_.assign(ni, 1);
+  user_degree_.resize(nu);
+  item_degree_.resize(ni);
+  for (uint32_t u = 0; u < nu; ++u) user_degree_[u] = graph_->Degree(Side::kUser, u);
+  for (uint32_t v = 0; v < ni; ++v) item_degree_[v] = graph_->Degree(Side::kItem, v);
+  num_active_users_ = nu;
+  num_active_items_ = ni;
+}
+
+void MutableView::Remove(Side side, VertexId v) {
+  if (side == Side::kUser) {
+    if (!user_active_[v]) return;
+    user_active_[v] = 0;
+    --num_active_users_;
+    for (const VertexId w : graph_->UserNeighbors(v)) {
+      if (item_active_[w]) --item_degree_[w];
+    }
+  } else {
+    if (!item_active_[v]) return;
+    item_active_[v] = 0;
+    --num_active_items_;
+    for (const VertexId w : graph_->ItemNeighbors(v)) {
+      if (user_active_[w]) --user_degree_[w];
+    }
+  }
+}
+
+std::vector<VertexId> MutableView::ActiveNeighbors(Side side, VertexId v) const {
+  std::vector<VertexId> out;
+  const auto neighbors = graph_->Neighbors(side, v);
+  out.reserve(neighbors.size());
+  const auto& other_active = side == Side::kUser ? item_active_ : user_active_;
+  for (const VertexId w : neighbors) {
+    if (other_active[w]) out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<VertexId> MutableView::ActiveVertices(Side side) const {
+  std::vector<VertexId> out;
+  const auto& active = side == Side::kUser ? user_active_ : item_active_;
+  out.reserve(NumActive(side));
+  for (VertexId v = 0; v < active.size(); ++v) {
+    if (active[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace ricd::graph

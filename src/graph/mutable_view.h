@@ -1,0 +1,61 @@
+#ifndef RICD_GRAPH_MUTABLE_VIEW_H_
+#define RICD_GRAPH_MUTABLE_VIEW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace ricd::graph {
+
+/// A deletion-only overlay on an immutable BipartiteGraph: vertices can be
+/// deactivated (together with their incident edges) and per-vertex active
+/// degrees are maintained incrementally. Pruning passes (CorePruning,
+/// SquarePruning, FRAUDAR peeling) all operate on this view instead of
+/// rebuilding CSR structures after every removal.
+class MutableView {
+ public:
+  explicit MutableView(const BipartiteGraph& graph);
+
+  const BipartiteGraph& graph() const { return *graph_; }
+
+  bool IsActive(Side side, VertexId v) const {
+    return side == Side::kUser ? user_active_[v] : item_active_[v];
+  }
+
+  /// Current degree counting only active counterparts.
+  uint32_t ActiveDegree(Side side, VertexId v) const {
+    return side == Side::kUser ? user_degree_[v] : item_degree_[v];
+  }
+
+  /// Deactivates `v`, decrementing the active degree of each of its active
+  /// neighbors. No-op if already inactive.
+  void Remove(Side side, VertexId v);
+
+  /// Number of still-active vertices on `side`.
+  uint32_t NumActive(Side side) const {
+    return side == Side::kUser ? num_active_users_ : num_active_items_;
+  }
+
+  /// Active neighbors of `v`, materialized into a sorted vector.
+  std::vector<VertexId> ActiveNeighbors(Side side, VertexId v) const;
+
+  /// All active vertex ids on `side`, ascending.
+  std::vector<VertexId> ActiveVertices(Side side) const;
+
+  /// Restores every vertex to active and resets degrees.
+  void Reset();
+
+ private:
+  const BipartiteGraph* graph_;
+  std::vector<uint8_t> user_active_;
+  std::vector<uint8_t> item_active_;
+  std::vector<uint32_t> user_degree_;
+  std::vector<uint32_t> item_degree_;
+  uint32_t num_active_users_ = 0;
+  uint32_t num_active_items_ = 0;
+};
+
+}  // namespace ricd::graph
+
+#endif  // RICD_GRAPH_MUTABLE_VIEW_H_

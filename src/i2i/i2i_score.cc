@@ -1,0 +1,75 @@
+#include "i2i/i2i_score.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ricd::i2i {
+
+std::vector<std::pair<graph::VertexId, uint64_t>> I2iScorer::ConditionalClicks(
+    graph::VertexId anchor) const {
+  std::unordered_map<graph::VertexId, uint64_t> mass;
+  for (const graph::VertexId user : graph_->ItemNeighbors(anchor)) {
+    const auto items = graph_->UserNeighbors(user);
+    const auto clicks = graph_->UserEdgeClicks(user);
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (items[i] == anchor) continue;
+      mass[items[i]] += clicks[i];
+    }
+  }
+  std::vector<std::pair<graph::VertexId, uint64_t>> out(mass.begin(), mass.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ItemScore> I2iScorer::RelatedItems(graph::VertexId anchor,
+                                               size_t top_k) const {
+  const auto mass = ConditionalClicks(anchor);
+  uint64_t denom = 0;
+  for (const auto& [item, c] : mass) denom += c;
+  if (denom == 0) return {};
+
+  std::vector<ItemScore> scored;
+  scored.reserve(mass.size());
+  for (const auto& [item, c] : mass) {
+    scored.push_back(
+        {item, static_cast<double>(c) / static_cast<double>(denom)});
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.item < b.item;
+  });
+  if (scored.size() > top_k) scored.resize(top_k);
+  return scored;
+}
+
+double I2iScorer::Score(graph::VertexId anchor, graph::VertexId other) const {
+  const auto mass = ConditionalClicks(anchor);
+  uint64_t denom = 0;
+  uint64_t numer = 0;
+  for (const auto& [item, c] : mass) {
+    denom += c;
+    if (item == other) numer = c;
+  }
+  if (denom == 0) return 0.0;
+  return static_cast<double>(numer) / static_cast<double>(denom);
+}
+
+double AttackedI2iScore(uint64_t base_other, uint64_t base_target,
+                        uint64_t extra_clicks, uint64_t extra_target_clicks) {
+  // Eq. 2: S = (C_{n+1} + C') / (sum C_i + (C_{n+1} + C') + (C - C')).
+  const double numer =
+      static_cast<double>(base_target) + static_cast<double>(extra_target_clicks);
+  const double denom = static_cast<double>(base_other) + numer +
+                       static_cast<double>(extra_clicks - extra_target_clicks);
+  if (denom <= 0.0) return 0.0;
+  return numer / denom;
+}
+
+double OptimalAttackScore(uint64_t base_other, uint64_t base_target,
+                          uint64_t budget) {
+  if (budget < 2) return 0.0;  // Cannot even establish the link.
+  const uint64_t c = budget - 2;
+  return AttackedI2iScore(base_other, base_target, c, c);
+}
+
+}  // namespace ricd::i2i

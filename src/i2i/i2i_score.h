@@ -1,0 +1,60 @@
+#ifndef RICD_I2I_I2I_SCORE_H_
+#define RICD_I2I_I2I_SCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace ricd::i2i {
+
+/// One scored related item.
+struct ItemScore {
+  graph::VertexId item = 0;
+  double score = 0.0;
+};
+
+/// The paper's I2I-score calculation model (Fig. 3 / Eq. 1).
+///
+/// For an anchor item A, the conditional click mass C_i of item i is the
+/// total number of clicks on i contributed by users who clicked A. The
+/// I2I-score is S_i = C_i / sum_j C_j over all co-clicked items j. This is
+/// the quantity the "Ride Item's Coattails" attack manipulates.
+class I2iScorer {
+ public:
+  explicit I2iScorer(const graph::BipartiteGraph& graph) : graph_(&graph) {}
+
+  /// Conditional click mass C_i for every item co-clicked with `anchor`
+  /// (excluding the anchor itself), as (item, C_i) pairs in ascending item
+  /// order.
+  std::vector<std::pair<graph::VertexId, uint64_t>> ConditionalClicks(
+      graph::VertexId anchor) const;
+
+  /// Top-k related items of `anchor` by I2I-score, descending. Ties broken
+  /// by ascending item id so output is deterministic.
+  std::vector<ItemScore> RelatedItems(graph::VertexId anchor, size_t top_k) const;
+
+  /// I2I-score of one specific (anchor, other) pair; 0 when never co-clicked.
+  double Score(graph::VertexId anchor, graph::VertexId other) const;
+
+ private:
+  const graph::BipartiteGraph* graph_;
+};
+
+/// Closed-form attack gain per the paper's Eq. 2: the I2I-score of the
+/// target item after the attacker spends `extra_target_clicks` (C') of a
+/// total of `extra_clicks` (C) additional clicks on the target, given the
+/// pre-attack conditional masses. `base_other` = C_1 + ... + C_n and
+/// `base_target` = C_{n+1} (>= 1 once the link is established).
+double AttackedI2iScore(uint64_t base_other, uint64_t base_target,
+                        uint64_t extra_clicks, uint64_t extra_target_clicks);
+
+/// The attacker's maximum achievable I2I-score with click budget `budget`
+/// (C_b): per Eq. 3 the optimum is C' = C = C_b - 2 (two clicks are consumed
+/// establishing the hot-target link).
+double OptimalAttackScore(uint64_t base_other, uint64_t base_target,
+                          uint64_t budget);
+
+}  // namespace ricd::i2i
+
+#endif  // RICD_I2I_I2I_SCORE_H_

@@ -1,0 +1,59 @@
+#include "i2i/recommender.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ricd::i2i {
+
+std::vector<ItemScore> Recommender::RecommendForUser(graph::VertexId user,
+                                                     size_t k) const {
+  const auto items = graph_->UserNeighbors(user);
+  const auto clicks = graph_->UserEdgeClicks(user);
+  if (items.empty()) return {};
+
+  uint64_t total_clicks = 0;
+  for (const auto c : clicks) total_clicks += c;
+  if (total_clicks == 0) return {};
+
+  std::unordered_map<graph::VertexId, double> aggregate;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const double anchor_weight =
+        static_cast<double>(clicks[i]) / static_cast<double>(total_clicks);
+    for (const auto& related :
+         scorer_.RelatedItems(items[i], candidates_per_anchor_)) {
+      aggregate[related.item] += anchor_weight * related.score;
+    }
+  }
+  // Never recommend what the user already clicked.
+  for (const auto v : items) aggregate.erase(v);
+
+  std::vector<ItemScore> slate;
+  slate.reserve(aggregate.size());
+  for (const auto& [item, score] : aggregate) slate.push_back({item, score});
+  std::sort(slate.begin(), slate.end(), [](const auto& a, const auto& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.item < b.item;
+  });
+  if (slate.size() > k) slate.resize(k);
+  return slate;
+}
+
+double RecommendationPollution(
+    const graph::BipartiteGraph& graph,
+    const std::unordered_set<table::ItemId>& polluted_items,
+    const std::vector<graph::VertexId>& sample_users, size_t k) {
+  if (sample_users.empty() || k == 0) return 0.0;
+  Recommender recommender(graph);
+  uint64_t slots = 0;
+  uint64_t polluted = 0;
+  for (const auto user : sample_users) {
+    for (const auto& rec : recommender.RecommendForUser(user, k)) {
+      ++slots;
+      if (polluted_items.count(graph.ExternalItemId(rec.item)) > 0) ++polluted;
+    }
+  }
+  if (slots == 0) return 0.0;
+  return static_cast<double>(polluted) / static_cast<double>(slots);
+}
+
+}  // namespace ricd::i2i

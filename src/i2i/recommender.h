@@ -1,0 +1,51 @@
+#ifndef RICD_I2I_RECOMMENDER_H_
+#define RICD_I2I_RECOMMENDER_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "i2i/i2i_score.h"
+
+namespace ricd::i2i {
+
+/// The item-to-user recommendation scenario the paper's introduction
+/// describes: "once the user clicks an item A, recommendation systems will
+/// figure out other items that are 'similar' to A, then recommend them".
+/// Recommendations for a user aggregate the I2I-scores of the items it
+/// clicked, weighted by its click counts, excluding items it already knows.
+class Recommender {
+ public:
+  /// `candidates_per_anchor` bounds the related-item list consulted per
+  /// clicked anchor (recommendation slates are shallow in production).
+  explicit Recommender(const graph::BipartiteGraph& graph,
+                       size_t candidates_per_anchor = 20)
+      : graph_(&graph),
+        scorer_(graph),
+        candidates_per_anchor_(candidates_per_anchor) {}
+
+  /// Top-k recommendation slate for `user`, descending aggregate score.
+  /// Deterministic (ties by ascending item id).
+  std::vector<ItemScore> RecommendForUser(graph::VertexId user, size_t k) const;
+
+  const I2iScorer& scorer() const { return scorer_; }
+
+ private:
+  const graph::BipartiteGraph* graph_;
+  I2iScorer scorer_;
+  size_t candidates_per_anchor_;
+};
+
+/// Measures how badly fake clicks poison the recommender: the fraction of
+/// slate positions (top `k` per sampled user) occupied by items from
+/// `polluted_items`. This is the user-facing damage the paper's cleanup
+/// removes — compare the value before and after deleting attack edges.
+double RecommendationPollution(
+    const graph::BipartiteGraph& graph,
+    const std::unordered_set<table::ItemId>& polluted_items,
+    const std::vector<graph::VertexId>& sample_users, size_t k);
+
+}  // namespace ricd::i2i
+
+#endif  // RICD_I2I_RECOMMENDER_H_

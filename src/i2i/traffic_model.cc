@@ -1,0 +1,75 @@
+#include "i2i/traffic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ricd::i2i {
+
+Result<std::vector<DailyTraffic>> SimulateCampaignTraffic(
+    const TrafficModelConfig& config, Rng& rng) {
+  if (config.num_days <= 0) {
+    return Status::InvalidArgument("num_days must be > 0");
+  }
+  if (!(config.attack_start_day <= config.campaign_start_day &&
+        config.campaign_start_day <= config.detection_day &&
+        config.detection_day <= config.delist_day)) {
+    return Status::InvalidArgument(
+        "expected attack_start <= campaign_start <= detection <= delist");
+  }
+
+  std::vector<DailyTraffic> series;
+  series.reserve(static_cast<size_t>(config.num_days));
+
+  // Cumulative fake conditional click mass (cleaned on detection day).
+  double fake_mass = 0.0;
+  // Cumulative organic conditional click mass earned by real co-clicks.
+  double organic_mass = 0.0;
+
+  const auto jitter = [&](double v) {
+    if (config.noise <= 0.0) return v;
+    return std::max(0.0, v * (1.0 + rng.Normal(0.0, config.noise)));
+  };
+
+  for (int day = 1; day <= config.num_days; ++day) {
+    DailyTraffic d;
+    d.day = day;
+
+    const bool delisted = day >= config.delist_day;
+    const bool attack_active =
+        day >= config.attack_start_day && day < config.detection_day && !delisted;
+
+    if (day == config.detection_day) {
+      // RICD detects the group; the platform cleans the fake click info.
+      fake_mass = 0.0;
+    }
+
+    if (attack_active) {
+      d.abnormal_traffic = jitter(config.attack_daily_clicks);
+      fake_mass += d.abnormal_traffic;
+    }
+
+    if (!delisted) {
+      // Manipulated I2I-score (Eq. 1): the targets' conditional mass over
+      // the full denominator including competing items.
+      const double target_mass = fake_mass + organic_mass;
+      const double score =
+          target_mass / (config.base_other_mass + target_mass + 1.0);
+
+      double views = config.hot_item_daily_views;
+      if (day >= config.campaign_start_day) views *= config.campaign_boost;
+
+      const double recommended_clicks = views * config.ctr_per_i2i * score;
+      d.normal_traffic = jitter(recommended_clicks + config.organic_daily_clicks);
+      // Real co-clicks feed back into the score (deceptive popularity).
+      organic_mass += 0.02 * d.normal_traffic;
+    } else {
+      d.normal_traffic = 0.0;
+      d.abnormal_traffic = 0.0;
+    }
+
+    series.push_back(d);
+  }
+  return series;
+}
+
+}  // namespace ricd::i2i

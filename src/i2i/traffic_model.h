@@ -1,0 +1,59 @@
+#ifndef RICD_I2I_TRAFFIC_MODEL_H_
+#define RICD_I2I_TRAFFIC_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace ricd::i2i {
+
+/// Parameters of the case-study traffic simulation (paper Fig. 10): an
+/// attack group rides a marketing campaign, is detected by RICD, the fake
+/// click mass is cleaned, and the sellers finally delist the items.
+struct TrafficModelConfig {
+  int num_days = 14;
+  int attack_start_day = 3;    // sellers post missions before the campaign
+  int campaign_start_day = 6;  // marketing campaign begins
+  int detection_day = 9;       // RICD fires; fake click info is cleaned
+  int delist_day = 13;         // sellers remove the inferior items
+
+  /// Fake co-clicks the group lands per day while the attack is active.
+  double attack_daily_clicks = 2500.0;
+
+  /// Daily views of the hot items the group rides on.
+  double hot_item_daily_views = 60000.0;
+
+  /// Campaign multiplier applied to hot-item views from campaign start.
+  double campaign_boost = 2.5;
+
+  /// Click-through of a recommendation slot per unit of I2I-score.
+  double ctr_per_i2i = 0.9;
+
+  /// Pre-existing conditional click mass of competing items (the Eq. 1
+  /// denominator the attack must dilute).
+  double base_other_mass = 25000.0;
+
+  /// Baseline organic traffic of the target items (their own poor appeal).
+  double organic_daily_clicks = 40.0;
+
+  /// Multiplicative noise amplitude on daily values (0 disables noise).
+  double noise = 0.05;
+};
+
+/// One simulated day of the target items' aggregate traffic.
+struct DailyTraffic {
+  int day = 0;
+  double normal_traffic = 0.0;    // real-user clicks (I2I-driven + organic)
+  double abnormal_traffic = 0.0;  // crowd-worker fake clicks
+};
+
+/// Simulates the Fig. 10 timeline. Deterministic given config + rng.
+/// Fails with InvalidArgument when the day ordering is inconsistent.
+Result<std::vector<DailyTraffic>> SimulateCampaignTraffic(
+    const TrafficModelConfig& config, Rng& rng);
+
+}  // namespace ricd::i2i
+
+#endif  // RICD_I2I_TRAFFIC_MODEL_H_

@@ -1,0 +1,46 @@
+#include "ricd/camouflage_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ricd::core {
+namespace {
+
+/// One orientation of the KST bound (forbidden K_{s,t}, s >= t):
+///   z(m, n; s, t) <= (s - t + 1)^(1/t) (n - t + 1) m^(1 - 1/t) + (t - 1) m
+double KstOneOrientation(double m, double n, double s, double t) {
+  const double head = std::pow(s - t + 1.0, 1.0 / t) * (n - t + 1.0) *
+                      std::pow(m, 1.0 - 1.0 / t);
+  return head + (t - 1.0) * m;
+}
+
+}  // namespace
+
+uint64_t ZarankiewiczUpperBound(uint64_t m, uint64_t n, uint32_t s, uint32_t t) {
+  if (m == 0 || n == 0) return 0;
+  // A K_{s,t} needs s rows and t columns; if the graph is too small to
+  // contain one at all, every edge is safe.
+  const uint64_t complete = m > std::numeric_limits<uint64_t>::max() / n
+                                ? std::numeric_limits<uint64_t>::max()
+                                : m * n;
+  if (s == 0 || t == 0) return 0;  // K_{0,t} is vacuous: nothing is safe.
+  if (m < s || n < t) return complete;
+
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+
+  // The theorem form requires the second forbidden-size index <= the first;
+  // evaluate both valid orientations of (rows, columns) and take the
+  // tighter one.
+  double best = std::numeric_limits<double>::infinity();
+  if (s >= t) best = std::min(best, KstOneOrientation(md, nd, s, t));
+  if (t >= s) best = std::min(best, KstOneOrientation(nd, md, t, s));
+
+  if (!std::isfinite(best) || best >= static_cast<double>(complete)) {
+    return complete;
+  }
+  return static_cast<uint64_t>(std::ceil(best));
+}
+
+}  // namespace ricd::core

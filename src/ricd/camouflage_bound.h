@@ -1,0 +1,36 @@
+#ifndef RICD_RICD_CAMOUFLAGE_BOUND_H_
+#define RICD_RICD_CAMOUFLAGE_BOUND_H_
+
+#include <cstdint>
+
+namespace ricd::core {
+
+/// The camouflage-restriction guarantee (paper Section V-C): every
+/// (alpha, k1, k2)-extension biclique Algorithm 3 extracts contains a
+/// biclique, so an attacker who must stay undetected can never let its fake
+/// edges complete a k1 x k2 biclique. The maximum number of edges an
+/// m x n bipartite graph can carry without containing a K_{s,t} is the
+/// Zarankiewicz number z(m, n; s, t); the Kővári–Sós–Turán theorem (with
+/// Füredi's refinement cited by the paper) bounds it by
+///
+///   z(m, n; s, t) <= (s - t + 1)^(1/t) * (n - t + 1) * m^(1 - 1/t)
+///                    + (t - 1) * m
+///
+/// for m users, n items, s = k1 (users), t = k2 (items), s >= t >= 1.
+/// Orientation with t on the item side is WLOG: callers should evaluate
+/// both orientations and take the minimum, which
+/// ZarankiewiczUpperBound(m, n, s, t) does internally.
+///
+/// Interpretation for RICD: with detection parameters (k1, k2), the total
+/// fake click *edges* an undetected attacker population of m accounts can
+/// place on n items grows only like m^(1 - 1/k2) * n — sub-linear in the
+/// account-item product — which is the paper's "for every attacker who is
+/// not detected by RICD, the false clicks he can create have an upper
+/// bound".
+///
+/// Returns a ceiling (never underestimates); saturates at UINT64_MAX.
+uint64_t ZarankiewiczUpperBound(uint64_t m, uint64_t n, uint32_t s, uint32_t t);
+
+}  // namespace ricd::core
+
+#endif  // RICD_RICD_CAMOUFLAGE_BOUND_H_

@@ -1,0 +1,197 @@
+#include "ricd/extension_biclique.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "graph/connected_components.h"
+
+namespace ricd::core {
+namespace {
+
+using graph::Side;
+using graph::VertexId;
+
+uint32_t CeilMul(double alpha, uint32_t k) {
+  return static_cast<uint32_t>(std::ceil(alpha * static_cast<double>(k)));
+}
+
+}  // namespace
+
+void ExtensionBicliqueExtractor::CorePruning(graph::MutableView& view,
+                                             ExtractionStats* stats) const {
+  const uint32_t min_user_degree = CeilMul(params_.alpha, params_.k2);
+  const uint32_t min_item_degree = CeilMul(params_.alpha, params_.k1);
+  const graph::BipartiteGraph& g = view.graph();
+
+  // Worklist cascade: removing a vertex can only lower neighbor degrees,
+  // so seeding with all under-degree vertices and chasing neighbors reaches
+  // the fixpoint in O(U + V + E).
+  std::deque<std::pair<Side, VertexId>> queue;
+  for (VertexId u = 0; u < g.num_users(); ++u) {
+    if (view.IsActive(Side::kUser, u) &&
+        view.ActiveDegree(Side::kUser, u) < min_user_degree) {
+      queue.emplace_back(Side::kUser, u);
+    }
+  }
+  for (VertexId v = 0; v < g.num_items(); ++v) {
+    if (view.IsActive(Side::kItem, v) &&
+        view.ActiveDegree(Side::kItem, v) < min_item_degree) {
+      queue.emplace_back(Side::kItem, v);
+    }
+  }
+
+  while (!queue.empty()) {
+    const auto [side, x] = queue.front();
+    queue.pop_front();
+    if (!view.IsActive(side, x)) continue;
+    view.Remove(side, x);
+    if (stats != nullptr) {
+      if (side == Side::kUser) {
+        ++stats->users_removed_core;
+      } else {
+        ++stats->items_removed_core;
+      }
+    }
+    const Side other = Other(side);
+    const uint32_t other_min =
+        other == Side::kUser ? min_user_degree : min_item_degree;
+    for (const VertexId w : g.Neighbors(side, x)) {
+      if (view.IsActive(other, w) && view.ActiveDegree(other, w) < other_min) {
+        queue.emplace_back(other, w);
+      }
+    }
+  }
+}
+
+void ExtensionBicliqueExtractor::SquarePruneSide(graph::MutableView& view,
+                                                 Side side, bool ordered,
+                                                 ExtractionStats* stats) const {
+  const graph::BipartiteGraph& g = view.graph();
+  const uint32_t n = g.num_vertices(side);
+  const Side other = Other(side);
+
+  // Thresholds per Definition 4 / Lemma 2: a user needs >= k1 members in
+  // its (alpha, k2)-neighbor set (self included); items symmetrically.
+  const uint32_t common_needed =
+      CeilMul(params_.alpha, side == Side::kUser ? params_.k2 : params_.k1);
+  const uint32_t neighbors_needed = side == Side::kUser ? params_.k1 : params_.k2;
+
+  // Candidate order: non-decreasing two-hop neighborhood size (sum of
+  // active counterpart degrees), the reduce2Hop ordering.
+  std::vector<VertexId> order;
+  order.reserve(view.NumActive(side));
+  for (VertexId x = 0; x < n; ++x) {
+    if (view.IsActive(side, x)) order.push_back(x);
+  }
+  if (ordered) {
+    // Two-hop sizes are independent per vertex: compute them on the worker
+    // engine (each worker writes a disjoint range of `two_hop`).
+    std::vector<uint64_t> two_hop(n, 0);
+    engine_->ParallelFor(n, [&](VertexId x) {
+      if (!view.IsActive(side, x)) return;
+      uint64_t size = 0;
+      for (const VertexId w : g.Neighbors(side, x)) {
+        if (view.IsActive(other, w)) size += view.ActiveDegree(other, w);
+      }
+      two_hop[x] = size;
+    });
+    std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+      return two_hop[a] < two_hop[b];
+    });
+  }
+
+  // Flat counting array with a touched list (reset cost proportional to the
+  // number of distinct two-hop neighbors, not to n).
+  std::vector<uint32_t> counts(n, 0);
+  std::vector<VertexId> touched;
+
+  for (const VertexId x : order) {
+    if (!view.IsActive(side, x)) continue;
+
+    touched.clear();
+    for (const VertexId w : g.Neighbors(side, x)) {
+      if (!view.IsActive(other, w)) continue;
+      for (const VertexId y : g.Neighbors(other, w)) {
+        if (!view.IsActive(side, y)) continue;
+        if (counts[y]++ == 0) touched.push_back(y);
+      }
+    }
+
+    // counts[x] is x's own active degree, so x is counted as its own
+    // (alpha, k)-neighbor exactly when Lemma 1 already holds for it.
+    uint32_t qualified = 0;
+    for (const VertexId y : touched) {
+      if (counts[y] >= common_needed) ++qualified;
+    }
+
+    if (qualified < neighbors_needed) {
+      view.Remove(side, x);
+      if (stats != nullptr) {
+        if (side == Side::kUser) {
+          ++stats->users_removed_square;
+        } else {
+          ++stats->items_removed_square;
+        }
+      }
+    }
+
+    for (const VertexId y : touched) counts[y] = 0;
+  }
+}
+
+void ExtensionBicliqueExtractor::SquarePruning(graph::MutableView& view,
+                                               bool ordered,
+                                               ExtractionStats* stats) const {
+  SquarePruneSide(view, Side::kUser, ordered, stats);
+  SquarePruneSide(view, Side::kItem, ordered, stats);
+}
+
+Result<std::vector<graph::Group>> ExtensionBicliqueExtractor::ExtractImpl(
+    const graph::BipartiteGraph& graph, bool square,
+    ExtractionStats* stats) const {
+  if (params_.alpha <= 0.0 || params_.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  if (params_.k1 == 0 || params_.k2 == 0) {
+    return Status::InvalidArgument("k1 and k2 must be > 0");
+  }
+
+  graph::MutableView view(graph);
+  CorePruning(view, stats);
+  if (square) {
+    for (uint32_t sweep = 0; sweep < params_.square_pruning_sweeps; ++sweep) {
+      const uint32_t before =
+          view.NumActive(Side::kUser) + view.NumActive(Side::kItem);
+      SquarePruning(view, /*ordered=*/true, stats);
+      CorePruning(view, stats);
+      if (stats != nullptr) ++stats->sweeps_run;
+      const uint32_t after =
+          view.NumActive(Side::kUser) + view.NumActive(Side::kItem);
+      if (after == before) break;
+    }
+  }
+
+  auto components = graph::ActiveConnectedComponents(view);
+  std::vector<graph::Group> groups;
+  for (auto& c : components) {
+    if (c.users.size() < params_.k1 || c.items.size() < params_.k2) continue;
+    if (params_.max_group_users > 0 && c.users.size() > params_.max_group_users) {
+      continue;  // Property (4b): likely group buying, not an attack.
+    }
+    groups.push_back(std::move(c));
+  }
+  return groups;
+}
+
+Result<std::vector<graph::Group>> ExtensionBicliqueExtractor::Extract(
+    const graph::BipartiteGraph& graph, ExtractionStats* stats) const {
+  return ExtractImpl(graph, /*square=*/true, stats);
+}
+
+Result<std::vector<graph::Group>> ExtensionBicliqueExtractor::ExtractCoreOnly(
+    const graph::BipartiteGraph& graph, ExtractionStats* stats) const {
+  return ExtractImpl(graph, /*square=*/false, stats);
+}
+
+}  // namespace ricd::core

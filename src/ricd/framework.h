@@ -1,0 +1,91 @@
+#ifndef RICD_RICD_FRAMEWORK_H_
+#define RICD_RICD_FRAMEWORK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "baselines/detector.h"
+#include "common/result.h"
+#include "ricd/extension_biclique.h"
+#include "ricd/graph_generator.h"
+#include "ricd/identification.h"
+#include "ricd/params.h"
+#include "ricd/screening.h"
+
+namespace ricd::core {
+
+/// End-to-end configuration of the RICD framework.
+struct FrameworkOptions {
+  RicdParams params;
+
+  /// Which screening steps run. kFull = the paper's RICD; kUserCheckOnly =
+  /// the RICD-I ablation; kNone = the RICD-UI ablation.
+  ScreeningMode screening = ScreeningMode::kFull;
+
+  /// Optional known-attacker seeds for graph pruning (Algorithm 2).
+  SeedSet seeds;
+
+  /// The end-user expectation T of the feedback strategy (Fig. 7): when the
+  /// number of output nodes falls below this, parameters are relaxed and
+  /// detection re-runs. 0 disables feedback.
+  uint32_t expectation = 0;
+
+  /// Maximum feedback re-runs.
+  uint32_t max_feedback_rounds = 3;
+
+  /// Per-round relaxations: T_click is scaled by `t_click_decay` (floored
+  /// at 2) and alpha is reduced by `alpha_step` (floored at 0.5).
+  double t_click_decay = 0.8;
+  double alpha_step = 0.1;
+};
+
+/// End-to-end result of one framework run.
+struct FrameworkResult {
+  baselines::DetectionResult detection;  // screened groups
+  RankedOutput ranked;                   // business-facing risk table
+  RicdParams effective_params;           // params after feedback adjustment
+  uint32_t feedback_rounds_used = 0;
+  ExtractionStats extraction_stats;
+  ScreeningStats screening_stats;
+};
+
+/// The RICD detection framework (paper Section V-B): suspicious group
+/// detection (Algorithm 2 + 3), suspicious group screening, and suspicious
+/// group identification, wired together with the feedback-based parameter
+/// adjustment strategy. Also usable through the Detector interface so the
+/// benchmark harness can sweep RICD alongside the baselines.
+class RicdFramework : public baselines::Detector {
+ public:
+  explicit RicdFramework(FrameworkOptions options) : options_(options) {}
+
+  /// "RICD", "RICD-I" or "RICD-UI" depending on the screening mode.
+  std::string name() const override;
+
+  /// Detection + screening over a pre-built graph (no identification or
+  /// feedback; deterministic single pass). A zero t_hot is resolved via
+  /// the 80/20 rule on `graph`.
+  Result<baselines::DetectionResult> Detect(
+      const graph::BipartiteGraph& graph) override;
+
+  /// The full pipeline over a click table: graph generation (with seeds),
+  /// detection, screening, feedback-driven re-runs, and risk ranking.
+  Result<FrameworkResult> Run(const table::ClickTable& table) const;
+
+  /// Full pipeline over a pre-built graph.
+  Result<FrameworkResult> RunOnGraph(const graph::BipartiteGraph& graph) const;
+
+  const FrameworkOptions& options() const { return options_; }
+
+ private:
+  /// One detect+screen pass with explicit parameters.
+  static Result<baselines::DetectionResult> DetectOnce(
+      const graph::BipartiteGraph& graph, const RicdParams& params,
+      ScreeningMode screening, ExtractionStats* extraction_stats,
+      ScreeningStats* screening_stats);
+
+  FrameworkOptions options_;
+};
+
+}  // namespace ricd::core
+
+#endif  // RICD_RICD_FRAMEWORK_H_

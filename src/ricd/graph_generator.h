@@ -1,0 +1,38 @@
+#ifndef RICD_RICD_GRAPH_GENERATOR_H_
+#define RICD_RICD_GRAPH_GENERATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/bipartite_graph.h"
+#include "table/click_table.h"
+
+namespace ricd::core {
+
+/// Known abnormal nodes supplied by the business department (external ids).
+/// Purely an accelerator: Algorithm 2 uses them to prune the input graph to
+/// the neighborhoods that can contain the seeds' attack groups.
+struct SeedSet {
+  std::vector<table::UserId> users;
+  std::vector<table::ItemId> items;
+
+  bool empty() const { return users.empty() && items.empty(); }
+};
+
+/// The Suspicious Group Detection module's GraphGenerator (Algorithm 2,
+/// lines 4-11): converts the click table into a bipartite graph, optionally
+/// restricted to the union of the seeds' 2-hop neighborhoods (MaxBiGraph —
+/// every vertex that can share an extension biclique with a seed is within
+/// two hops of it).
+///
+/// Unknown seeds are ignored with a warning rather than failing: the
+/// business feed routinely contains stale ids.
+Result<graph::BipartiteGraph> GenerateGraph(const table::ClickTable& table,
+                                            const SeedSet& seeds);
+
+/// Convenience overload without seeds (TableToBiGraph path).
+Result<graph::BipartiteGraph> GenerateGraph(const table::ClickTable& table);
+
+}  // namespace ricd::core
+
+#endif  // RICD_RICD_GRAPH_GENERATOR_H_

@@ -1,0 +1,72 @@
+#include "ricd/identification.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ricd::core {
+
+using graph::VertexId;
+
+RankedOutput RankByRisk(const graph::BipartiteGraph& graph,
+                        const std::vector<graph::Group>& groups) {
+  std::unordered_set<VertexId> users;
+  std::unordered_set<VertexId> items;
+  for (const auto& g : groups) {
+    users.insert(g.users.begin(), g.users.end());
+    items.insert(g.items.begin(), g.items.end());
+  }
+
+  // User risk = number of suspicious items clicked.
+  std::unordered_map<VertexId, double> user_risk;
+  for (const VertexId u : users) {
+    double risk = 0.0;
+    for (const VertexId v : graph.UserNeighbors(u)) {
+      if (items.count(v) > 0) risk += 1.0;
+    }
+    user_risk[u] = risk;
+  }
+
+  // Item risk = average risk of its suspicious clickers.
+  RankedOutput out;
+  out.users.reserve(users.size());
+  out.items.reserve(items.size());
+  for (const auto& [u, risk] : user_risk) {
+    out.users.push_back({u, graph.ExternalUserId(u), risk});
+  }
+  for (const VertexId v : items) {
+    double sum = 0.0;
+    uint32_t count = 0;
+    for (const VertexId u : graph.ItemNeighbors(v)) {
+      const auto it = user_risk.find(u);
+      if (it != user_risk.end()) {
+        sum += it->second;
+        ++count;
+      }
+    }
+    const double risk = count > 0 ? sum / static_cast<double>(count) : 0.0;
+    out.items.push_back({v, graph.ExternalItemId(v), risk});
+  }
+
+  const auto by_risk = [](const auto& a, const auto& b) {
+    if (a.risk != b.risk) return a.risk > b.risk;
+    return a.external_id < b.external_id;
+  };
+  std::sort(out.users.begin(), out.users.end(), by_risk);
+  std::sort(out.items.begin(), out.items.end(), by_risk);
+  return out;
+}
+
+std::vector<RankedUser> TopKUsers(const RankedOutput& output, size_t k) {
+  auto out = output.users;
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<RankedItem> TopKItems(const RankedOutput& output, size_t k) {
+  auto out = output.items;
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace ricd::core

@@ -1,0 +1,48 @@
+#ifndef RICD_RICD_IDENTIFICATION_H_
+#define RICD_RICD_IDENTIFICATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/group.h"
+#include "table/click_record.h"
+
+namespace ricd::core {
+
+/// One row of the business-facing output table: a node with its risk score,
+/// ordered most-suspicious first.
+struct RankedUser {
+  graph::VertexId user = 0;
+  table::UserId external_id = 0;
+  double risk = 0.0;
+};
+
+struct RankedItem {
+  graph::VertexId item = 0;
+  table::ItemId external_id = 0;
+  double risk = 0.0;
+};
+
+/// Business-facing result of the Suspicious Group Identification module:
+/// the union of screened groups, ranked by risk score.
+struct RankedOutput {
+  std::vector<RankedUser> users;
+  std::vector<RankedItem> items;
+};
+
+/// Risk scoring per Section V-B(3): a user's risk is the number of
+/// suspicious items it clicked (across all groups); an item's risk is the
+/// average risk of the suspicious users that clicked it. Output is sorted
+/// by descending risk (ties: ascending external id) so business experts can
+/// take the top-k rows for punishment.
+RankedOutput RankByRisk(const graph::BipartiteGraph& graph,
+                        const std::vector<graph::Group>& groups);
+
+/// Returns the top-k users (resp. items) of an output, preserving order.
+std::vector<RankedUser> TopKUsers(const RankedOutput& output, size_t k);
+std::vector<RankedItem> TopKItems(const RankedOutput& output, size_t k);
+
+}  // namespace ricd::core
+
+#endif  // RICD_RICD_IDENTIFICATION_H_

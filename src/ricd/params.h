@@ -1,0 +1,50 @@
+#ifndef RICD_RICD_PARAMS_H_
+#define RICD_RICD_PARAMS_H_
+
+#include <cstdint>
+
+namespace ricd::core {
+
+/// Parameters of the RICD detection framework (paper Section V). Defaults
+/// are the paper's experiment defaults: k1 = k2 = 10, alpha = 1.0,
+/// T_hot = 1000, T_click = 12.
+struct RicdParams {
+  /// Minimum users in an (alpha, k1, k2)-extension biclique (Definition 3).
+  uint32_t k1 = 10;
+
+  /// Minimum items in an (alpha, k1, k2)-extension biclique.
+  uint32_t k2 = 10;
+
+  /// Extension tolerance alpha in (0, 1]; 1.0 demands perfect bicliques.
+  double alpha = 1.0;
+
+  /// Hot-item threshold T_hot: items with total clicks >= T_hot are hot.
+  /// 0 derives it from the 80/20 click-mass rule (Section IV-A).
+  uint64_t t_hot = 1000;
+
+  /// Abnormal-click threshold T_click (Eq. 4): a user hammering an ordinary
+  /// item at least this many times is exhibiting attack behaviour.
+  uint32_t t_click = 12;
+
+  /// Attackers keep their average hot-item click count very low (< 4,
+  /// Section IV-A characteristic (2)); users above this are treated as
+  /// normal heavy users by the user behaviour check.
+  double max_avg_hot_clicks = 4.0;
+
+  /// Item behaviour verification: an item stays in a group only when at
+  /// least this many of the group's (surviving) users hammered it.
+  uint32_t min_supporting_users = 2;
+
+  /// Square pruning sweeps (each sweep = user pass + item pass + core
+  /// re-prune). The paper runs one; extra sweeps let cascaded removals
+  /// settle.
+  uint32_t square_pruning_sweeps = 2;
+
+  /// Optional cap on detected group size in users (paper property (4b):
+  /// avoid flagging legitimate group-buying). 0 = no cap.
+  uint32_t max_group_users = 0;
+};
+
+}  // namespace ricd::core
+
+#endif  // RICD_RICD_PARAMS_H_

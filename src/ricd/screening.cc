@@ -1,0 +1,112 @@
+#include "ricd/screening.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ricd::core {
+
+using graph::Side;
+using graph::VertexId;
+
+GroupScreener::GroupScreener(const graph::BipartiteGraph& graph,
+                             RicdParams params, std::vector<uint8_t> hot_flags)
+    : graph_(&graph), params_(params), hot_flags_(std::move(hot_flags)) {}
+
+bool GroupScreener::UserLooksAbnormal(
+    VertexId user, const std::vector<uint8_t>& group_item) const {
+  const auto items = graph_->UserNeighbors(user);
+  const auto clicks = graph_->UserEdgeClicks(user);
+
+  bool hammered_ordinary_group_item = false;
+  uint64_t hot_clicks = 0;
+  uint32_t hot_edges = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const VertexId v = items[i];
+    if (hot_flags_[v]) {
+      hot_clicks += clicks[i];
+      ++hot_edges;
+      continue;
+    }
+    if (group_item[v] && clicks[i] >= params_.t_click) {
+      hammered_ordinary_group_item = true;
+    }
+  }
+  if (!hammered_ordinary_group_item) return false;
+
+  // Attackers ration their hot-item clicks (Section IV-A characteristic
+  // (2)); a high average marks a legitimate heavy user.
+  if (hot_edges > 0) {
+    const double avg_hot =
+        static_cast<double>(hot_clicks) / static_cast<double>(hot_edges);
+    if (avg_hot >= params_.max_avg_hot_clicks) return false;
+  }
+  return true;
+}
+
+bool GroupScreener::ScreenGroup(graph::Group& group, ScreeningMode mode,
+                                ScreeningStats* stats) const {
+  if (mode == ScreeningMode::kNone) return !group.empty();
+
+  // Membership flags, scoped to this group.
+  std::vector<uint8_t> group_item(graph_->num_items(), 0);
+  for (const VertexId v : group.items) group_item[v] = 1;
+
+  // Step 1: user behaviour check.
+  std::vector<VertexId> kept_users;
+  kept_users.reserve(group.users.size());
+  for (const VertexId u : group.users) {
+    if (UserLooksAbnormal(u, group_item)) {
+      kept_users.push_back(u);
+    } else if (stats != nullptr) {
+      ++stats->users_removed;
+    }
+  }
+  group.users = std::move(kept_users);
+
+  // Step 2: item behaviour verification (full mode only).
+  if (mode == ScreeningMode::kFull) {
+    std::vector<uint8_t> group_user(graph_->num_users(), 0);
+    for (const VertexId u : group.users) group_user[u] = 1;
+
+    std::vector<VertexId> kept_items;
+    kept_items.reserve(group.items.size());
+    for (const VertexId v : group.items) {
+      bool keep = false;
+      if (!hot_flags_[v]) {
+        // Count surviving group users that hammered this item.
+        uint32_t support = 0;
+        const auto users = graph_->ItemNeighbors(v);
+        const auto clicks = graph_->ItemEdgeClicks(v);
+        for (size_t i = 0; i < users.size(); ++i) {
+          if (group_user[users[i]] && clicks[i] >= params_.t_click) {
+            if (++support >= params_.min_supporting_users) break;
+          }
+        }
+        keep = support >= params_.min_supporting_users;
+      }
+      if (keep) {
+        kept_items.push_back(v);
+      } else if (stats != nullptr) {
+        ++stats->items_removed;
+      }
+    }
+    group.items = std::move(kept_items);
+  }
+
+  const bool alive = !group.users.empty() && !group.items.empty();
+  if (!alive && stats != nullptr) ++stats->groups_dropped;
+  return alive;
+}
+
+void GroupScreener::Screen(std::vector<graph::Group>& groups, ScreeningMode mode,
+                           ScreeningStats* stats) const {
+  if (mode == ScreeningMode::kNone) return;
+  std::vector<graph::Group> kept;
+  kept.reserve(groups.size());
+  for (auto& g : groups) {
+    if (ScreenGroup(g, mode, stats)) kept.push_back(std::move(g));
+  }
+  groups = std::move(kept);
+}
+
+}  // namespace ricd::core

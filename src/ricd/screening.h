@@ -1,0 +1,72 @@
+#ifndef RICD_RICD_SCREENING_H_
+#define RICD_RICD_SCREENING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/group.h"
+#include "ricd/params.h"
+
+namespace ricd::core {
+
+/// Which screening steps to run — the framework's ablation arms.
+enum class ScreeningMode {
+  kNone,           // RICD-UI: no screening at all
+  kUserCheckOnly,  // RICD-I: user behaviour check only
+  kFull,           // RICD: user check + item behaviour verification
+};
+
+/// Counters reported by one screening run.
+struct ScreeningStats {
+  uint32_t users_removed = 0;
+  uint32_t items_removed = 0;
+  uint32_t groups_dropped = 0;
+};
+
+/// The Suspicious Group Screening module (paper Section V-B(2)): refines
+/// the raw near-biclique groups using the behavioural characteristics from
+/// the Section IV analysis.
+///
+/// User behaviour check — a group member is kept as a suspicious user only
+/// if (a) it hammered at least one of the group's ordinary items with
+/// >= T_click clicks, and (b) its average click count on hot items stays
+/// below the attacker profile bound (attackers spend as little of their
+/// budget on hot items as possible). Everyone else is a bystander pulled in
+/// by shared hot items.
+///
+/// Item behaviour verification — after users are screened, an item is kept
+/// as a suspicious target only if it is not hot (hot items are victims) and
+/// at least `min_supporting_users` surviving users hammered it with
+/// >= T_click clicks; lightly-clicked items are camouflage links.
+///
+/// Groups losing either side entirely are dropped.
+class GroupScreener {
+ public:
+  /// `hot_flags` must be per-item flags over the same graph (see
+  /// graph::ComputeHotFlags).
+  GroupScreener(const graph::BipartiteGraph& graph, RicdParams params,
+                std::vector<uint8_t> hot_flags);
+
+  /// Screens `groups` in place per `mode`; kNone is a no-op.
+  void Screen(std::vector<graph::Group>& groups, ScreeningMode mode,
+              ScreeningStats* stats = nullptr) const;
+
+  /// Screens a single group. Returns false when the group should be dropped.
+  bool ScreenGroup(graph::Group& group, ScreeningMode mode,
+                   ScreeningStats* stats = nullptr) const;
+
+  const std::vector<uint8_t>& hot_flags() const { return hot_flags_; }
+
+ private:
+  bool UserLooksAbnormal(graph::VertexId user,
+                         const std::vector<uint8_t>& group_item) const;
+
+  const graph::BipartiteGraph* graph_;
+  RicdParams params_;
+  std::vector<uint8_t> hot_flags_;
+};
+
+}  // namespace ricd::core
+
+#endif  // RICD_RICD_SCREENING_H_

@@ -1,0 +1,38 @@
+#ifndef RICD_RICD_UI_ADAPTER_H_
+#define RICD_RICD_UI_ADAPTER_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/detector.h"
+#include "ricd/params.h"
+#include "ricd/screening.h"
+
+namespace ricd::core {
+
+/// Wraps any detector with the suspicious group screening module — the
+/// "+UI" variants of the paper's Fig. 8 comparison. Groups smaller than
+/// (k1, k2) are dropped first (the paper's community-size filter), then the
+/// user behaviour check and item behaviour verification run on each
+/// surviving group.
+class ScreenedDetector : public baselines::Detector {
+ public:
+  /// Takes ownership of `inner`. `params` supplies k1/k2/T_hot/T_click for
+  /// the size filter and the screening rules.
+  ScreenedDetector(std::unique_ptr<baselines::Detector> inner, RicdParams params)
+      : inner_(std::move(inner)), params_(params) {}
+
+  /// "<inner>+UI".
+  std::string name() const override { return inner_->name() + "+UI"; }
+
+  Result<baselines::DetectionResult> Detect(
+      const graph::BipartiteGraph& graph) override;
+
+ private:
+  std::unique_ptr<baselines::Detector> inner_;
+  RicdParams params_;
+};
+
+}  // namespace ricd::core
+
+#endif  // RICD_RICD_UI_ADAPTER_H_

@@ -1,0 +1,29 @@
+#ifndef RICD_TABLE_CLICK_RECORD_H_
+#define RICD_TABLE_CLICK_RECORD_H_
+
+#include <cstdint>
+
+namespace ricd::table {
+
+/// External identifier types, matching the paper's TaoBao_UI_Clicks schema
+/// (User_ID, Item_ID, Click). External ids are arbitrary 64-bit values; the
+/// graph builder compacts them into dense 32-bit vertex ids.
+using UserId = int64_t;
+using ItemId = int64_t;
+using ClickCount = uint32_t;
+
+/// One row of the click table: user `user` clicked item `item` a total of
+/// `clicks` times.
+struct ClickRecord {
+  UserId user = 0;
+  ItemId item = 0;
+  ClickCount clicks = 0;
+
+  friend bool operator==(const ClickRecord& a, const ClickRecord& b) {
+    return a.user == b.user && a.item == b.item && a.clicks == b.clicks;
+  }
+};
+
+}  // namespace ricd::table
+
+#endif  // RICD_TABLE_CLICK_RECORD_H_

@@ -1,0 +1,98 @@
+#include "table/click_table.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+
+namespace ricd::table {
+
+void ClickTable::Reserve(size_t n) {
+  users_.reserve(n);
+  items_.reserve(n);
+  clicks_.reserve(n);
+}
+
+void ClickTable::Append(UserId user, ItemId item, ClickCount clicks) {
+  users_.push_back(user);
+  items_.push_back(item);
+  clicks_.push_back(clicks);
+}
+
+uint64_t ClickTable::TotalClicks() const {
+  return std::accumulate(clicks_.begin(), clicks_.end(), uint64_t{0});
+}
+
+void ClickTable::ConsolidateDuplicates() {
+  const size_t n = num_rows();
+  if (n == 0) return;
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    if (users_[a] != users_[b]) return users_[a] < users_[b];
+    return items_[a] < items_[b];
+  });
+
+  std::vector<UserId> new_users;
+  std::vector<ItemId> new_items;
+  std::vector<ClickCount> new_clicks;
+  new_users.reserve(n);
+  new_items.reserve(n);
+  new_clicks.reserve(n);
+
+  constexpr uint64_t kMaxClicks = std::numeric_limits<ClickCount>::max();
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t i = order[k];
+    if (!new_users.empty() && new_users.back() == users_[i] &&
+        new_items.back() == items_[i]) {
+      const uint64_t sum = static_cast<uint64_t>(new_clicks.back()) + clicks_[i];
+      new_clicks.back() = static_cast<ClickCount>(std::min(sum, kMaxClicks));
+    } else {
+      new_users.push_back(users_[i]);
+      new_items.push_back(items_[i]);
+      new_clicks.push_back(clicks_[i]);
+    }
+  }
+  users_ = std::move(new_users);
+  items_ = std::move(new_items);
+  clicks_ = std::move(new_clicks);
+}
+
+bool ClickTable::IsConsolidated() const {
+  for (size_t i = 1; i < num_rows(); ++i) {
+    if (users_[i - 1] > users_[i]) return false;
+    if (users_[i - 1] == users_[i] && items_[i - 1] >= items_[i]) return false;
+  }
+  return true;
+}
+
+ClickTable ClickTable::Filter(
+    const std::function<bool(const ClickRecord&)>& pred) const {
+  ClickTable out;
+  for (size_t i = 0; i < num_rows(); ++i) {
+    const ClickRecord r = row(i);
+    if (pred(r)) out.Append(r);
+  }
+  return out;
+}
+
+std::vector<std::pair<UserId, uint64_t>> ClickTable::TotalClicksByUser() const {
+  std::map<UserId, uint64_t> totals;
+  for (size_t i = 0; i < num_rows(); ++i) totals[users_[i]] += clicks_[i];
+  return {totals.begin(), totals.end()};
+}
+
+std::vector<std::pair<ItemId, uint64_t>> ClickTable::TotalClicksByItem() const {
+  std::map<ItemId, uint64_t> totals;
+  for (size_t i = 0; i < num_rows(); ++i) totals[items_[i]] += clicks_[i];
+  return {totals.begin(), totals.end()};
+}
+
+void ClickTable::AppendTable(const ClickTable& other) {
+  users_.insert(users_.end(), other.users_.begin(), other.users_.end());
+  items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+  clicks_.insert(clicks_.end(), other.clicks_.begin(), other.clicks_.end());
+}
+
+}  // namespace ricd::table

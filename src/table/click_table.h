@@ -1,0 +1,77 @@
+#ifndef RICD_TABLE_CLICK_TABLE_H_
+#define RICD_TABLE_CLICK_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "table/click_record.h"
+
+namespace ricd::table {
+
+/// Columnar in-memory store for TaoBao_UI_Clicks-shaped data. This is the
+/// MaxCompute substitute: it supports exactly the operations the paper's
+/// pipeline needs — append, scan, filter, sort + duplicate aggregation, and
+/// group-by-side click totals.
+///
+/// Storage is three parallel columns, so scans touch only the columns they
+/// need and the table stays cache-friendly at tens of millions of rows.
+class ClickTable {
+ public:
+  ClickTable() = default;
+
+  /// Pre-allocates capacity for `n` rows.
+  void Reserve(size_t n);
+
+  /// Appends one row. Duplicate (user, item) pairs are permitted until
+  /// ConsolidateDuplicates() is called.
+  void Append(UserId user, ItemId item, ClickCount clicks);
+
+  void Append(const ClickRecord& r) { Append(r.user, r.item, r.clicks); }
+
+  size_t num_rows() const { return users_.size(); }
+  bool empty() const { return users_.empty(); }
+
+  UserId user(size_t row) const { return users_[row]; }
+  ItemId item(size_t row) const { return items_[row]; }
+  ClickCount clicks(size_t row) const { return clicks_[row]; }
+
+  ClickRecord row(size_t i) const { return {users_[i], items_[i], clicks_[i]}; }
+
+  const std::vector<UserId>& user_column() const { return users_; }
+  const std::vector<ItemId>& item_column() const { return items_; }
+  const std::vector<ClickCount>& click_column() const { return clicks_; }
+
+  /// Sum of the click column (the paper's Total_click).
+  uint64_t TotalClicks() const;
+
+  /// Sorts rows by (user, item) and merges duplicate pairs by summing their
+  /// click counts (saturating at the ClickCount maximum). After this call
+  /// each (user, item) pair appears exactly once.
+  void ConsolidateDuplicates();
+
+  /// True if rows are sorted by (user, item) with no duplicate pairs.
+  bool IsConsolidated() const;
+
+  /// Returns a new table containing the rows for which `pred` is true.
+  ClickTable Filter(const std::function<bool(const ClickRecord&)>& pred) const;
+
+  /// Per-user total clicks, as (user, total) pairs sorted by user id.
+  std::vector<std::pair<UserId, uint64_t>> TotalClicksByUser() const;
+
+  /// Per-item total clicks, as (item, total) pairs sorted by item id.
+  std::vector<std::pair<ItemId, uint64_t>> TotalClicksByItem() const;
+
+  /// Appends all rows of `other` to this table.
+  void AppendTable(const ClickTable& other);
+
+ private:
+  std::vector<UserId> users_;
+  std::vector<ItemId> items_;
+  std::vector<ClickCount> clicks_;
+};
+
+}  // namespace ricd::table
+
+#endif  // RICD_TABLE_CLICK_TABLE_H_

@@ -1,0 +1,402 @@
+// Tests for the baseline detectors: Naive, LPA, Common Neighbors, Louvain,
+// FRAUDAR, COPYCATCH, plus the DetectionResult helpers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "baselines/common_neighbors.h"
+#include "baselines/copycatch.h"
+#include "baselines/detector.h"
+#include "baselines/fraudar.h"
+#include "baselines/louvain.h"
+#include "baselines/lpa.h"
+#include "baselines/naive.h"
+#include "graph/graph_builder.h"
+
+namespace ricd::baselines {
+namespace {
+
+using graph::VertexId;
+
+/// Two planted 6x6 bicliques (users hammering items with 15 clicks each)
+/// embedded in sparse background noise, plus one very hot background item.
+/// External ids: biclique A users 100..105 / items 1000..1005; biclique B
+/// users 200..205 / items 2000..2005; background users 1..60.
+table::ClickTable PlantedTable() {
+  table::ClickTable t;
+  // Hot item 999 clicked by everyone once.
+  for (table::UserId u = 1; u <= 60; ++u) t.Append(u, 999, 1 + (u % 3));
+  // Sparse background: each user clicks two ordinary items.
+  for (table::UserId u = 1; u <= 60; ++u) {
+    t.Append(u, 500 + (u % 20), 1);
+    t.Append(u, 520 + (u % 25), 2);
+  }
+  // Planted dense blocks.
+  for (table::UserId u = 100; u <= 105; ++u) {
+    t.Append(u, 999, 1);  // riding the hot item
+    for (table::ItemId i = 1000; i <= 1005; ++i) t.Append(u, i, 15);
+  }
+  for (table::UserId u = 200; u <= 205; ++u) {
+    t.Append(u, 999, 1);
+    for (table::ItemId i = 2000; i <= 2005; ++i) t.Append(u, i, 15);
+  }
+  return t;
+}
+
+std::unordered_set<table::UserId> GroupExternalUsers(
+    const graph::BipartiteGraph& g, const graph::Group& grp) {
+  std::unordered_set<table::UserId> out;
+  for (const VertexId u : grp.users) out.insert(g.ExternalUserId(u));
+  return out;
+}
+
+bool AnyGroupContainsUsers(const graph::BipartiteGraph& g,
+                           const DetectionResult& r, table::UserId lo,
+                           table::UserId hi) {
+  for (const auto& grp : r.groups) {
+    const auto users = GroupExternalUsers(g, grp);
+    bool all = true;
+    for (table::UserId u = lo; u <= hi; ++u) {
+      if (users.count(u) == 0) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+TEST(DetectionResultTest, DedupAcrossGroups) {
+  DetectionResult r;
+  r.groups.push_back({{1, 2, 3}, {10}});
+  r.groups.push_back({{3, 4}, {10, 11}});
+  EXPECT_EQ(r.AllUsers(), (std::vector<VertexId>{1, 2, 3, 4}));
+  EXPECT_EQ(r.AllItems(), (std::vector<VertexId>{10, 11}));
+  EXPECT_EQ(r.NumFlagged(), 6u);
+}
+
+TEST(DetectionResultTest, EmptyResult) {
+  DetectionResult r;
+  EXPECT_TRUE(r.AllUsers().empty());
+  EXPECT_EQ(r.NumFlagged(), 0u);
+}
+
+TEST(LpaTest, FindsPlantedCommunities) {
+  const auto g = graph::GraphBuilder::FromTable(PlantedTable()).value();
+  LpaParams params;
+  params.min_users = 4;
+  params.min_items = 4;
+  Lpa lpa(params);
+  auto r = lpa.Detect(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(AnyGroupContainsUsers(g, *r, 100, 105));
+  EXPECT_TRUE(AnyGroupContainsUsers(g, *r, 200, 205));
+}
+
+TEST(LpaTest, DeterministicAcrossRuns) {
+  const auto g = graph::GraphBuilder::FromTable(PlantedTable()).value();
+  Lpa lpa;
+  auto a = lpa.Detect(g);
+  auto b = lpa.Detect(g);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->groups.size(), b->groups.size());
+  for (size_t i = 0; i < a->groups.size(); ++i) {
+    EXPECT_EQ(a->groups[i].users, b->groups[i].users);
+    EXPECT_EQ(a->groups[i].items, b->groups[i].items);
+  }
+}
+
+TEST(LpaTest, SynchronousModeFindsPlantedCommunities) {
+  const auto g = graph::GraphBuilder::FromTable(PlantedTable()).value();
+  LpaParams params;
+  params.synchronous = true;
+  params.min_users = 4;
+  params.min_items = 4;
+  Lpa lpa(params);
+  auto r = lpa.Detect(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(AnyGroupContainsUsers(g, *r, 100, 105));
+  EXPECT_TRUE(AnyGroupContainsUsers(g, *r, 200, 205));
+}
+
+TEST(LpaTest, SynchronousModeIsDeterministic) {
+  const auto g = graph::GraphBuilder::FromTable(PlantedTable()).value();
+  LpaParams params;
+  params.synchronous = true;
+  Lpa lpa(params);
+  auto a = lpa.Detect(g);
+  auto b = lpa.Detect(g);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->groups.size(), b->groups.size());
+  for (size_t i = 0; i < a->groups.size(); ++i) {
+    EXPECT_EQ(a->groups[i].users, b->groups[i].users);
+  }
+}
+
+TEST(LpaTest, EmptyGraph) {
+  const auto g = graph::GraphBuilder::FromTable(table::ClickTable()).value();
+  Lpa lpa;
+  auto r = lpa.Detect(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->groups.empty());
+}
+
+TEST(CommonNeighborsTest, GroupsUsersSharingEnoughItems) {
+  const auto g = graph::GraphBuilder::FromTable(PlantedTable()).value();
+  CommonNeighborsParams params;
+  params.cn_threshold = 5;
+  CommonNeighbors cn(params);
+  auto r = cn.Detect(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(AnyGroupContainsUsers(g, *r, 100, 105));
+  EXPECT_TRUE(AnyGroupContainsUsers(g, *r, 200, 205));
+  // The two blocks share no items, so they are separate groups.
+  for (const auto& grp : r->groups) {
+    const auto users = GroupExternalUsers(g, grp);
+    EXPECT_FALSE(users.count(100) > 0 && users.count(200) > 0);
+  }
+}
+
+TEST(CommonNeighborsTest, ThresholdTooHighFindsNothing) {
+  const auto g = graph::GraphBuilder::FromTable(PlantedTable()).value();
+  CommonNeighborsParams params;
+  params.cn_threshold = 50;
+  CommonNeighbors cn(params);
+  auto r = cn.Detect(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->groups.empty());
+}
+
+TEST(CommonNeighborsTest, RejectsZeroThreshold) {
+  const auto g = graph::GraphBuilder::FromTable(PlantedTable()).value();
+  CommonNeighborsParams params;
+  params.cn_threshold = 0;
+  CommonNeighbors cn(params);
+  EXPECT_FALSE(cn.Detect(g).ok());
+}
+
+TEST(CommonNeighborsTest, HotFanoutCapSkipsHugeItems) {
+  // Users share only the hot item; with max_item_fanout below its audience,
+  // they never become close.
+  table::ClickTable t;
+  for (table::UserId u = 1; u <= 30; ++u) t.Append(u, 7, 5);
+  const auto g = graph::GraphBuilder::FromTable(t).value();
+  CommonNeighborsParams params;
+  params.cn_threshold = 1;
+  params.max_item_fanout = 10;
+  CommonNeighbors cn(params);
+  auto r = cn.Detect(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->groups.empty());
+}
+
+TEST(LouvainTest, FindsPlantedCommunities) {
+  const auto g = graph::GraphBuilder::FromTable(PlantedTable()).value();
+  LouvainParams params;
+  params.min_users = 4;
+  params.min_items = 4;
+  Louvain louvain(params);
+  auto r = louvain.Detect(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(AnyGroupContainsUsers(g, *r, 100, 105));
+  EXPECT_TRUE(AnyGroupContainsUsers(g, *r, 200, 205));
+}
+
+TEST(LouvainTest, DeterministicAcrossRuns) {
+  const auto g = graph::GraphBuilder::FromTable(PlantedTable()).value();
+  Louvain louvain;
+  auto a = louvain.Detect(g);
+  auto b = louvain.Detect(g);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->groups.size(), b->groups.size());
+}
+
+TEST(LouvainTest, EmptyGraph) {
+  const auto g = graph::GraphBuilder::FromTable(table::ClickTable()).value();
+  Louvain louvain;
+  auto r = louvain.Detect(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->groups.empty());
+}
+
+TEST(FraudarTest, TopBlockIsThePlantedDenseRegion) {
+  const auto g = graph::GraphBuilder::FromTable(PlantedTable()).value();
+  Fraudar fraudar;
+  auto r = fraudar.Detect(g);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->groups.empty());
+  // The flagged users across blocks must include both planted crews and no
+  // more than a little noise.
+  const auto users = r->AllUsers();
+  std::unordered_set<table::UserId> external;
+  for (const VertexId u : users) external.insert(g.ExternalUserId(u));
+  for (table::UserId u = 100; u <= 105; ++u) EXPECT_TRUE(external.count(u) > 0);
+  for (table::UserId u = 200; u <= 205; ++u) EXPECT_TRUE(external.count(u) > 0);
+  EXPECT_LE(external.size(), 20u);
+}
+
+TEST(FraudarTest, CamouflageResistance) {
+  // Same blocks, but attackers add heavy camouflage onto the hot item;
+  // the log column weight keeps the blocks on top.
+  table::ClickTable t = PlantedTable();
+  for (table::UserId u = 100; u <= 105; ++u) t.Append(u, 999, 30);
+  for (table::UserId u = 200; u <= 205; ++u) t.Append(u, 999, 30);
+  t.ConsolidateDuplicates();
+  const auto g = graph::GraphBuilder::FromTable(t).value();
+  Fraudar fraudar;
+  auto r = fraudar.Detect(g);
+  ASSERT_TRUE(r.ok());
+  std::unordered_set<table::UserId> external;
+  for (const VertexId u : r->AllUsers()) external.insert(g.ExternalUserId(u));
+  for (table::UserId u = 100; u <= 105; ++u) EXPECT_TRUE(external.count(u) > 0);
+}
+
+TEST(FraudarTest, RespectsBlockBudget) {
+  const auto g = graph::GraphBuilder::FromTable(PlantedTable()).value();
+  FraudarParams params;
+  params.max_blocks = 1;
+  Fraudar fraudar(params);
+  auto r = fraudar.Detect(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->groups.size(), 1u);
+}
+
+TEST(FraudarTest, RejectsBadDensityFloor) {
+  const auto g = graph::GraphBuilder::FromTable(PlantedTable()).value();
+  FraudarParams params;
+  params.density_floor_ratio = 1.5;
+  Fraudar fraudar(params);
+  EXPECT_FALSE(fraudar.Detect(g).ok());
+}
+
+TEST(FraudarTest, EmptyGraph) {
+  const auto g = graph::GraphBuilder::FromTable(table::ClickTable()).value();
+  Fraudar fraudar;
+  auto r = fraudar.Detect(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->groups.empty());
+}
+
+TEST(CopyCatchTest, EnumeratesPlantedBicliques) {
+  const auto g = graph::GraphBuilder::FromTable(PlantedTable()).value();
+  CopyCatchParams params;
+  params.min_users = 6;
+  params.min_items = 6;
+  params.time_budget_seconds = 10.0;
+  CopyCatch cc(params);
+  auto r = cc.Detect(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(AnyGroupContainsUsers(g, *r, 100, 105));
+  EXPECT_TRUE(AnyGroupContainsUsers(g, *r, 200, 205));
+  // Reported groups really are bicliques.
+  for (const auto& grp : r->groups) {
+    for (const VertexId u : grp.users) {
+      for (const VertexId v : grp.items) {
+        EXPECT_TRUE(g.HasEdge(u, v));
+      }
+    }
+  }
+}
+
+TEST(CopyCatchTest, MinimumsFilterSmallBicliques) {
+  const auto g = graph::GraphBuilder::FromTable(PlantedTable()).value();
+  CopyCatchParams params;
+  params.min_users = 7;  // planted blocks are 6x6
+  params.min_items = 7;
+  CopyCatch cc(params);
+  auto r = cc.Detect(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->groups.empty());
+}
+
+TEST(CopyCatchTest, RejectsZeroMinimums) {
+  const auto g = graph::GraphBuilder::FromTable(PlantedTable()).value();
+  CopyCatchParams params;
+  params.min_users = 0;
+  CopyCatch cc(params);
+  EXPECT_FALSE(cc.Detect(g).ok());
+}
+
+TEST(NaiveTest, FlagsItemsWithHotHeavyAudience) {
+  // Hot item 999 (high total) + target 1000 whose audience all clicked
+  // hot items; plus a normal item 500 with mixed audience.
+  table::ClickTable t;
+  for (table::UserId u = 1; u <= 40; ++u) t.Append(u, 999, 10);
+  for (table::UserId u = 1; u <= 40; ++u) t.Append(u, 998, 10);
+  for (table::UserId u = 1; u <= 40; ++u) t.Append(u, 997, 10);
+  // Attackers 50..59 click all three hot items once + hammer target 1000.
+  for (table::UserId u = 50; u <= 59; ++u) {
+    t.Append(u, 999, 1);
+    t.Append(u, 998, 1);
+    t.Append(u, 997, 1);
+    t.Append(u, 1000, 14);
+  }
+  // Normal item 500: audience of light users without full hot exposure.
+  for (table::UserId u = 60; u <= 69; ++u) {
+    t.Append(u, 500, 1);
+    t.Append(u, 999, 2);
+  }
+  const auto g = graph::GraphBuilder::FromTable(t).value();
+  NaiveParams params;
+  // Above the target's 140 total (it must stay "new") but below the hot
+  // items' ~410.
+  params.t_hot = 200;
+  params.hot_items_needed = 3;
+  params.t_risk_item = 0.7;
+  params.min_audience = 5;
+  params.t_risk_user = 1;
+  NaiveAlgorithm naive(params);
+  auto r = naive.Detect(g);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->groups.size(), 1u);
+
+  std::unordered_set<table::ItemId> items;
+  for (const VertexId v : r->groups[0].items) items.insert(g.ExternalItemId(v));
+  EXPECT_TRUE(items.count(1000) > 0);
+  EXPECT_FALSE(items.count(500) > 0);
+  EXPECT_FALSE(items.count(999) > 0) << "hot items are never flagged";
+
+  std::unordered_set<table::UserId> users;
+  for (const VertexId u : r->groups[0].users) users.insert(g.ExternalUserId(u));
+  for (table::UserId u = 50; u <= 59; ++u) EXPECT_TRUE(users.count(u) > 0);
+}
+
+TEST(NaiveTest, MinAudienceSkipsTinyItems) {
+  table::ClickTable t;
+  for (table::UserId u = 1; u <= 30; ++u) t.Append(u, 999, 20);
+  // Item 10 clicked by two hot-heavy users only.
+  t.Append(1, 10, 5);
+  t.Append(2, 10, 5);
+  const auto g = graph::GraphBuilder::FromTable(t).value();
+  NaiveParams params;
+  params.t_hot = 100;
+  params.hot_items_needed = 1;
+  params.min_audience = 5;
+  NaiveAlgorithm naive(params);
+  auto r = naive.Detect(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->groups.empty());
+}
+
+TEST(NaiveTest, RejectsBadRisk) {
+  const auto g = graph::GraphBuilder::FromTable(PlantedTable()).value();
+  NaiveParams params;
+  params.t_risk_item = 1.5;
+  NaiveAlgorithm naive(params);
+  EXPECT_FALSE(naive.Detect(g).ok());
+}
+
+TEST(DetectorNamesTest, AllStable) {
+  EXPECT_EQ(NaiveAlgorithm().name(), "Naive");
+  EXPECT_EQ(Lpa().name(), "LPA");
+  EXPECT_EQ(CommonNeighbors().name(), "CN");
+  EXPECT_EQ(Louvain().name(), "Louvain");
+  EXPECT_EQ(Fraudar().name(), "FRAUDAR");
+  EXPECT_EQ(CopyCatch().name(), "COPYCATCH");
+}
+
+}  // namespace
+}  // namespace ricd::baselines

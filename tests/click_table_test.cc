@@ -1,0 +1,130 @@
+// Unit tests for the columnar click table.
+
+#include "table/click_table.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ricd::table {
+namespace {
+
+ClickTable MakeSample() {
+  ClickTable t;
+  t.Append(2, 10, 3);
+  t.Append(1, 10, 1);
+  t.Append(1, 20, 5);
+  t.Append(2, 10, 4);  // duplicate pair (2, 10)
+  return t;
+}
+
+TEST(ClickTableTest, AppendAndAccess) {
+  ClickTable t;
+  EXPECT_TRUE(t.empty());
+  t.Append(7, 8, 9);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.user(0), 7);
+  EXPECT_EQ(t.item(0), 8);
+  EXPECT_EQ(t.clicks(0), 9u);
+  const ClickRecord r = t.row(0);
+  EXPECT_EQ(r, (ClickRecord{7, 8, 9}));
+}
+
+TEST(ClickTableTest, TotalClicks) {
+  EXPECT_EQ(MakeSample().TotalClicks(), 13u);
+  EXPECT_EQ(ClickTable().TotalClicks(), 0u);
+}
+
+TEST(ClickTableTest, ConsolidateMergesDuplicatesAndSorts) {
+  ClickTable t = MakeSample();
+  t.ConsolidateDuplicates();
+  ASSERT_EQ(t.num_rows(), 3u);
+  EXPECT_TRUE(t.IsConsolidated());
+  // Sorted by (user, item).
+  EXPECT_EQ(t.user(0), 1);
+  EXPECT_EQ(t.item(0), 10);
+  EXPECT_EQ(t.clicks(0), 1u);
+  EXPECT_EQ(t.user(1), 1);
+  EXPECT_EQ(t.item(1), 20);
+  EXPECT_EQ(t.user(2), 2);
+  EXPECT_EQ(t.clicks(2), 7u);  // 3 + 4 merged
+  // Total clicks preserved by consolidation.
+  EXPECT_EQ(t.TotalClicks(), 13u);
+}
+
+TEST(ClickTableTest, ConsolidateEmptyAndSingle) {
+  ClickTable t;
+  t.ConsolidateDuplicates();
+  EXPECT_TRUE(t.empty());
+  t.Append(1, 1, 1);
+  t.ConsolidateDuplicates();
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(ClickTableTest, ConsolidateSaturatesAtClickCountMax) {
+  ClickTable t;
+  const ClickCount max = std::numeric_limits<ClickCount>::max();
+  t.Append(1, 1, max);
+  t.Append(1, 1, 100);
+  t.ConsolidateDuplicates();
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.clicks(0), max);
+}
+
+TEST(ClickTableTest, IsConsolidatedDetectsDisorder) {
+  ClickTable t;
+  t.Append(2, 1, 1);
+  t.Append(1, 1, 1);
+  EXPECT_FALSE(t.IsConsolidated());
+  t.ConsolidateDuplicates();
+  EXPECT_TRUE(t.IsConsolidated());
+
+  ClickTable dup;
+  dup.Append(1, 1, 1);
+  dup.Append(1, 1, 1);
+  EXPECT_FALSE(dup.IsConsolidated());
+}
+
+TEST(ClickTableTest, FilterSelectsMatchingRows) {
+  ClickTable t = MakeSample();
+  const ClickTable heavy =
+      t.Filter([](const ClickRecord& r) { return r.clicks >= 4; });
+  ASSERT_EQ(heavy.num_rows(), 2u);
+  EXPECT_EQ(heavy.clicks(0), 5u);
+  EXPECT_EQ(heavy.clicks(1), 4u);
+}
+
+TEST(ClickTableTest, GroupByTotals) {
+  ClickTable t = MakeSample();
+  const auto by_user = t.TotalClicksByUser();
+  ASSERT_EQ(by_user.size(), 2u);
+  EXPECT_EQ(by_user[0], (std::pair<UserId, uint64_t>{1, 6}));
+  EXPECT_EQ(by_user[1], (std::pair<UserId, uint64_t>{2, 7}));
+
+  const auto by_item = t.TotalClicksByItem();
+  ASSERT_EQ(by_item.size(), 2u);
+  EXPECT_EQ(by_item[0], (std::pair<ItemId, uint64_t>{10, 8}));
+  EXPECT_EQ(by_item[1], (std::pair<ItemId, uint64_t>{20, 5}));
+}
+
+TEST(ClickTableTest, AppendTableConcatenates) {
+  ClickTable a = MakeSample();
+  ClickTable b;
+  b.Append(9, 9, 9);
+  a.AppendTable(b);
+  EXPECT_EQ(a.num_rows(), 5u);
+  EXPECT_EQ(a.user(4), 9);
+  a.AppendTable(ClickTable());
+  EXPECT_EQ(a.num_rows(), 5u);
+}
+
+TEST(ClickTableTest, NegativeExternalIdsSupported) {
+  ClickTable t;
+  t.Append(-5, -7, 2);
+  t.ConsolidateDuplicates();
+  EXPECT_EQ(t.user(0), -5);
+  EXPECT_EQ(t.item(0), -7);
+}
+
+}  // namespace
+}  // namespace ricd::table

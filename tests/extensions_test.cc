@@ -1,0 +1,265 @@
+// Tests for the extension detectors (CATCHSYNC, bipartite modularity) and
+// the I2I recommender + pollution metric.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "baselines/brim.h"
+#include "baselines/catchsync.h"
+#include "common/random.h"
+#include "graph/graph_builder.h"
+#include "i2i/recommender.h"
+
+namespace ricd {
+namespace {
+
+using graph::VertexId;
+
+/// Synchronized block: 12 workers all clicking the same 6 cold items,
+/// embedded in a diverse organic background whose users spread clicks over
+/// items of very different popularity.
+table::ClickTable SynchronizedTable() {
+  Rng rng(77);
+  table::ClickTable t;
+  // Popularity-graded background items: item i gets ~i clicks worth of
+  // audience, giving the feature space real spread.
+  for (table::UserId u = 1; u <= 400; ++u) {
+    for (int d = 0; d < 6; ++d) {
+      // Skewed choice: low ids are popular.
+      const auto item = static_cast<table::ItemId>(
+          rng.Uniform(1 + rng.Uniform(200)));
+      t.Append(u, item, static_cast<table::ClickCount>(1 + rng.Uniform(3)));
+    }
+  }
+  // Lockstep crowd workers on cold items 9000..9005.
+  for (table::UserId w = 5000; w < 5012; ++w) {
+    for (table::ItemId i = 9000; i < 9006; ++i) t.Append(w, i, 10);
+  }
+  t.ConsolidateDuplicates();
+  return t;
+}
+
+TEST(CatchSyncTest, FlagsLockstepWorkers) {
+  const auto g = graph::GraphBuilder::FromTable(SynchronizedTable()).value();
+  baselines::CatchSync detector;
+  auto r = detector.Detect(g);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->groups.empty());
+
+  std::unordered_set<table::UserId> flagged;
+  for (const auto u : r->AllUsers()) flagged.insert(g.ExternalUserId(u));
+  size_t workers_flagged = 0;
+  for (table::UserId w = 5000; w < 5012; ++w) {
+    if (flagged.count(w) > 0) ++workers_flagged;
+  }
+  EXPECT_GE(workers_flagged, 10u);
+  // The lockstep items come along via support.
+  std::unordered_set<table::ItemId> items;
+  for (const auto v : r->AllItems()) items.insert(g.ExternalItemId(v));
+  EXPECT_GT(items.count(9000), 0u);
+}
+
+TEST(CatchSyncTest, MostNormalUsersUnflagged) {
+  const auto g = graph::GraphBuilder::FromTable(SynchronizedTable()).value();
+  baselines::CatchSync detector;
+  auto r = detector.Detect(g);
+  ASSERT_TRUE(r.ok());
+  size_t organic_flagged = 0;
+  for (const auto u : r->AllUsers()) {
+    if (g.ExternalUserId(u) < 5000) ++organic_flagged;
+  }
+  EXPECT_LT(organic_flagged, 40u) << "3-sigma rule should flag few organics";
+}
+
+TEST(CatchSyncTest, CamouflageDilutesDetection) {
+  // The paper's critique: experienced adversaries spreading extra clicks
+  // across random items reduce their synchronicity below the threshold.
+  auto t = SynchronizedTable();
+  Rng rng(99);
+  for (table::UserId w = 5000; w < 5012; ++w) {
+    for (int c = 0; c < 12; ++c) {
+      t.Append(w, static_cast<table::ItemId>(rng.Uniform(200)), 1);
+    }
+  }
+  t.ConsolidateDuplicates();
+  const auto g = graph::GraphBuilder::FromTable(t).value();
+  baselines::CatchSync detector;
+  auto r = detector.Detect(g);
+  ASSERT_TRUE(r.ok());
+  std::unordered_set<table::UserId> flagged;
+  for (const auto u : r->AllUsers()) flagged.insert(g.ExternalUserId(u));
+  size_t workers_flagged = 0;
+  for (table::UserId w = 5000; w < 5012; ++w) {
+    if (flagged.count(w) > 0) ++workers_flagged;
+  }
+  EXPECT_LT(workers_flagged, 12u)
+      << "camouflage should pull at least some workers under the threshold";
+}
+
+TEST(CatchSyncTest, RejectsBadConfig) {
+  const auto g = graph::GraphBuilder::FromTable(SynchronizedTable()).value();
+  baselines::CatchSyncParams params;
+  params.grid = 0;
+  baselines::CatchSync detector(params);
+  EXPECT_FALSE(detector.Detect(g).ok());
+}
+
+TEST(CatchSyncTest, EmptyGraph) {
+  const auto g = graph::GraphBuilder::FromTable(table::ClickTable()).value();
+  baselines::CatchSync detector;
+  auto r = detector.Detect(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->groups.empty());
+}
+
+/// Two clean blocks for community structure.
+table::ClickTable TwoBlocks() {
+  table::ClickTable t;
+  for (table::UserId u = 0; u < 8; ++u) {
+    for (table::ItemId i = 0; i < 8; ++i) t.Append(100 + u, 1000 + i, 2);
+  }
+  for (table::UserId u = 0; u < 8; ++u) {
+    for (table::ItemId i = 0; i < 8; ++i) t.Append(200 + u, 2000 + i, 2);
+  }
+  // A couple of bridge edges.
+  t.Append(100, 2000, 1);
+  t.Append(200, 1000, 1);
+  return t;
+}
+
+TEST(BrimTest, SeparatesTwoBlocks) {
+  const auto g = graph::GraphBuilder::FromTable(TwoBlocks()).value();
+  baselines::Brim brim;
+  auto r = brim.Detect(g);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->groups.size(), 2u);
+  // No group mixes users from both blocks.
+  for (const auto& grp : r->groups) {
+    bool a = false;
+    bool b = false;
+    for (const auto u : grp.users) {
+      const auto ext = g.ExternalUserId(u);
+      a |= ext >= 100 && ext < 110;
+      b |= ext >= 200 && ext < 210;
+    }
+    EXPECT_FALSE(a && b) << "bipartite modularity should split the blocks";
+  }
+}
+
+TEST(BrimTest, DeterministicAcrossRuns) {
+  const auto g = graph::GraphBuilder::FromTable(TwoBlocks()).value();
+  baselines::Brim brim;
+  auto a = brim.Detect(g);
+  auto b = brim.Detect(g);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->groups.size(), b->groups.size());
+  for (size_t i = 0; i < a->groups.size(); ++i) {
+    EXPECT_EQ(a->groups[i].users, b->groups[i].users);
+  }
+}
+
+TEST(BrimTest, EmptyGraph) {
+  const auto g = graph::GraphBuilder::FromTable(table::ClickTable()).value();
+  baselines::Brim brim;
+  auto r = brim.Detect(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->groups.empty());
+}
+
+TEST(RecommenderTest, RecommendsCoClickedItems) {
+  // u1 clicked A heavily; other A-clickers also click B -> B recommended.
+  table::ClickTable t;
+  t.Append(1, 100, 5);
+  for (table::UserId u = 2; u <= 6; ++u) {
+    t.Append(u, 100, 2);
+    t.Append(u, 200, 3);
+  }
+  const auto g = graph::GraphBuilder::FromTable(t).value();
+  VertexId u1 = 0;
+  VertexId b = 0;
+  ASSERT_TRUE(g.LookupUser(1, &u1));
+  ASSERT_TRUE(g.LookupItem(200, &b));
+
+  i2i::Recommender recommender(g);
+  const auto slate = recommender.RecommendForUser(u1, 5);
+  ASSERT_FALSE(slate.empty());
+  EXPECT_EQ(slate[0].item, b);
+}
+
+TEST(RecommenderTest, NeverRecommendsAlreadyClicked) {
+  table::ClickTable t;
+  t.Append(1, 100, 5);
+  t.Append(1, 200, 1);
+  for (table::UserId u = 2; u <= 6; ++u) {
+    t.Append(u, 100, 2);
+    t.Append(u, 200, 3);
+    t.Append(u, 300, 1);
+  }
+  const auto g = graph::GraphBuilder::FromTable(t).value();
+  VertexId u1 = 0;
+  ASSERT_TRUE(g.LookupUser(1, &u1));
+  i2i::Recommender recommender(g);
+  for (const auto& rec : recommender.RecommendForUser(u1, 10)) {
+    const auto ext = g.ExternalItemId(rec.item);
+    EXPECT_NE(ext, 100);
+    EXPECT_NE(ext, 200);
+  }
+}
+
+TEST(RecommenderTest, IsolatedUserGetsEmptySlate) {
+  table::ClickTable t;
+  t.Append(1, 100, 1);  // only user of its only item
+  const auto g = graph::GraphBuilder::FromTable(t).value();
+  i2i::Recommender recommender(g);
+  EXPECT_TRUE(recommender.RecommendForUser(0, 5).empty());
+}
+
+TEST(RecommenderTest, PollutionMetricDetectsAttackDamage) {
+  // Organic co-click world plus an attack wiring target 900 to item 100.
+  table::ClickTable t;
+  for (table::UserId u = 1; u <= 20; ++u) {
+    t.Append(u, 100, 2);
+    t.Append(u, 200 + (u % 3), 2);
+  }
+  // Attackers co-click 100 and the target 900 heavily.
+  for (table::UserId w = 500; w < 540; ++w) {
+    t.Append(w, 100, 1);
+    t.Append(w, 900, 15);
+  }
+  const auto g = graph::GraphBuilder::FromTable(t).value();
+
+  std::vector<VertexId> sample;
+  for (table::UserId u = 1; u <= 20; ++u) {
+    VertexId v = 0;
+    ASSERT_TRUE(g.LookupUser(u, &v));
+    sample.push_back(v);
+  }
+  const double polluted =
+      i2i::RecommendationPollution(g, {900}, sample, /*k=*/3);
+  EXPECT_GT(polluted, 0.1) << "attack must reach real users' slates";
+
+  // After cleanup (attack edges removed), pollution vanishes.
+  table::ClickTable clean = t.Filter([](const table::ClickRecord& r) {
+    return r.user < 500;
+  });
+  const auto g2 = graph::GraphBuilder::FromTable(clean).value();
+  std::vector<VertexId> sample2;
+  for (table::UserId u = 1; u <= 20; ++u) {
+    VertexId v = 0;
+    ASSERT_TRUE(g2.LookupUser(u, &v));
+    sample2.push_back(v);
+  }
+  EXPECT_DOUBLE_EQ(i2i::RecommendationPollution(g2, {900}, sample2, 3), 0.0);
+}
+
+TEST(RecommenderTest, PollutionDegenerateInputs) {
+  table::ClickTable t;
+  t.Append(1, 100, 1);
+  const auto g = graph::GraphBuilder::FromTable(t).value();
+  EXPECT_DOUBLE_EQ(i2i::RecommendationPollution(g, {1}, {}, 3), 0.0);
+  EXPECT_DOUBLE_EQ(i2i::RecommendationPollution(g, {1}, {0}, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace ricd

@@ -1,0 +1,137 @@
+// Unit tests for the command-line flag parser and label IO.
+
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "gen/label_io.h"
+
+namespace ricd {
+namespace {
+
+FlagParser Make(std::initializer_list<std::string> args) {
+  return FlagParser(std::vector<std::string>(args));
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  const auto flags = Make({"--name=value", "--n=7"});
+  EXPECT_EQ(flags.GetString("name", "").value(), "value");
+  EXPECT_EQ(flags.GetInt("n", 0).value(), 7);
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  const auto flags = Make({"--name", "value", "--n", "7"});
+  EXPECT_EQ(flags.GetString("name", "").value(), "value");
+  EXPECT_EQ(flags.GetInt("n", 0).value(), 7);
+}
+
+TEST(FlagParserTest, BareFlagIsBooleanTrue) {
+  const auto flags = Make({"--verbose", "--strict", "--k=3"});
+  EXPECT_TRUE(flags.GetBool("verbose", false).value());
+  EXPECT_TRUE(flags.GetBool("strict", false).value());
+  EXPECT_FALSE(flags.GetBool("absent", false).value());
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  const auto flags = Make({});
+  EXPECT_EQ(flags.GetString("s", "dflt").value(), "dflt");
+  EXPECT_EQ(flags.GetInt("i", -3).value(), -3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("d", 2.5).value(), 2.5);
+  EXPECT_TRUE(flags.GetBool("b", true).value());
+}
+
+TEST(FlagParserTest, TypeErrorsAreReported) {
+  const auto flags = Make({"--n=abc", "--d=x", "--b=maybe"});
+  EXPECT_FALSE(flags.GetInt("n", 0).ok());
+  EXPECT_FALSE(flags.GetDouble("d", 0).ok());
+  EXPECT_FALSE(flags.GetBool("b", false).ok());
+}
+
+TEST(FlagParserTest, BooleanSpellings) {
+  const auto flags = Make({"--a=true", "--b=1", "--c=yes", "--d=false",
+                           "--e=0", "--f=no"});
+  EXPECT_TRUE(flags.GetBool("a", false).value());
+  EXPECT_TRUE(flags.GetBool("b", false).value());
+  EXPECT_TRUE(flags.GetBool("c", false).value());
+  EXPECT_FALSE(flags.GetBool("d", true).value());
+  EXPECT_FALSE(flags.GetBool("e", true).value());
+  EXPECT_FALSE(flags.GetBool("f", true).value());
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  const auto flags = Make({"cmd", "--k=1", "file.csv"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "cmd");
+  EXPECT_EQ(flags.positional()[1], "file.csv");
+}
+
+TEST(FlagParserTest, DoubleDashStopsFlagParsing) {
+  const auto flags = Make({"--k=1", "--", "--not-a-flag"});
+  EXPECT_EQ(flags.GetInt("k", 0).value(), 1);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "--not-a-flag");
+}
+
+TEST(FlagParserTest, IntList) {
+  const auto flags = Make({"--ids=1,2,3", "--empty=", "--bad=1,x"});
+  EXPECT_EQ(flags.GetIntList("ids").value(), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_TRUE(flags.GetIntList("empty").value().empty());
+  EXPECT_TRUE(flags.GetIntList("absent").value().empty());
+  EXPECT_FALSE(flags.GetIntList("bad").ok());
+}
+
+TEST(FlagParserTest, UnknownFlagsAreOnlyUnrequestedOnes) {
+  const auto flags = Make({"--known=1", "--typo=2"});
+  EXPECT_EQ(flags.GetInt("known", 0).value(), 1);
+  const auto unknown = flags.UnknownFlags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(FlagParserTest, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"prog", "--k=5", "pos"};
+  const FlagParser flags(3, argv);
+  EXPECT_EQ(flags.GetInt("k", 0).value(), 5);
+  ASSERT_EQ(flags.positional().size(), 1u);
+}
+
+TEST(LabelIoTest, RoundTrip) {
+  gen::LabelSet labels;
+  labels.abnormal_users = {5, 1, 9};
+  labels.abnormal_items = {100, 42};
+  const std::string path = testing::TempDir() + "/labels.csv";
+  ASSERT_TRUE(gen::WriteLabels(labels, path).ok());
+  auto loaded = gen::ReadLabels(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->abnormal_users, labels.abnormal_users);
+  EXPECT_EQ(loaded->abnormal_items, labels.abnormal_items);
+}
+
+TEST(LabelIoTest, EmptySetRoundTrips) {
+  const std::string path = testing::TempDir() + "/empty_labels.csv";
+  ASSERT_TRUE(gen::WriteLabels(gen::LabelSet{}, path).ok());
+  auto loaded = gen::ReadLabels(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+TEST(LabelIoTest, RejectsMalformedRows) {
+  const std::string path = testing::TempDir() + "/bad_labels.csv";
+  std::ofstream(path) << "kind,id\nuser,abc\n";
+  EXPECT_FALSE(gen::ReadLabels(path).ok());
+  std::ofstream(path) << "kind,id\nwidget,1\n";
+  EXPECT_FALSE(gen::ReadLabels(path).ok());
+  std::ofstream(path) << "kind,id\nuser\n";
+  EXPECT_FALSE(gen::ReadLabels(path).ok());
+}
+
+TEST(LabelIoTest, MissingFileIsIoError) {
+  auto loaded = gen::ReadLabels(testing::TempDir() + "/nope_labels.csv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace ricd

@@ -1,0 +1,215 @@
+// Tests for Algorithm 2's GraphGenerator (table -> graph, seed pruning) and
+// the +UI adapter, plus metrics.
+
+#include "ricd/graph_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/naive.h"
+#include "eval/metrics.h"
+#include "graph/graph_builder.h"
+#include "ricd/ui_adapter.h"
+
+namespace ricd::core {
+namespace {
+
+using graph::VertexId;
+
+// Two disconnected regions:
+//   region A: users 1..3 x items 10..12 (full biclique)
+//   region B: users 7..9 x items 70..72 (full biclique)
+table::ClickTable TwoRegions() {
+  table::ClickTable t;
+  for (table::UserId u = 1; u <= 3; ++u) {
+    for (table::ItemId i = 10; i <= 12; ++i) t.Append(u, i, 5);
+  }
+  for (table::UserId u = 7; u <= 9; ++u) {
+    for (table::ItemId i = 70; i <= 72; ++i) t.Append(u, i, 5);
+  }
+  return t;
+}
+
+TEST(GraphGeneratorTest, NoSeedsBuildsFullGraph) {
+  auto g = GenerateGraph(TwoRegions());
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_users(), 6u);
+  EXPECT_EQ(g->num_items(), 6u);
+}
+
+TEST(GraphGeneratorTest, EmptySeedSetBehavesLikeNoSeeds) {
+  auto g = GenerateGraph(TwoRegions(), SeedSet{});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_users(), 6u);
+}
+
+TEST(GraphGeneratorTest, UserSeedKeepsOnlyItsRegion) {
+  SeedSet seeds;
+  seeds.users.push_back(1);
+  auto g = GenerateGraph(TwoRegions(), seeds);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_users(), 3u);
+  EXPECT_EQ(g->num_items(), 3u);
+  VertexId v = 0;
+  EXPECT_TRUE(g->LookupUser(1, &v));
+  EXPECT_FALSE(g->LookupUser(7, &v));
+  EXPECT_FALSE(g->LookupItem(70, &v));
+}
+
+TEST(GraphGeneratorTest, ItemSeedKeepsOnlyItsRegion) {
+  SeedSet seeds;
+  seeds.items.push_back(70);
+  auto g = GenerateGraph(TwoRegions(), seeds);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_users(), 3u);
+  VertexId v = 0;
+  EXPECT_TRUE(g->LookupItem(70, &v));
+  EXPECT_FALSE(g->LookupUser(1, &v));
+}
+
+TEST(GraphGeneratorTest, SeedsFromBothRegionsKeepBoth) {
+  SeedSet seeds;
+  seeds.users.push_back(1);
+  seeds.items.push_back(72);
+  auto g = GenerateGraph(TwoRegions(), seeds);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_users(), 6u);
+}
+
+TEST(GraphGeneratorTest, UnknownSeedsIgnoredWithKnownOnes) {
+  SeedSet seeds;
+  seeds.users.push_back(1);
+  seeds.users.push_back(424242);  // stale id from the business feed
+  auto g = GenerateGraph(TwoRegions(), seeds);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_users(), 3u);
+}
+
+TEST(GraphGeneratorTest, AllSeedsUnknownIsNotFound) {
+  SeedSet seeds;
+  seeds.users.push_back(424242);
+  auto g = GenerateGraph(TwoRegions(), seeds);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kNotFound);
+}
+
+TEST(UiAdapterTest, NameAppendsSuffix) {
+  ScreenedDetector d(std::make_unique<baselines::NaiveAlgorithm>(), RicdParams{});
+  EXPECT_EQ(d.name(), "Naive+UI");
+}
+
+/// A detector stub returning a fixed set of groups, for exercising the
+/// adapter's size filter and screening without a real algorithm.
+class StubDetector : public baselines::Detector {
+ public:
+  explicit StubDetector(std::vector<graph::Group> groups)
+      : groups_(std::move(groups)) {}
+  std::string name() const override { return "Stub"; }
+  Result<baselines::DetectionResult> Detect(
+      const graph::BipartiteGraph&) override {
+    baselines::DetectionResult r;
+    r.groups = groups_;
+    return r;
+  }
+
+ private:
+  std::vector<graph::Group> groups_;
+};
+
+TEST(UiAdapterTest, SizeFilterDropsSmallGroups) {
+  // Graph: 3 attackers hammering 3 targets, riding nothing (all ordinary).
+  table::ClickTable t;
+  for (table::UserId u = 0; u < 3; ++u) {
+    for (table::ItemId i = 0; i < 3; ++i) t.Append(u, i, 20);
+  }
+  const auto g = graph::GraphBuilder::FromTable(t).value();
+  graph::Group whole;
+  for (VertexId u = 0; u < 3; ++u) whole.users.push_back(u);
+  for (VertexId v = 0; v < 3; ++v) whole.items.push_back(v);
+
+  RicdParams strict;
+  strict.k1 = 5;  // group has only 3 users
+  strict.k2 = 2;
+  strict.t_hot = 1000;
+  ScreenedDetector too_strict(std::make_unique<StubDetector>(
+                                  std::vector<graph::Group>{whole}),
+                              strict);
+  auto r1 = too_strict.Detect(g);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->groups.empty());
+
+  RicdParams fitting = strict;
+  fitting.k1 = 3;
+  ScreenedDetector fits(std::make_unique<StubDetector>(
+                            std::vector<graph::Group>{whole}),
+                        fitting);
+  auto r2 = fits.Detect(g);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->groups.size(), 1u);
+  EXPECT_EQ(r2->groups[0].users.size(), 3u);
+}
+
+TEST(MetricsTest, ComputesPrecisionRecallF1) {
+  table::ClickTable t;
+  t.Append(1, 10, 1);
+  t.Append(2, 20, 1);
+  const auto g = graph::GraphBuilder::FromTable(t).value();
+
+  gen::LabelSet labels;
+  labels.abnormal_users = {1};
+  labels.abnormal_items = {10, 20};
+
+  baselines::DetectionResult result;
+  graph::Group grp;
+  VertexId u1 = 0;
+  VertexId u2 = 0;
+  VertexId i10 = 0;
+  ASSERT_TRUE(g.LookupUser(1, &u1));
+  ASSERT_TRUE(g.LookupUser(2, &u2));
+  ASSERT_TRUE(g.LookupItem(10, &i10));
+  grp.users = {u1, u2};  // u2 is a false positive
+  grp.items = {i10};
+  result.groups.push_back(grp);
+
+  const auto m = eval::Evaluate(g, result, labels);
+  EXPECT_EQ(m.output_nodes, 3u);
+  EXPECT_EQ(m.detected_nodes, 2u);
+  EXPECT_EQ(m.known_nodes, 3u);
+  EXPECT_DOUBLE_EQ(m.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.f1, 2.0 / 3.0);
+}
+
+TEST(MetricsTest, EmptyOutputIsAllZero) {
+  table::ClickTable t;
+  t.Append(1, 10, 1);
+  const auto g = graph::GraphBuilder::FromTable(t).value();
+  gen::LabelSet labels;
+  labels.abnormal_users = {1};
+  const auto m = eval::Evaluate(g, baselines::DetectionResult{}, labels);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, DuplicateNodesAcrossGroupsCountOnce) {
+  table::ClickTable t;
+  t.Append(1, 10, 1);
+  const auto g = graph::GraphBuilder::FromTable(t).value();
+  gen::LabelSet labels;
+  labels.abnormal_users = {1};
+
+  baselines::DetectionResult result;
+  VertexId u1 = 0;
+  ASSERT_TRUE(g.LookupUser(1, &u1));
+  result.groups.push_back({{u1}, {}});
+  result.groups.push_back({{u1}, {}});
+  const auto m = eval::Evaluate(g, result, labels);
+  EXPECT_EQ(m.output_nodes, 1u);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+}  // namespace
+}  // namespace ricd::core

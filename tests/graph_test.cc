@@ -1,0 +1,181 @@
+// Unit + property tests for the bipartite graph and its builder.
+
+#include "graph/bipartite_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "graph/graph_builder.h"
+#include "table/click_table.h"
+
+namespace ricd::graph {
+namespace {
+
+// u100 -> {i1: 2, i2: 5}, u200 -> {i2: 1}
+table::ClickTable Sample() {
+  table::ClickTable t;
+  t.Append(100, 1, 2);
+  t.Append(100, 2, 5);
+  t.Append(200, 2, 1);
+  return t;
+}
+
+TEST(GraphBuilderTest, BasicShape) {
+  auto g = GraphBuilder::FromTable(Sample());
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_users(), 2u);
+  EXPECT_EQ(g->num_items(), 2u);
+  EXPECT_EQ(g->num_edges(), 3u);
+  EXPECT_EQ(g->total_clicks(), 8u);
+}
+
+TEST(GraphBuilderTest, ExternalIdMappingRoundTrips) {
+  auto g = GraphBuilder::FromTable(Sample());
+  ASSERT_TRUE(g.ok());
+  VertexId u = 99;
+  ASSERT_TRUE(g->LookupUser(100, &u));
+  EXPECT_EQ(g->ExternalUserId(u), 100);
+  VertexId v = 99;
+  ASSERT_TRUE(g->LookupItem(2, &v));
+  EXPECT_EQ(g->ExternalItemId(v), 2);
+  EXPECT_FALSE(g->LookupUser(12345, &u));
+  EXPECT_FALSE(g->LookupItem(-1, &v));
+}
+
+TEST(GraphBuilderTest, AdjacencyAndWeights) {
+  auto g = GraphBuilder::FromTable(Sample());
+  ASSERT_TRUE(g.ok());
+  VertexId u100 = 0;
+  VertexId i2 = 0;
+  ASSERT_TRUE(g->LookupUser(100, &u100));
+  ASSERT_TRUE(g->LookupItem(2, &i2));
+
+  EXPECT_EQ(g->Degree(Side::kUser, u100), 2u);
+  EXPECT_EQ(g->UserTotalClicks(u100), 7u);
+  EXPECT_EQ(g->ItemTotalClicks(i2), 6u);
+  EXPECT_EQ(g->EdgeWeight(u100, i2), 5u);
+  EXPECT_TRUE(g->HasEdge(u100, i2));
+
+  VertexId u200 = 0;
+  VertexId i1 = 0;
+  ASSERT_TRUE(g->LookupUser(200, &u200));
+  ASSERT_TRUE(g->LookupItem(1, &i1));
+  EXPECT_EQ(g->EdgeWeight(u200, i1), 0u);
+  EXPECT_FALSE(g->HasEdge(u200, i1));
+}
+
+TEST(GraphBuilderTest, DuplicateRowsMerge) {
+  table::ClickTable t;
+  t.Append(1, 1, 2);
+  t.Append(1, 1, 3);
+  auto g = GraphBuilder::FromTable(t);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+  VertexId u = 0;
+  VertexId v = 0;
+  ASSERT_TRUE(g->LookupUser(1, &u));
+  ASSERT_TRUE(g->LookupItem(1, &v));
+  EXPECT_EQ(g->EdgeWeight(u, v), 5u);
+}
+
+TEST(GraphBuilderTest, RejectsZeroClickRows) {
+  table::ClickTable t;
+  t.Append(1, 1, 0);
+  auto g = GraphBuilder::FromTable(t);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, EmptyTableYieldsEmptyGraph) {
+  auto g = GraphBuilder::FromTable(table::ClickTable());
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_users(), 0u);
+  EXPECT_EQ(g->num_items(), 0u);
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, NeighborListsAreSorted) {
+  Rng rng(99);
+  table::ClickTable t;
+  for (int i = 0; i < 2000; ++i) {
+    t.Append(static_cast<table::UserId>(rng.Uniform(50)),
+             static_cast<table::ItemId>(rng.Uniform(80)),
+             static_cast<table::ClickCount>(1 + rng.Uniform(5)));
+  }
+  auto g = GraphBuilder::FromTable(t);
+  ASSERT_TRUE(g.ok());
+  for (VertexId u = 0; u < g->num_users(); ++u) {
+    const auto n = g->UserNeighbors(u);
+    EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+    EXPECT_TRUE(std::adjacent_find(n.begin(), n.end()) == n.end());
+  }
+  for (VertexId v = 0; v < g->num_items(); ++v) {
+    const auto n = g->ItemNeighbors(v);
+    EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+  }
+}
+
+/// Property: the item-side CSR is an exact transpose of the user-side CSR,
+/// weights included, on random tables of varying density.
+class TransposePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransposePropertyTest, ItemCsrIsExactTranspose) {
+  Rng rng(GetParam());
+  table::ClickTable t;
+  const uint64_t users = 20 + rng.Uniform(60);
+  const uint64_t items = 10 + rng.Uniform(40);
+  const int rows = 100 + static_cast<int>(rng.Uniform(900));
+  for (int i = 0; i < rows; ++i) {
+    t.Append(static_cast<table::UserId>(rng.Uniform(users)),
+             static_cast<table::ItemId>(rng.Uniform(items)),
+             static_cast<table::ClickCount>(1 + rng.Uniform(9)));
+  }
+  auto g = GraphBuilder::FromTable(t);
+  ASSERT_TRUE(g.ok());
+
+  uint64_t user_side_edges = 0;
+  uint64_t user_side_mass = 0;
+  for (VertexId u = 0; u < g->num_users(); ++u) {
+    const auto neighbors = g->UserNeighbors(u);
+    const auto clicks = g->UserEdgeClicks(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      ++user_side_edges;
+      user_side_mass += clicks[i];
+      // Reverse edge exists with identical weight.
+      const auto back = g->ItemNeighbors(neighbors[i]);
+      const auto it = std::lower_bound(back.begin(), back.end(), u);
+      ASSERT_TRUE(it != back.end() && *it == u);
+      const size_t idx = static_cast<size_t>(it - back.begin());
+      EXPECT_EQ(g->ItemEdgeClicks(neighbors[i])[idx], clicks[i]);
+    }
+  }
+  uint64_t item_side_edges = 0;
+  uint64_t item_side_mass = 0;
+  for (VertexId v = 0; v < g->num_items(); ++v) {
+    item_side_edges += g->ItemNeighbors(v).size();
+    for (const auto c : g->ItemEdgeClicks(v)) item_side_mass += c;
+  }
+  EXPECT_EQ(user_side_edges, item_side_edges);
+  EXPECT_EQ(user_side_mass, item_side_mass);
+  EXPECT_EQ(user_side_mass, g->total_clicks());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransposePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(GraphTest, SideGenericAccessorsMatchSpecific) {
+  auto g = GraphBuilder::FromTable(Sample());
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(Side::kUser), g->num_users());
+  EXPECT_EQ(g->num_vertices(Side::kItem), g->num_items());
+  for (VertexId u = 0; u < g->num_users(); ++u) {
+    EXPECT_EQ(g->Neighbors(Side::kUser, u).size(), g->UserNeighbors(u).size());
+  }
+  EXPECT_EQ(Other(Side::kUser), Side::kItem);
+  EXPECT_EQ(Other(Side::kItem), Side::kUser);
+}
+
+}  // namespace
+}  // namespace ricd::graph

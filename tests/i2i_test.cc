@@ -1,0 +1,177 @@
+// Tests for the I2I-score model (Eq. 1-3) and the case-study traffic model.
+
+#include "i2i/i2i_score.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "i2i/traffic_model.h"
+
+namespace ricd::i2i {
+namespace {
+
+// Co-click structure around anchor item 1:
+//   u1 clicks i1(1), i2(4), i3(2)
+//   u2 clicks i1(2), i2(6)
+//   u3 clicks i3(9)            <- not an i1 clicker
+graph::BipartiteGraph MakeGraph() {
+  table::ClickTable t;
+  t.Append(1, 1, 1);
+  t.Append(1, 2, 4);
+  t.Append(1, 3, 2);
+  t.Append(2, 1, 2);
+  t.Append(2, 2, 6);
+  t.Append(3, 3, 9);
+  return graph::GraphBuilder::FromTable(t).value();
+}
+
+TEST(I2iScorerTest, ConditionalClicksCountOnlyAnchorClickers) {
+  const auto g = MakeGraph();
+  graph::VertexId anchor = 0;
+  ASSERT_TRUE(g.LookupItem(1, &anchor));
+  I2iScorer scorer(g);
+  const auto mass = scorer.ConditionalClicks(anchor);
+  // i2: u1 (4) + u2 (6) = 10; i3: u1 (2) only — u3 never clicked i1.
+  ASSERT_EQ(mass.size(), 2u);
+  graph::VertexId i2 = 0;
+  graph::VertexId i3 = 0;
+  ASSERT_TRUE(g.LookupItem(2, &i2));
+  ASSERT_TRUE(g.LookupItem(3, &i3));
+  for (const auto& [item, c] : mass) {
+    if (item == i2) {
+      EXPECT_EQ(c, 10u);
+    }
+    if (item == i3) {
+      EXPECT_EQ(c, 2u);
+    }
+  }
+}
+
+TEST(I2iScorerTest, ScoresNormalizePerEq1) {
+  const auto g = MakeGraph();
+  graph::VertexId anchor = 0;
+  graph::VertexId i2 = 0;
+  graph::VertexId i3 = 0;
+  ASSERT_TRUE(g.LookupItem(1, &anchor));
+  ASSERT_TRUE(g.LookupItem(2, &i2));
+  ASSERT_TRUE(g.LookupItem(3, &i3));
+  I2iScorer scorer(g);
+  EXPECT_DOUBLE_EQ(scorer.Score(anchor, i2), 10.0 / 12.0);
+  EXPECT_DOUBLE_EQ(scorer.Score(anchor, i3), 2.0 / 12.0);
+  // Never co-clicked with itself in the output.
+  EXPECT_DOUBLE_EQ(scorer.Score(anchor, anchor), 0.0);
+}
+
+TEST(I2iScorerTest, RelatedItemsSortedAndTruncated) {
+  const auto g = MakeGraph();
+  graph::VertexId anchor = 0;
+  ASSERT_TRUE(g.LookupItem(1, &anchor));
+  I2iScorer scorer(g);
+  const auto top = scorer.RelatedItems(anchor, 10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_GT(top[0].score, top[1].score);
+  const auto top1 = scorer.RelatedItems(anchor, 1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0].item, top[0].item);
+}
+
+TEST(I2iScorerTest, IsolatedAnchorHasNoRelatedItems) {
+  table::ClickTable t;
+  t.Append(1, 1, 3);  // single user, single item
+  const auto g = graph::GraphBuilder::FromTable(t).value();
+  I2iScorer scorer(g);
+  EXPECT_TRUE(scorer.RelatedItems(0, 5).empty());
+}
+
+TEST(AttackGainTest, MatchesEq2ClosedForm) {
+  // base_other = 100, base_target = 1, C = 10, C' = 10:
+  // S = 11 / (100 + 11 + 0) = 11/111.
+  EXPECT_DOUBLE_EQ(AttackedI2iScore(100, 1, 10, 10), 11.0 / 111.0);
+  // Spending clicks off-target (C' < C) wastes budget: C = 10, C' = 4:
+  // S = 5 / (100 + 5 + 6) = 5/111.
+  EXPECT_DOUBLE_EQ(AttackedI2iScore(100, 1, 10, 4), 5.0 / 111.0);
+}
+
+TEST(AttackGainTest, AllInOnTargetIsOptimal) {
+  // Property from Eq. 3: for any split C' <= C, the score is maximized at
+  // C' = C.
+  for (uint64_t c = 0; c <= 20; ++c) {
+    const double all_in = AttackedI2iScore(500, 1, 20, 20);
+    EXPECT_LE(AttackedI2iScore(500, 1, 20, c), all_in + 1e-12);
+  }
+}
+
+TEST(AttackGainTest, ScoreMonotoneInBudget) {
+  double prev = 0.0;
+  for (uint64_t budget = 2; budget < 40; ++budget) {
+    const double s = OptimalAttackScore(1000, 1, budget);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(AttackGainTest, BudgetBelowLinkCostIsZero) {
+  EXPECT_DOUBLE_EQ(OptimalAttackScore(100, 1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(OptimalAttackScore(100, 1, 1), 0.0);
+  // Budget 2 establishes the link but adds nothing: S = 1/(100+1).
+  EXPECT_DOUBLE_EQ(OptimalAttackScore(100, 1, 2), 1.0 / 101.0);
+}
+
+TEST(TrafficModelTest, RejectsInconsistentTimeline) {
+  Rng rng(1);
+  TrafficModelConfig c;
+  c.detection_day = 3;
+  c.campaign_start_day = 6;  // detection before campaign
+  EXPECT_FALSE(SimulateCampaignTraffic(c, rng).ok());
+  c = TrafficModelConfig{};
+  c.num_days = 0;
+  EXPECT_FALSE(SimulateCampaignTraffic(c, rng).ok());
+}
+
+TEST(TrafficModelTest, ReproducesFig10Phases) {
+  Rng rng(7);
+  TrafficModelConfig c;
+  c.noise = 0.0;  // deterministic phases
+  auto series = SimulateCampaignTraffic(c, rng);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), static_cast<size_t>(c.num_days));
+
+  const auto& s = *series;
+  // Before the attack: no abnormal traffic.
+  for (int d = 0; d < c.attack_start_day - 1; ++d) {
+    EXPECT_DOUBLE_EQ(s[d].abnormal_traffic, 0.0);
+  }
+  // During the attack: abnormal traffic flows.
+  EXPECT_GT(s[c.attack_start_day - 1].abnormal_traffic, 0.0);
+  // Normal traffic ramps before the campaign even starts (the paper's
+  // observation that missions are posted early).
+  EXPECT_GT(s[c.campaign_start_day - 2].normal_traffic,
+            s[c.attack_start_day - 2].normal_traffic);
+  // Campaign boost accelerates normal traffic further.
+  EXPECT_GT(s[c.detection_day - 2].normal_traffic,
+            s[c.campaign_start_day - 1].normal_traffic);
+  // Detection cleans fake clicks: traffic drops from the pre-detection peak.
+  EXPECT_LT(s[c.detection_day].normal_traffic,
+            s[c.detection_day - 2].normal_traffic);
+  EXPECT_DOUBLE_EQ(s[c.detection_day - 1].abnormal_traffic, 0.0);
+  // Delisting kills everything.
+  for (int d = c.delist_day - 1; d < c.num_days; ++d) {
+    EXPECT_DOUBLE_EQ(s[d].normal_traffic, 0.0);
+    EXPECT_DOUBLE_EQ(s[d].abnormal_traffic, 0.0);
+  }
+}
+
+TEST(TrafficModelTest, NoiseIsDeterministicPerSeed) {
+  TrafficModelConfig c;
+  Rng r1(5);
+  Rng r2(5);
+  auto a = SimulateCampaignTraffic(c, r1);
+  auto b = SimulateCampaignTraffic(c, r2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)[i].normal_traffic, (*b)[i].normal_traffic);
+  }
+}
+
+}  // namespace
+}  // namespace ricd::i2i

@@ -1,0 +1,96 @@
+// Unit + property tests for sorted-span intersection kernels.
+
+#include "graph/intersection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ricd::graph {
+namespace {
+
+std::vector<VertexId> V(std::initializer_list<VertexId> xs) { return xs; }
+
+TEST(IntersectionTest, Basic) {
+  const auto a = V({1, 3, 5, 7});
+  const auto b = V({2, 3, 6, 7, 9});
+  EXPECT_EQ(IntersectionSize(a, b), 2u);
+  EXPECT_EQ(IntersectionSize(b, a), 2u);
+}
+
+TEST(IntersectionTest, EmptyInputs) {
+  const auto a = V({1, 2});
+  const std::vector<VertexId> empty;
+  EXPECT_EQ(IntersectionSize(a, empty), 0u);
+  EXPECT_EQ(IntersectionSize(empty, a), 0u);
+  EXPECT_EQ(IntersectionSize(empty, empty), 0u);
+}
+
+TEST(IntersectionTest, IdenticalSpans) {
+  const auto a = V({2, 4, 6, 8});
+  EXPECT_EQ(IntersectionSize(a, a), 4u);
+}
+
+TEST(IntersectionTest, Disjoint) {
+  EXPECT_EQ(IntersectionSize(V({1, 2, 3}), V({4, 5, 6})), 0u);
+}
+
+TEST(IntersectionTest, AtLeastStopsAtThreshold) {
+  const auto a = V({1, 2, 3, 4, 5});
+  EXPECT_EQ(IntersectionAtLeast(a, a, 3), 3u);
+  EXPECT_EQ(IntersectionAtLeast(a, a, 10), 5u);
+  EXPECT_EQ(IntersectionAtLeast(a, a, 0), 0u);
+}
+
+TEST(IntersectionTest, GallopPathTriggeredBySkew) {
+  // Small span of 3 vs large span of 200 -> gallop path (ratio >= 16).
+  std::vector<VertexId> large;
+  for (VertexId i = 0; i < 200; ++i) large.push_back(i * 2);
+  const auto small = V({0, 101, 398});
+  EXPECT_EQ(IntersectionSize(small, large), 2u);  // 0 and 398 are even
+  EXPECT_EQ(IntersectionAtLeast(small, large, 1), 1u);
+}
+
+/// Property: both kernels agree with a std::set-based oracle on random
+/// inputs with varying size skew.
+class IntersectionPropertyTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(IntersectionPropertyTest, MatchesSetOracle) {
+  const auto [size_a, size_b] = GetParam();
+  Rng rng(1234 + size_a * 1000 + size_b);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::set<VertexId> sa;
+    std::set<VertexId> sb;
+    while (static_cast<int>(sa.size()) < size_a) {
+      sa.insert(static_cast<VertexId>(rng.Uniform(1000)));
+    }
+    while (static_cast<int>(sb.size()) < size_b) {
+      sb.insert(static_cast<VertexId>(rng.Uniform(1000)));
+    }
+    std::vector<VertexId> a(sa.begin(), sa.end());
+    std::vector<VertexId> b(sb.begin(), sb.end());
+    std::vector<VertexId> expected;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected));
+    EXPECT_EQ(IntersectionSize(a, b), expected.size());
+    // Capped variant agrees up to the cap.
+    const uint64_t cap = 1 + rng.Uniform(10);
+    EXPECT_EQ(IntersectionAtLeast(a, b, cap),
+              std::min<uint64_t>(cap, expected.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeSkews, IntersectionPropertyTest,
+    ::testing::Values(std::pair<int, int>{1, 1}, std::pair<int, int>{5, 5},
+                      std::pair<int, int>{3, 100}, std::pair<int, int>{100, 3},
+                      std::pair<int, int>{50, 800},
+                      std::pair<int, int>{200, 200}));
+
+}  // namespace
+}  // namespace ricd::graph

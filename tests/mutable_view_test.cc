@@ -1,0 +1,190 @@
+// Unit tests for the deletion-only graph overlay and connected components.
+
+#include "graph/mutable_view.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connected_components.h"
+#include "graph/graph_builder.h"
+#include "graph/hot_items.h"
+
+namespace ricd::graph {
+namespace {
+
+// Two disconnected bicliques:
+//   users {1,2} x items {10,11}, and users {3,4} x items {12,13}.
+table::ClickTable TwoBicliques() {
+  table::ClickTable t;
+  for (table::UserId u : {1, 2}) {
+    for (table::ItemId i : {10, 11}) t.Append(u, i, 2);
+  }
+  for (table::UserId u : {3, 4}) {
+    for (table::ItemId i : {12, 13}) t.Append(u, i, 3);
+  }
+  return t;
+}
+
+TEST(MutableViewTest, InitialStateMatchesGraph) {
+  auto g = GraphBuilder::FromTable(TwoBicliques()).value();
+  MutableView view(g);
+  EXPECT_EQ(view.NumActive(Side::kUser), 4u);
+  EXPECT_EQ(view.NumActive(Side::kItem), 4u);
+  for (VertexId u = 0; u < g.num_users(); ++u) {
+    EXPECT_TRUE(view.IsActive(Side::kUser, u));
+    EXPECT_EQ(view.ActiveDegree(Side::kUser, u), g.Degree(Side::kUser, u));
+  }
+}
+
+TEST(MutableViewTest, RemoveDecrementsNeighborDegrees) {
+  auto g = GraphBuilder::FromTable(TwoBicliques()).value();
+  MutableView view(g);
+  VertexId u1 = 0;
+  ASSERT_TRUE(g.LookupUser(1, &u1));
+  view.Remove(Side::kUser, u1);
+  EXPECT_FALSE(view.IsActive(Side::kUser, u1));
+  EXPECT_EQ(view.NumActive(Side::kUser), 3u);
+  VertexId i10 = 0;
+  ASSERT_TRUE(g.LookupItem(10, &i10));
+  EXPECT_EQ(view.ActiveDegree(Side::kItem, i10), 1u);
+}
+
+TEST(MutableViewTest, RemoveIsIdempotent) {
+  auto g = GraphBuilder::FromTable(TwoBicliques()).value();
+  MutableView view(g);
+  view.Remove(Side::kUser, 0);
+  view.Remove(Side::kUser, 0);
+  EXPECT_EQ(view.NumActive(Side::kUser), 3u);
+  VertexId i10 = 0;
+  ASSERT_TRUE(g.LookupItem(10, &i10));
+  // Degree decremented exactly once despite the double removal.
+  EXPECT_EQ(view.ActiveDegree(Side::kItem, i10), 1u);
+}
+
+TEST(MutableViewTest, ActiveNeighborsFiltersInactive) {
+  auto g = GraphBuilder::FromTable(TwoBicliques()).value();
+  MutableView view(g);
+  VertexId i10 = 0;
+  VertexId u1 = 0;
+  ASSERT_TRUE(g.LookupItem(10, &i10));
+  ASSERT_TRUE(g.LookupUser(1, &u1));
+  view.Remove(Side::kUser, u1);
+  const auto n = view.ActiveNeighbors(Side::kItem, i10);
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_NE(n[0], u1);
+}
+
+TEST(MutableViewTest, ResetRestoresEverything) {
+  auto g = GraphBuilder::FromTable(TwoBicliques()).value();
+  MutableView view(g);
+  view.Remove(Side::kUser, 0);
+  view.Remove(Side::kItem, 2);
+  view.Reset();
+  EXPECT_EQ(view.NumActive(Side::kUser), 4u);
+  EXPECT_EQ(view.NumActive(Side::kItem), 4u);
+  for (VertexId u = 0; u < g.num_users(); ++u) {
+    EXPECT_EQ(view.ActiveDegree(Side::kUser, u), g.Degree(Side::kUser, u));
+  }
+}
+
+TEST(MutableViewTest, ActiveVerticesAscending) {
+  auto g = GraphBuilder::FromTable(TwoBicliques()).value();
+  MutableView view(g);
+  view.Remove(Side::kUser, 1);
+  const auto v = view.ActiveVertices(Side::kUser);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(ConnectedComponentsTest, FindsBothBicliques) {
+  auto g = GraphBuilder::FromTable(TwoBicliques()).value();
+  MutableView view(g);
+  const auto groups = ActiveConnectedComponents(view);
+  ASSERT_EQ(groups.size(), 2u);
+  for (const auto& grp : groups) {
+    EXPECT_EQ(grp.users.size(), 2u);
+    EXPECT_EQ(grp.items.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(grp.users.begin(), grp.users.end()));
+    EXPECT_TRUE(std::is_sorted(grp.items.begin(), grp.items.end()));
+  }
+}
+
+TEST(ConnectedComponentsTest, RemovalSplitsOrShrinksComponents) {
+  // A path-like structure: u1-i1-u2-i2; removing u2 leaves one component
+  // with u1, i1 only (i2 becomes isolated and is skipped).
+  table::ClickTable t;
+  t.Append(1, 1, 1);
+  t.Append(2, 1, 1);
+  t.Append(2, 2, 1);
+  auto g = GraphBuilder::FromTable(t).value();
+  MutableView view(g);
+  EXPECT_EQ(ActiveConnectedComponents(view).size(), 1u);
+
+  VertexId u2 = 0;
+  ASSERT_TRUE(g.LookupUser(2, &u2));
+  view.Remove(Side::kUser, u2);
+  const auto groups = ActiveConnectedComponents(view);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].users.size(), 1u);
+  EXPECT_EQ(groups[0].items.size(), 1u);
+}
+
+TEST(ConnectedComponentsTest, IsolatedVerticesSkipped) {
+  auto g = GraphBuilder::FromTable(TwoBicliques()).value();
+  MutableView view(g);
+  // Remove all items of the first biclique: its users become isolated.
+  VertexId i10 = 0;
+  VertexId i11 = 0;
+  ASSERT_TRUE(g.LookupItem(10, &i10));
+  ASSERT_TRUE(g.LookupItem(11, &i11));
+  view.Remove(Side::kItem, i10);
+  view.Remove(Side::kItem, i11);
+  const auto groups = ActiveConnectedComponents(view);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].users.size(), 2u);
+}
+
+TEST(ConnectedComponentsTest, EmptyGraph) {
+  auto g = GraphBuilder::FromTable(table::ClickTable()).value();
+  MutableView view(g);
+  EXPECT_TRUE(ActiveConnectedComponents(view).empty());
+}
+
+TEST(HotItemsTest, FlagsMatchThreshold) {
+  table::ClickTable t;
+  t.Append(1, 1, 100);
+  t.Append(1, 2, 5);
+  auto g = GraphBuilder::FromTable(t).value();
+  const auto flags = ComputeHotFlags(g, 50);
+  VertexId i1 = 0;
+  VertexId i2 = 0;
+  ASSERT_TRUE(g.LookupItem(1, &i1));
+  ASSERT_TRUE(g.LookupItem(2, &i2));
+  EXPECT_EQ(flags[i1], 1);
+  EXPECT_EQ(flags[i2], 0);
+}
+
+TEST(HotItemsTest, ThresholdBoundaryIsInclusive) {
+  table::ClickTable t;
+  t.Append(1, 1, 50);
+  auto g = GraphBuilder::FromTable(t).value();
+  EXPECT_EQ(ComputeHotFlags(g, 50)[0], 1);
+  EXPECT_EQ(ComputeHotFlags(g, 51)[0], 0);
+}
+
+TEST(HotItemsTest, DeriveHotThresholdMatchesTableRule) {
+  table::ClickTable t;
+  t.Append(1, 1, 80);
+  t.Append(2, 2, 15);
+  t.Append(3, 3, 5);
+  auto g = GraphBuilder::FromTable(t).value();
+  EXPECT_EQ(DeriveHotThreshold(g, 0.8), 80u);
+  EXPECT_EQ(DeriveHotThreshold(g, 0.9), 15u);
+}
+
+TEST(HotItemsTest, EmptyGraphThresholdZero) {
+  auto g = GraphBuilder::FromTable(table::ClickTable()).value();
+  EXPECT_EQ(DeriveHotThreshold(g, 0.8), 0u);
+}
+
+}  // namespace
+}  // namespace ricd::graph

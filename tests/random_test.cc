@@ -1,0 +1,208 @@
+// Unit + property tests for the deterministic RNG and samplers.
+
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ricd {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ReseedResetsSequence) {
+  Rng a(77);
+  const uint64_t first = a.Next();
+  a.Next();
+  a.Seed(77);
+  EXPECT_EQ(a.Next(), first);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  // Bound 1 is always 0.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RngTest, UniformCoversAllResidues) {
+  Rng rng(5);
+  std::vector<int> hits(7, 0);
+  for (int i = 0; i < 7000; ++i) ++hits[rng.Uniform(7)];
+  for (int h : hits) EXPECT_GT(h, 700);  // Expected 1000 each.
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-1.0));
+    EXPECT_TRUE(rng.Bernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ParetoRespectsScaleMinimum) {
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RngTest, ParetoMeanMatchesTheory) {
+  // Mean of Pareto(x_m, a) is a*x_m/(a-1) for a > 1.
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Pareto(1.0, 3.0);
+  EXPECT_NEAR(sum / n, 1.5, 0.05);
+}
+
+TEST(RngTest, GeometricAtLeastOne) {
+  Rng rng(23);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GE(rng.Geometric(0.4), 1u);
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Geometric(1.0), 1u);
+}
+
+TEST(RngTest, GeometricMeanMatchesTheory) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Geometric(0.25));
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(31);
+  const int n = 100000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(ZipfSamplerTest, SamplesWithinRange) {
+  Rng rng(41);
+  ZipfSampler zipf(100, 1.0);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 100u);
+  }
+}
+
+TEST(ZipfSamplerTest, RankZeroMostFrequent) {
+  Rng rng(43);
+  ZipfSampler zipf(50, 1.2);
+  std::vector<int> hits(50, 0);
+  for (int i = 0; i < 50000; ++i) ++hits[zipf.Sample(rng)];
+  EXPECT_GT(hits[0], hits[1]);
+  EXPECT_GT(hits[1], hits[10]);
+  EXPECT_GT(hits[10], hits[49]);
+}
+
+TEST(ZipfSamplerTest, ZeroExponentIsUniform) {
+  Rng rng(47);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 50000; ++i) ++hits[zipf.Sample(rng)];
+  for (int h : hits) EXPECT_NEAR(h, 5000, 500);
+}
+
+TEST(ZipfSamplerTest, SingleElement) {
+  Rng rng(53);
+  ZipfSampler zipf(1, 1.5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+/// Property sweep: frequency ratio between rank 0 and rank k approximates
+/// (k+1)^s across exponents.
+class ZipfRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfRatioTest, HeadTailRatioMatchesExponent) {
+  const double s = GetParam();
+  Rng rng(59);
+  ZipfSampler zipf(200, s);
+  std::vector<double> hits(200, 0.0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) hits[zipf.Sample(rng)] += 1.0;
+  const double expected_ratio = std::pow(10.0, s);  // rank 0 vs rank 9
+  ASSERT_GT(hits[9], 0.0);
+  const double ratio = hits[0] / hits[9];
+  EXPECT_NEAR(ratio, expected_ratio, expected_ratio * 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfRatioTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.25));
+
+}  // namespace
+}  // namespace ricd

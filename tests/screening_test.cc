@@ -1,0 +1,211 @@
+// Tests for the suspicious group screening module (user behaviour check +
+// item behaviour verification) and the identification module.
+
+#include "ricd/screening.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/hot_items.h"
+#include "ricd/identification.h"
+
+namespace ricd::core {
+namespace {
+
+using graph::Side;
+using graph::VertexId;
+
+/// Fixture graph (external ids):
+///   hot item 900: total clicks pushed over t_hot by filler users.
+///   attackers 1, 2: click hot 900 once, hammer targets 10, 11 (14 clicks).
+///   disguised enthusiast 3: hammers target 10 but clicks hot 900 9 times.
+///   bystander 4: clicks hot 900 and target 10 lightly.
+///   camouflage item 12: clicked once each by attackers.
+class ScreeningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table::ClickTable t;
+    for (table::UserId filler = 100; filler < 150; ++filler) {
+      t.Append(filler, 900, 10);
+    }
+    for (table::UserId attacker : {1, 2}) {
+      t.Append(attacker, 900, 1);
+      t.Append(attacker, 10, 14);
+      t.Append(attacker, 11, 14);
+      t.Append(attacker, 12, 1);
+    }
+    t.Append(3, 900, 9);
+    t.Append(3, 10, 14);
+    t.Append(4, 900, 2);
+    t.Append(4, 10, 1);
+    graph_ = graph::GraphBuilder::FromTable(t).value();
+
+    params_.t_hot = 300;
+    params_.t_click = 12;
+    params_.max_avg_hot_clicks = 4.0;
+    params_.min_supporting_users = 2;
+  }
+
+  graph::Group WholeSuspectGroup() const {
+    graph::Group g;
+    for (const table::UserId ext : {1, 2, 3, 4}) {
+      VertexId u = 0;
+      EXPECT_TRUE(graph_.LookupUser(ext, &u));
+      g.users.push_back(u);
+    }
+    for (const table::ItemId ext : {900, 10, 11, 12}) {
+      VertexId v = 0;
+      EXPECT_TRUE(graph_.LookupItem(ext, &v));
+      g.items.push_back(v);
+    }
+    return g;
+  }
+
+  GroupScreener MakeScreener() const {
+    return GroupScreener(graph_, params_,
+                         graph::ComputeHotFlags(graph_, params_.t_hot));
+  }
+
+  bool GroupHasUser(const graph::Group& g, table::UserId ext) const {
+    VertexId u = 0;
+    EXPECT_TRUE(graph_.LookupUser(ext, &u));
+    return std::find(g.users.begin(), g.users.end(), u) != g.users.end();
+  }
+
+  bool GroupHasItem(const graph::Group& g, table::ItemId ext) const {
+    VertexId v = 0;
+    EXPECT_TRUE(graph_.LookupItem(ext, &v));
+    return std::find(g.items.begin(), g.items.end(), v) != g.items.end();
+  }
+
+  graph::BipartiteGraph graph_;
+  RicdParams params_;
+};
+
+TEST_F(ScreeningTest, NoneModeIsNoop) {
+  auto group = WholeSuspectGroup();
+  GroupScreener screener = MakeScreener();
+  EXPECT_TRUE(screener.ScreenGroup(group, ScreeningMode::kNone));
+  EXPECT_EQ(group.users.size(), 4u);
+  EXPECT_EQ(group.items.size(), 4u);
+}
+
+TEST_F(ScreeningTest, UserCheckKeepsHammerersWithLowHotProfile) {
+  auto group = WholeSuspectGroup();
+  GroupScreener screener = MakeScreener();
+  ScreeningStats stats;
+  ASSERT_TRUE(screener.ScreenGroup(group, ScreeningMode::kUserCheckOnly, &stats));
+  EXPECT_TRUE(GroupHasUser(group, 1));
+  EXPECT_TRUE(GroupHasUser(group, 2));
+  EXPECT_FALSE(GroupHasUser(group, 3)) << "heavy hot clicker is a normal fan";
+  EXPECT_FALSE(GroupHasUser(group, 4)) << "light clicker is a bystander";
+  EXPECT_EQ(stats.users_removed, 2u);
+  // Item side untouched in RICD-I mode.
+  EXPECT_EQ(group.items.size(), 4u);
+}
+
+TEST_F(ScreeningTest, ItemVerificationKeepsHammeredOrdinaryItems) {
+  auto group = WholeSuspectGroup();
+  GroupScreener screener = MakeScreener();
+  ScreeningStats stats;
+  ASSERT_TRUE(screener.ScreenGroup(group, ScreeningMode::kFull, &stats));
+  EXPECT_TRUE(GroupHasItem(group, 10));
+  EXPECT_TRUE(GroupHasItem(group, 11));
+  EXPECT_FALSE(GroupHasItem(group, 900)) << "hot items are victims";
+  EXPECT_FALSE(GroupHasItem(group, 12)) << "camouflage has no hammer support";
+  EXPECT_EQ(stats.items_removed, 2u);
+}
+
+TEST_F(ScreeningTest, GroupDroppedWhenNoUsersSurvive) {
+  graph::Group group;
+  VertexId u = 0;
+  ASSERT_TRUE(graph_.LookupUser(4, &u));  // bystander only
+  group.users.push_back(u);
+  VertexId v = 0;
+  ASSERT_TRUE(graph_.LookupItem(10, &v));
+  group.items.push_back(v);
+
+  GroupScreener screener = MakeScreener();
+  ScreeningStats stats;
+  EXPECT_FALSE(screener.ScreenGroup(group, ScreeningMode::kFull, &stats));
+  EXPECT_EQ(stats.groups_dropped, 1u);
+}
+
+TEST_F(ScreeningTest, MinSupportThresholdControlsItemSurvival) {
+  params_.min_supporting_users = 3;  // only 2 attackers hammer each target
+  auto group = WholeSuspectGroup();
+  GroupScreener screener = MakeScreener();
+  EXPECT_FALSE(screener.ScreenGroup(group, ScreeningMode::kFull));
+}
+
+TEST_F(ScreeningTest, ScreenFiltersGroupVector) {
+  std::vector<graph::Group> groups;
+  groups.push_back(WholeSuspectGroup());
+  // A second group with only the bystander: dies entirely.
+  graph::Group dead;
+  VertexId u = 0;
+  ASSERT_TRUE(graph_.LookupUser(4, &u));
+  dead.users.push_back(u);
+  VertexId v = 0;
+  ASSERT_TRUE(graph_.LookupItem(10, &v));
+  dead.items.push_back(v);
+  groups.push_back(dead);
+
+  GroupScreener screener = MakeScreener();
+  ScreeningStats stats;
+  screener.Screen(groups, ScreeningMode::kFull, &stats);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(stats.groups_dropped, 1u);
+}
+
+TEST_F(ScreeningTest, TClickBoundaryIsInclusive) {
+  params_.t_click = 14;  // attackers hammer exactly 14
+  auto group = WholeSuspectGroup();
+  GroupScreener screener = MakeScreener();
+  ASSERT_TRUE(screener.ScreenGroup(group, ScreeningMode::kFull));
+  EXPECT_TRUE(GroupHasUser(group, 1));
+
+  params_.t_click = 15;  // now just above
+  auto group2 = WholeSuspectGroup();
+  GroupScreener screener2 = MakeScreener();
+  EXPECT_FALSE(screener2.ScreenGroup(group2, ScreeningMode::kFull));
+}
+
+TEST_F(ScreeningTest, RankByRiskOrdersAttackersFirst) {
+  auto group = WholeSuspectGroup();
+  GroupScreener screener = MakeScreener();
+  ASSERT_TRUE(screener.ScreenGroup(group, ScreeningMode::kFull));
+  const auto ranked = RankByRisk(graph_, {group});
+
+  // Attackers clicked 2 suspicious items each -> risk 2.
+  ASSERT_EQ(ranked.users.size(), 2u);
+  EXPECT_DOUBLE_EQ(ranked.users[0].risk, 2.0);
+  EXPECT_DOUBLE_EQ(ranked.users[1].risk, 2.0);
+  // Items: risk = average clicker risk = 2.
+  ASSERT_EQ(ranked.items.size(), 2u);
+  EXPECT_DOUBLE_EQ(ranked.items[0].risk, 2.0);
+  // Deterministic tie-break by external id.
+  EXPECT_LT(ranked.users[0].external_id, ranked.users[1].external_id);
+}
+
+TEST_F(ScreeningTest, TopKHelpers) {
+  RankedOutput out;
+  out.users = {{0, 1, 3.0}, {1, 2, 2.0}, {2, 3, 1.0}};
+  out.items = {{0, 9, 5.0}};
+  EXPECT_EQ(TopKUsers(out, 2).size(), 2u);
+  EXPECT_EQ(TopKUsers(out, 2)[0].external_id, 1);
+  EXPECT_EQ(TopKUsers(out, 10).size(), 3u);
+  EXPECT_EQ(TopKItems(out, 0).size(), 0u);
+}
+
+TEST(IdentificationTest, EmptyGroupsYieldEmptyOutput) {
+  table::ClickTable t;
+  t.Append(1, 1, 1);
+  const auto g = graph::GraphBuilder::FromTable(t).value();
+  const auto ranked = RankByRisk(g, {});
+  EXPECT_TRUE(ranked.users.empty());
+  EXPECT_TRUE(ranked.items.empty());
+}
+
+}  // namespace
+}  // namespace ricd::core

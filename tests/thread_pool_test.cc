@@ -1,0 +1,185 @@
+// Unit tests for the thread pool and the worker engine built on it.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "engine/partitioner.h"
+#include "engine/worker_engine.h"
+
+namespace ricd {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not hang.
+}
+
+TEST(ThreadPoolTest, MultipleWaitCycles) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) pool.Submit([&count] { count.fetch_add(1); });
+    pool.Wait();
+    EXPECT_EQ(count.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.Submit([&count] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(PartitionerTest, CoversRangeExactlyOnce) {
+  const auto ranges = engine::PartitionRange(10, 3);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0].begin, 0u);
+  uint32_t total = 0;
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (i > 0) {
+      EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);
+    }
+    total += ranges[i].size();
+  }
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(ranges.back().end, 10u);
+}
+
+TEST(PartitionerTest, BalancedWithinOne) {
+  const auto ranges = engine::PartitionRange(100, 7);
+  uint32_t min_size = UINT32_MAX;
+  uint32_t max_size = 0;
+  for (const auto& r : ranges) {
+    min_size = std::min(min_size, r.size());
+    max_size = std::max(max_size, r.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(PartitionerTest, MorePartsThanElements) {
+  const auto ranges = engine::PartitionRange(2, 5);
+  ASSERT_EQ(ranges.size(), 5u);
+  uint32_t total = 0;
+  for (const auto& r : ranges) total += r.size();
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(PartitionerTest, EmptyRange) {
+  const auto ranges = engine::PartitionRange(0, 4);
+  for (const auto& r : ranges) EXPECT_TRUE(r.empty());
+}
+
+TEST(PartitionerTest, ZeroPartsClampedToOne) {
+  const auto ranges = engine::PartitionRange(5, 0);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].size(), 5u);
+}
+
+/// Property sweep over (n, parts) combinations.
+class PartitionPropertyTest
+    : public ::testing::TestWithParam<std::pair<uint32_t, size_t>> {};
+
+TEST_P(PartitionPropertyTest, CoverageAndBalanceInvariants) {
+  const auto [n, parts] = GetParam();
+  const auto ranges = engine::PartitionRange(n, parts);
+  uint32_t total = 0;
+  uint32_t prev_end = 0;
+  for (const auto& r : ranges) {
+    EXPECT_EQ(r.begin, prev_end);
+    EXPECT_LE(r.begin, r.end);
+    prev_end = r.end;
+    total += r.size();
+  }
+  EXPECT_EQ(total, n);
+  EXPECT_EQ(prev_end, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionPropertyTest,
+    ::testing::Values(std::pair<uint32_t, size_t>{1, 1},
+                      std::pair<uint32_t, size_t>{1, 16},
+                      std::pair<uint32_t, size_t>{16, 16},
+                      std::pair<uint32_t, size_t>{17, 16},
+                      std::pair<uint32_t, size_t>{1000, 3},
+                      std::pair<uint32_t, size_t>{999983, 48}));
+
+TEST(WorkerEngineTest, ParallelForVisitsEveryIndexOnce) {
+  engine::WorkerEngine eng(4);
+  std::vector<std::atomic<int>> hits(1000);
+  eng.ParallelFor(1000, [&hits](uint32_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerEngineTest, ParallelForRangesCoverDisjointly) {
+  engine::WorkerEngine eng(3);
+  std::vector<int> owner(100, -1);
+  eng.ParallelForRanges(100, [&owner](size_t worker, engine::VertexRange r) {
+    for (uint32_t i = r.begin; i < r.end; ++i) owner[i] = static_cast<int>(worker);
+  });
+  for (int o : owner) EXPECT_GE(o, 0);
+}
+
+TEST(WorkerEngineTest, MapReduceSum) {
+  engine::WorkerEngine eng(4);
+  const uint64_t sum = eng.MapReduce<uint64_t>(
+      1000, 0,
+      [](engine::VertexRange r, uint64_t acc) {
+        for (uint32_t i = r.begin; i < r.end; ++i) acc += i;
+        return acc;
+      },
+      [](uint64_t a, uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, 999u * 1000u / 2);
+}
+
+TEST(WorkerEngineTest, SingleWorkerEngine) {
+  engine::WorkerEngine eng(1);
+  EXPECT_EQ(eng.num_workers(), 1u);
+  std::vector<int> hits(10, 0);
+  eng.ParallelFor(10, [&hits](uint32_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(WorkerEngineTest, DefaultEngineIsUsable) {
+  const auto& eng = engine::DefaultEngine();
+  EXPECT_GE(eng.num_workers(), 1u);
+  std::atomic<int> count{0};
+  eng.ParallelFor(16, [&count](uint32_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(WorkerEngineTest, ZeroElementLoopIsNoop) {
+  engine::WorkerEngine eng(2);
+  bool called = false;
+  eng.ParallelFor(0, [&called](uint32_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace ricd

@@ -1,0 +1,411 @@
+// ricd_tool — command-line front end for the RICD library.
+//
+//   ricd_tool generate --scale=small --seed=42 --out=clicks.csv
+//                      [--labels=labels.csv] [--binary]
+//   ricd_tool stats    --in=clicks.csv
+//   ricd_tool detect   --in=clicks.csv [--k1=10 --k2=10 --alpha=1.0
+//                      --t-hot=0 --t-click=12 --screening=full|user|none
+//                      --seed-users=1,2,3 --seed-items=7,8
+//                      --expectation=0 --top=50]
+//                      [--out-users=users.csv --out-items=items.csv]
+//   ricd_tool i2i      --in=clicks.csv --item=ID [--top=10]
+//   ricd_tool compare  --in=clicks.csv --labels=labels.csv
+//                      [--k1= --k2= --alpha= --t-hot= --t-click=]
+//   ricd_tool stream   --in=clicks.csv --batches=N [--bootstrap-rows=M]
+//                      [--k1= --k2= --alpha= --t-hot= --t-click=]
+//
+// All click CSVs are "user,item,clicks" rows (a header is optional); label
+// files are "kind,id" rows as written by `generate --labels`.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "baselines/common_neighbors.h"
+#include "baselines/copycatch.h"
+#include "baselines/fraudar.h"
+#include "baselines/louvain.h"
+#include "baselines/lpa.h"
+#include "baselines/naive.h"
+#include "common/flags.h"
+#include "eval/experiment.h"
+#include "gen/label_io.h"
+#include "gen/scenario.h"
+#include "graph/graph_builder.h"
+#include "i2i/i2i_score.h"
+#include "ricd/framework.h"
+#include "ricd/incremental.h"
+#include "ricd/ui_adapter.h"
+#include "table/table_io.h"
+#include "table/table_stats.h"
+
+namespace ricd::tool {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ricd_tool <generate|stats|detect|i2i|compare|stream> [--flags]\n"
+      "  generate  synthesize a Taobao-shaped workload with planted attacks\n"
+      "  stats     print Table I/II-style statistics of a click CSV\n"
+      "  detect    run the RICD framework and emit ranked suspects\n"
+      "  i2i       top related items of an item (the manipulated ranking)\n"
+      "  compare   score RICD and all baselines against a label file\n"
+      "  stream    replay a click file in batches through incremental RICD\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Rejects mistyped flags after all getters ran.
+int RejectUnknown(const FlagParser& flags) {
+  const auto unknown = flags.UnknownFlags();
+  if (unknown.empty()) return 0;
+  for (const auto& name : unknown) {
+    std::fprintf(stderr, "error: unknown flag --%s\n", name.c_str());
+  }
+  return 2;
+}
+
+Result<gen::ScenarioScale> ParseScale(const std::string& name) {
+  if (name == "tiny") return gen::ScenarioScale::kTiny;
+  if (name == "small") return gen::ScenarioScale::kSmall;
+  if (name == "medium") return gen::ScenarioScale::kMedium;
+  if (name == "large") return gen::ScenarioScale::kLarge;
+  return Status::InvalidArgument("unknown --scale '" + name +
+                                 "' (tiny|small|medium|large)");
+}
+
+Result<core::ScreeningMode> ParseScreening(const std::string& name) {
+  if (name == "full") return core::ScreeningMode::kFull;
+  if (name == "user") return core::ScreeningMode::kUserCheckOnly;
+  if (name == "none") return core::ScreeningMode::kNone;
+  return Status::InvalidArgument("unknown --screening '" + name +
+                                 "' (full|user|none)");
+}
+
+Result<core::RicdParams> ParamsFromFlags(const FlagParser& flags) {
+  core::RicdParams params;
+  RICD_ASSIGN_OR_RETURN(const int64_t k1, flags.GetInt("k1", params.k1));
+  RICD_ASSIGN_OR_RETURN(const int64_t k2, flags.GetInt("k2", params.k2));
+  RICD_ASSIGN_OR_RETURN(params.alpha, flags.GetDouble("alpha", params.alpha));
+  RICD_ASSIGN_OR_RETURN(const int64_t t_hot, flags.GetInt("t-hot", 0));
+  RICD_ASSIGN_OR_RETURN(const int64_t t_click,
+                        flags.GetInt("t-click", params.t_click));
+  if (k1 <= 0 || k2 <= 0 || t_hot < 0 || t_click <= 0) {
+    return Status::InvalidArgument("k1/k2/t-click must be > 0, t-hot >= 0");
+  }
+  params.k1 = static_cast<uint32_t>(k1);
+  params.k2 = static_cast<uint32_t>(k2);
+  params.t_hot = static_cast<uint64_t>(t_hot);
+  params.t_click = static_cast<uint32_t>(t_click);
+  return params;
+}
+
+Result<table::ClickTable> LoadClicks(const FlagParser& flags) {
+  RICD_ASSIGN_OR_RETURN(const std::string in, flags.GetString("in", ""));
+  if (in.empty()) return Status::InvalidArgument("--in=<clicks file> required");
+  if (in.size() > 4 && in.substr(in.size() - 4) == ".bin") {
+    return table::ReadBinary(in);
+  }
+  return table::ReadCsv(in);
+}
+
+int RunGenerate(const FlagParser& flags) {
+  const auto scale_name = flags.GetString("scale", "small");
+  const auto seed = flags.GetInt("seed", 42);
+  const auto out = flags.GetString("out", "clicks.csv");
+  const auto labels_path = flags.GetString("labels", "");
+  const auto binary = flags.GetBool("binary", false);
+  if (!scale_name.ok()) return Fail(scale_name.status());
+  if (!seed.ok()) return Fail(seed.status());
+  if (!out.ok() || !labels_path.ok() || !binary.ok()) return 2;
+  if (const int rc = RejectUnknown(flags)) return rc;
+
+  auto scale = ParseScale(*scale_name);
+  if (!scale.ok()) return Fail(scale.status());
+  auto scenario = gen::MakeScenario(*scale, static_cast<uint64_t>(*seed));
+  if (!scenario.ok()) return Fail(scenario.status());
+
+  const Status write = *binary ? table::WriteBinary(scenario->table, *out)
+                               : table::WriteCsv(scenario->table, *out);
+  if (!write.ok()) return Fail(write);
+  std::printf("wrote %zu click rows to %s\n", scenario->table.num_rows(),
+              out->c_str());
+
+  if (!labels_path->empty()) {
+    const Status ls = gen::WriteLabels(scenario->labels, *labels_path);
+    if (!ls.ok()) return Fail(ls);
+    std::printf("wrote %zu labels (%zu users, %zu items) to %s\n",
+                scenario->labels.size(), scenario->labels.abnormal_users.size(),
+                scenario->labels.abnormal_items.size(), labels_path->c_str());
+  }
+  std::printf("planted %zu attack groups; %zu organic communities\n",
+              scenario->groups.size(), scenario->organic_clubs.size());
+  return 0;
+}
+
+int RunStats(const FlagParser& flags) {
+  auto clicks = LoadClicks(flags);
+  if (!clicks.ok()) return Fail(clicks.status());
+  if (const int rc = RejectUnknown(flags)) return rc;
+
+  const auto stats = table::ComputeTableStats(*clicks);
+  const uint64_t t_hot = table::ComputeHotThreshold(*clicks, 0.8);
+  std::printf("rows:        %zu\n", clicks->num_rows());
+  std::printf("users:       %llu\n",
+              static_cast<unsigned long long>(stats.num_users));
+  std::printf("items:       %llu\n",
+              static_cast<unsigned long long>(stats.num_items));
+  std::printf("edges:       %llu\n",
+              static_cast<unsigned long long>(stats.num_edges));
+  std::printf("clicks:      %llu\n",
+              static_cast<unsigned long long>(stats.total_clicks));
+  std::printf("user side:   avg_clk %.2f  avg_cnt %.2f  stdev %.2f\n",
+              stats.user_side.avg_clicks, stats.user_side.avg_degree,
+              stats.user_side.stdev_clicks);
+  std::printf("item side:   avg_clk %.2f  avg_cnt %.2f  stdev %.2f\n",
+              stats.item_side.avg_clicks, stats.item_side.avg_degree,
+              stats.item_side.stdev_clicks);
+  std::printf("T_hot (80%% click-mass rule): %llu\n",
+              static_cast<unsigned long long>(t_hot));
+  return 0;
+}
+
+int RunDetect(const FlagParser& flags) {
+  auto clicks = LoadClicks(flags);
+  if (!clicks.ok()) return Fail(clicks.status());
+  auto params = ParamsFromFlags(flags);
+  if (!params.ok()) return Fail(params.status());
+  const auto screening_name = flags.GetString("screening", "full");
+  const auto expectation = flags.GetInt("expectation", 0);
+  const auto top = flags.GetInt("top", 50);
+  const auto out_users = flags.GetString("out-users", "");
+  const auto out_items = flags.GetString("out-items", "");
+  const auto seed_users = flags.GetIntList("seed-users");
+  const auto seed_items = flags.GetIntList("seed-items");
+  if (!screening_name.ok()) return Fail(screening_name.status());
+  if (!expectation.ok()) return Fail(expectation.status());
+  if (!top.ok() || !out_users.ok() || !out_items.ok()) return 2;
+  if (!seed_users.ok()) return Fail(seed_users.status());
+  if (!seed_items.ok()) return Fail(seed_items.status());
+  if (const int rc = RejectUnknown(flags)) return rc;
+
+  auto screening = ParseScreening(*screening_name);
+  if (!screening.ok()) return Fail(screening.status());
+
+  core::FrameworkOptions options;
+  options.params = *params;
+  options.screening = *screening;
+  options.expectation = static_cast<uint32_t>(*expectation);
+  options.seeds.users.assign(seed_users->begin(), seed_users->end());
+  options.seeds.items.assign(seed_items->begin(), seed_items->end());
+
+  core::RicdFramework framework(options);
+  auto result = framework.Run(*clicks);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("detected %zu suspicious group(s); flagged %zu users, %zu "
+              "items\n",
+              result->detection.groups.size(), result->ranked.users.size(),
+              result->ranked.items.size());
+  std::printf("effective parameters: k1=%u k2=%u alpha=%.2f T_hot=%llu "
+              "T_click=%u (feedback rounds: %u)\n",
+              result->effective_params.k1, result->effective_params.k2,
+              result->effective_params.alpha,
+              static_cast<unsigned long long>(result->effective_params.t_hot),
+              result->effective_params.t_click, result->feedback_rounds_used);
+
+  std::printf("\ntop suspicious users:\n");
+  for (const auto& u : core::TopKUsers(result->ranked,
+                                       static_cast<size_t>(*top))) {
+    std::printf("  %lld\trisk %.1f\n", static_cast<long long>(u.external_id),
+                u.risk);
+  }
+  std::printf("top suspicious items:\n");
+  for (const auto& v : core::TopKItems(result->ranked,
+                                       static_cast<size_t>(*top))) {
+    std::printf("  %lld\trisk %.2f\n", static_cast<long long>(v.external_id),
+                v.risk);
+  }
+
+  if (!out_users->empty()) {
+    std::ofstream out(*out_users, std::ios::trunc);
+    out << "user,risk\n";
+    for (const auto& u : result->ranked.users) {
+      out << u.external_id << ',' << u.risk << '\n';
+    }
+    std::printf("\nwrote %zu ranked users to %s\n", result->ranked.users.size(),
+                out_users->c_str());
+  }
+  if (!out_items->empty()) {
+    std::ofstream out(*out_items, std::ios::trunc);
+    out << "item,risk\n";
+    for (const auto& v : result->ranked.items) {
+      out << v.external_id << ',' << v.risk << '\n';
+    }
+    std::printf("wrote %zu ranked items to %s\n", result->ranked.items.size(),
+                out_items->c_str());
+  }
+  return 0;
+}
+
+int RunI2i(const FlagParser& flags) {
+  auto clicks = LoadClicks(flags);
+  if (!clicks.ok()) return Fail(clicks.status());
+  const auto item = flags.GetInt("item", -1);
+  const auto top = flags.GetInt("top", 10);
+  if (!item.ok()) return Fail(item.status());
+  if (!top.ok()) return 2;
+  if (const int rc = RejectUnknown(flags)) return rc;
+  if (*item < 0) return Fail(Status::InvalidArgument("--item=<id> required"));
+
+  auto graph = graph::GraphBuilder::FromTable(*clicks);
+  if (!graph.ok()) return Fail(graph.status());
+  graph::VertexId anchor = 0;
+  if (!graph->LookupItem(*item, &anchor)) {
+    return Fail(Status::NotFound("item not present in the click table"));
+  }
+
+  i2i::I2iScorer scorer(*graph);
+  const auto related = scorer.RelatedItems(anchor, static_cast<size_t>(*top));
+  std::printf("item %lld: %u clickers, %llu total clicks\n",
+              static_cast<long long>(*item),
+              graph->Degree(graph::Side::kItem, anchor),
+              static_cast<unsigned long long>(graph->ItemTotalClicks(anchor)));
+  std::printf("top related items by I2I-score (Eq. 1):\n");
+  for (const auto& r : related) {
+    std::printf("  item %-12lld score %.5f\n",
+                static_cast<long long>(graph->ExternalItemId(r.item)), r.score);
+  }
+  return 0;
+}
+
+int RunCompare(const FlagParser& flags) {
+  auto clicks = LoadClicks(flags);
+  if (!clicks.ok()) return Fail(clicks.status());
+  const auto labels_path = flags.GetString("labels", "");
+  auto params = ParamsFromFlags(flags);
+  if (!labels_path.ok()) return 2;
+  if (!params.ok()) return Fail(params.status());
+  if (const int rc = RejectUnknown(flags)) return rc;
+  if (labels_path->empty()) {
+    return Fail(Status::InvalidArgument("--labels=<label file> required"));
+  }
+  auto labels = gen::ReadLabels(*labels_path);
+  if (!labels.ok()) return Fail(labels.status());
+
+  auto graph = graph::GraphBuilder::FromTable(*clicks);
+  if (!graph.ok()) return Fail(graph.status());
+
+  std::vector<std::unique_ptr<baselines::Detector>> detectors;
+  {
+    core::FrameworkOptions options;
+    options.params = *params;
+    detectors.push_back(std::make_unique<core::RicdFramework>(options));
+  }
+  const auto screened = [&](std::unique_ptr<baselines::Detector> inner) {
+    return std::make_unique<core::ScreenedDetector>(std::move(inner), *params);
+  };
+  detectors.push_back(screened(std::make_unique<baselines::Lpa>()));
+  detectors.push_back(screened(std::make_unique<baselines::Fraudar>()));
+  detectors.push_back(screened(std::make_unique<baselines::CommonNeighbors>()));
+  detectors.push_back(screened(std::make_unique<baselines::NaiveAlgorithm>()));
+  detectors.push_back(screened(std::make_unique<baselines::Louvain>()));
+  detectors.push_back(screened(std::make_unique<baselines::CopyCatch>()));
+
+  std::vector<eval::ExperimentRow> rows;
+  for (auto& detector : detectors) {
+    auto row = eval::RunExperiment(*detector, *graph, *labels);
+    if (!row.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", detector->name().c_str(),
+                   row.status().ToString().c_str());
+      continue;
+    }
+    rows.push_back(std::move(row).value());
+  }
+  eval::PrintRows(std::cout, rows);
+  return 0;
+}
+
+int RunStream(const FlagParser& flags) {
+  auto clicks = LoadClicks(flags);
+  if (!clicks.ok()) return Fail(clicks.status());
+  auto params = ParamsFromFlags(flags);
+  if (!params.ok()) return Fail(params.status());
+  const auto batches = flags.GetInt("batches", 5);
+  const auto bootstrap_rows = flags.GetInt("bootstrap-rows", 0);
+  if (!batches.ok()) return Fail(batches.status());
+  if (!bootstrap_rows.ok()) return Fail(bootstrap_rows.status());
+  if (const int rc = RejectUnknown(flags)) return rc;
+  if (*batches <= 0) {
+    return Fail(Status::InvalidArgument("--batches must be > 0"));
+  }
+
+  // Bootstrap on the leading rows (default: half the table), then replay
+  // the remainder in equal batches.
+  const size_t n = clicks->num_rows();
+  const size_t boot = *bootstrap_rows > 0
+                          ? std::min<size_t>(static_cast<size_t>(*bootstrap_rows), n)
+                          : n / 2;
+  table::ClickTable initial;
+  for (size_t i = 0; i < boot; ++i) initial.Append(clicks->row(i));
+
+  core::FrameworkOptions options;
+  options.params = *params;
+  core::IncrementalRicd incremental(options);
+  const Status bs = incremental.Bootstrap(initial);
+  if (!bs.ok()) return Fail(bs);
+  std::printf("bootstrap: %zu rows, %zu users flagged, %zu items flagged\n",
+              boot, incremental.flagged_users().size(),
+              incremental.flagged_items().size());
+
+  const size_t per_batch =
+      std::max<size_t>(1, (n - boot + *batches - 1) / *batches);
+  size_t cursor = boot;
+  int batch_no = 0;
+  while (cursor < n) {
+    table::ClickTable batch;
+    for (size_t i = cursor; i < std::min(n, cursor + per_batch); ++i) {
+      batch.Append(clicks->row(i));
+    }
+    cursor += per_batch;
+    auto update = incremental.Ingest(batch);
+    if (!update.ok()) return Fail(update.status());
+    std::printf("batch %2d: +%zu rows | region %u users / %u items / %llu "
+                "edges | newly flagged %zu users, %zu items\n",
+                ++batch_no, batch.num_rows(), update->region_users,
+                update->region_items,
+                static_cast<unsigned long long>(update->region_edges),
+                update->newly_flagged_users.size(),
+                update->newly_flagged_items.size());
+  }
+  std::printf("final standing suspicious set: %zu users, %zu items\n",
+              incremental.flagged_users().size(),
+              incremental.flagged_items().size());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const FlagParser flags(argc - 1, argv + 1);
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "stats") return RunStats(flags);
+  if (command == "detect") return RunDetect(flags);
+  if (command == "i2i") return RunI2i(flags);
+  if (command == "compare") return RunCompare(flags);
+  if (command == "stream") return RunStream(flags);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace ricd::tool
+
+int main(int argc, char** argv) { return ricd::tool::Main(argc, argv); }
