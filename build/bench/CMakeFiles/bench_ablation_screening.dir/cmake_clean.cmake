@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_screening.dir/bench_ablation_screening.cc.o"
+  "CMakeFiles/bench_ablation_screening.dir/bench_ablation_screening.cc.o.d"
+  "bench_ablation_screening"
+  "bench_ablation_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_behavior_analysis.dir/bench_behavior_analysis.cc.o"
+  "CMakeFiles/bench_behavior_analysis.dir/bench_behavior_analysis.cc.o.d"
+  "bench_behavior_analysis"
+  "bench_behavior_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_behavior_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_monitoring.dir/campaign_monitoring.cpp.o"
+  "CMakeFiles/campaign_monitoring.dir/campaign_monitoring.cpp.o.d"
+  "campaign_monitoring"
+  "campaign_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

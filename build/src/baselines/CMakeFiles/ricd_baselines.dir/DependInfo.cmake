@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/brim.cc" "src/baselines/CMakeFiles/ricd_baselines.dir/brim.cc.o" "gcc" "src/baselines/CMakeFiles/ricd_baselines.dir/brim.cc.o.d"
+  "/root/repo/src/baselines/catchsync.cc" "src/baselines/CMakeFiles/ricd_baselines.dir/catchsync.cc.o" "gcc" "src/baselines/CMakeFiles/ricd_baselines.dir/catchsync.cc.o.d"
+  "/root/repo/src/baselines/common_neighbors.cc" "src/baselines/CMakeFiles/ricd_baselines.dir/common_neighbors.cc.o" "gcc" "src/baselines/CMakeFiles/ricd_baselines.dir/common_neighbors.cc.o.d"
+  "/root/repo/src/baselines/copycatch.cc" "src/baselines/CMakeFiles/ricd_baselines.dir/copycatch.cc.o" "gcc" "src/baselines/CMakeFiles/ricd_baselines.dir/copycatch.cc.o.d"
+  "/root/repo/src/baselines/detector.cc" "src/baselines/CMakeFiles/ricd_baselines.dir/detector.cc.o" "gcc" "src/baselines/CMakeFiles/ricd_baselines.dir/detector.cc.o.d"
+  "/root/repo/src/baselines/fraudar.cc" "src/baselines/CMakeFiles/ricd_baselines.dir/fraudar.cc.o" "gcc" "src/baselines/CMakeFiles/ricd_baselines.dir/fraudar.cc.o.d"
+  "/root/repo/src/baselines/louvain.cc" "src/baselines/CMakeFiles/ricd_baselines.dir/louvain.cc.o" "gcc" "src/baselines/CMakeFiles/ricd_baselines.dir/louvain.cc.o.d"
+  "/root/repo/src/baselines/lpa.cc" "src/baselines/CMakeFiles/ricd_baselines.dir/lpa.cc.o" "gcc" "src/baselines/CMakeFiles/ricd_baselines.dir/lpa.cc.o.d"
+  "/root/repo/src/baselines/naive.cc" "src/baselines/CMakeFiles/ricd_baselines.dir/naive.cc.o" "gcc" "src/baselines/CMakeFiles/ricd_baselines.dir/naive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ricd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ricd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/ricd_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ricd_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

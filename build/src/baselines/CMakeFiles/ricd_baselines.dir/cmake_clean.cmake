@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ricd_baselines.dir/brim.cc.o"
+  "CMakeFiles/ricd_baselines.dir/brim.cc.o.d"
+  "CMakeFiles/ricd_baselines.dir/catchsync.cc.o"
+  "CMakeFiles/ricd_baselines.dir/catchsync.cc.o.d"
+  "CMakeFiles/ricd_baselines.dir/common_neighbors.cc.o"
+  "CMakeFiles/ricd_baselines.dir/common_neighbors.cc.o.d"
+  "CMakeFiles/ricd_baselines.dir/copycatch.cc.o"
+  "CMakeFiles/ricd_baselines.dir/copycatch.cc.o.d"
+  "CMakeFiles/ricd_baselines.dir/detector.cc.o"
+  "CMakeFiles/ricd_baselines.dir/detector.cc.o.d"
+  "CMakeFiles/ricd_baselines.dir/fraudar.cc.o"
+  "CMakeFiles/ricd_baselines.dir/fraudar.cc.o.d"
+  "CMakeFiles/ricd_baselines.dir/louvain.cc.o"
+  "CMakeFiles/ricd_baselines.dir/louvain.cc.o.d"
+  "CMakeFiles/ricd_baselines.dir/lpa.cc.o"
+  "CMakeFiles/ricd_baselines.dir/lpa.cc.o.d"
+  "CMakeFiles/ricd_baselines.dir/naive.cc.o"
+  "CMakeFiles/ricd_baselines.dir/naive.cc.o.d"
+  "libricd_baselines.a"
+  "libricd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ricd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

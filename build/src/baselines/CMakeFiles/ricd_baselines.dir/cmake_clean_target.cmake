@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libricd_baselines.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ricd_common.dir/flags.cc.o"
+  "CMakeFiles/ricd_common.dir/flags.cc.o.d"
+  "CMakeFiles/ricd_common.dir/logging.cc.o"
+  "CMakeFiles/ricd_common.dir/logging.cc.o.d"
+  "CMakeFiles/ricd_common.dir/random.cc.o"
+  "CMakeFiles/ricd_common.dir/random.cc.o.d"
+  "CMakeFiles/ricd_common.dir/status.cc.o"
+  "CMakeFiles/ricd_common.dir/status.cc.o.d"
+  "CMakeFiles/ricd_common.dir/string_util.cc.o"
+  "CMakeFiles/ricd_common.dir/string_util.cc.o.d"
+  "CMakeFiles/ricd_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ricd_common.dir/thread_pool.cc.o.d"
+  "libricd_common.a"
+  "libricd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ricd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ricd_engine.dir/partitioner.cc.o"
+  "CMakeFiles/ricd_engine.dir/partitioner.cc.o.d"
+  "CMakeFiles/ricd_engine.dir/worker_engine.cc.o"
+  "CMakeFiles/ricd_engine.dir/worker_engine.cc.o.d"
+  "libricd_engine.a"
+  "libricd_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ricd_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

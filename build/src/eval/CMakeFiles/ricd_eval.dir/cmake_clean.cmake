@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ricd_eval.dir/experiment.cc.o"
+  "CMakeFiles/ricd_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/ricd_eval.dir/metrics.cc.o"
+  "CMakeFiles/ricd_eval.dir/metrics.cc.o.d"
+  "libricd_eval.a"
+  "libricd_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ricd_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

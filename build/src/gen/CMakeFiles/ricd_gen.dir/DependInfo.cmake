@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/attack_injector.cc" "src/gen/CMakeFiles/ricd_gen.dir/attack_injector.cc.o" "gcc" "src/gen/CMakeFiles/ricd_gen.dir/attack_injector.cc.o.d"
+  "/root/repo/src/gen/background_generator.cc" "src/gen/CMakeFiles/ricd_gen.dir/background_generator.cc.o" "gcc" "src/gen/CMakeFiles/ricd_gen.dir/background_generator.cc.o.d"
+  "/root/repo/src/gen/label_io.cc" "src/gen/CMakeFiles/ricd_gen.dir/label_io.cc.o" "gcc" "src/gen/CMakeFiles/ricd_gen.dir/label_io.cc.o.d"
+  "/root/repo/src/gen/organic_communities.cc" "src/gen/CMakeFiles/ricd_gen.dir/organic_communities.cc.o" "gcc" "src/gen/CMakeFiles/ricd_gen.dir/organic_communities.cc.o.d"
+  "/root/repo/src/gen/scenario.cc" "src/gen/CMakeFiles/ricd_gen.dir/scenario.cc.o" "gcc" "src/gen/CMakeFiles/ricd_gen.dir/scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ricd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/ricd_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

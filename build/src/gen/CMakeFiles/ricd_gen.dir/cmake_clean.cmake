@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ricd_gen.dir/attack_injector.cc.o"
+  "CMakeFiles/ricd_gen.dir/attack_injector.cc.o.d"
+  "CMakeFiles/ricd_gen.dir/background_generator.cc.o"
+  "CMakeFiles/ricd_gen.dir/background_generator.cc.o.d"
+  "CMakeFiles/ricd_gen.dir/label_io.cc.o"
+  "CMakeFiles/ricd_gen.dir/label_io.cc.o.d"
+  "CMakeFiles/ricd_gen.dir/organic_communities.cc.o"
+  "CMakeFiles/ricd_gen.dir/organic_communities.cc.o.d"
+  "CMakeFiles/ricd_gen.dir/scenario.cc.o"
+  "CMakeFiles/ricd_gen.dir/scenario.cc.o.d"
+  "libricd_gen.a"
+  "libricd_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ricd_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bipartite_graph.cc" "src/graph/CMakeFiles/ricd_graph.dir/bipartite_graph.cc.o" "gcc" "src/graph/CMakeFiles/ricd_graph.dir/bipartite_graph.cc.o.d"
+  "/root/repo/src/graph/connected_components.cc" "src/graph/CMakeFiles/ricd_graph.dir/connected_components.cc.o" "gcc" "src/graph/CMakeFiles/ricd_graph.dir/connected_components.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/graph/CMakeFiles/ricd_graph.dir/graph_builder.cc.o" "gcc" "src/graph/CMakeFiles/ricd_graph.dir/graph_builder.cc.o.d"
+  "/root/repo/src/graph/hot_items.cc" "src/graph/CMakeFiles/ricd_graph.dir/hot_items.cc.o" "gcc" "src/graph/CMakeFiles/ricd_graph.dir/hot_items.cc.o.d"
+  "/root/repo/src/graph/intersection.cc" "src/graph/CMakeFiles/ricd_graph.dir/intersection.cc.o" "gcc" "src/graph/CMakeFiles/ricd_graph.dir/intersection.cc.o.d"
+  "/root/repo/src/graph/mutable_view.cc" "src/graph/CMakeFiles/ricd_graph.dir/mutable_view.cc.o" "gcc" "src/graph/CMakeFiles/ricd_graph.dir/mutable_view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ricd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/ricd_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ricd_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

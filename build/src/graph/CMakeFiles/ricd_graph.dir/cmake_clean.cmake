@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ricd_graph.dir/bipartite_graph.cc.o"
+  "CMakeFiles/ricd_graph.dir/bipartite_graph.cc.o.d"
+  "CMakeFiles/ricd_graph.dir/connected_components.cc.o"
+  "CMakeFiles/ricd_graph.dir/connected_components.cc.o.d"
+  "CMakeFiles/ricd_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/ricd_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/ricd_graph.dir/hot_items.cc.o"
+  "CMakeFiles/ricd_graph.dir/hot_items.cc.o.d"
+  "CMakeFiles/ricd_graph.dir/intersection.cc.o"
+  "CMakeFiles/ricd_graph.dir/intersection.cc.o.d"
+  "CMakeFiles/ricd_graph.dir/mutable_view.cc.o"
+  "CMakeFiles/ricd_graph.dir/mutable_view.cc.o.d"
+  "libricd_graph.a"
+  "libricd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ricd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

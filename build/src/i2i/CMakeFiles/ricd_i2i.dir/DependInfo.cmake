@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/i2i/i2i_score.cc" "src/i2i/CMakeFiles/ricd_i2i.dir/i2i_score.cc.o" "gcc" "src/i2i/CMakeFiles/ricd_i2i.dir/i2i_score.cc.o.d"
+  "/root/repo/src/i2i/recommender.cc" "src/i2i/CMakeFiles/ricd_i2i.dir/recommender.cc.o" "gcc" "src/i2i/CMakeFiles/ricd_i2i.dir/recommender.cc.o.d"
+  "/root/repo/src/i2i/traffic_model.cc" "src/i2i/CMakeFiles/ricd_i2i.dir/traffic_model.cc.o" "gcc" "src/i2i/CMakeFiles/ricd_i2i.dir/traffic_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ricd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ricd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/ricd_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ricd_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ricd_i2i.dir/i2i_score.cc.o"
+  "CMakeFiles/ricd_i2i.dir/i2i_score.cc.o.d"
+  "CMakeFiles/ricd_i2i.dir/recommender.cc.o"
+  "CMakeFiles/ricd_i2i.dir/recommender.cc.o.d"
+  "CMakeFiles/ricd_i2i.dir/traffic_model.cc.o"
+  "CMakeFiles/ricd_i2i.dir/traffic_model.cc.o.d"
+  "libricd_i2i.a"
+  "libricd_i2i.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ricd_i2i.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ricd/camouflage_bound.cc" "src/ricd/CMakeFiles/ricd_core.dir/camouflage_bound.cc.o" "gcc" "src/ricd/CMakeFiles/ricd_core.dir/camouflage_bound.cc.o.d"
+  "/root/repo/src/ricd/extension_biclique.cc" "src/ricd/CMakeFiles/ricd_core.dir/extension_biclique.cc.o" "gcc" "src/ricd/CMakeFiles/ricd_core.dir/extension_biclique.cc.o.d"
+  "/root/repo/src/ricd/framework.cc" "src/ricd/CMakeFiles/ricd_core.dir/framework.cc.o" "gcc" "src/ricd/CMakeFiles/ricd_core.dir/framework.cc.o.d"
+  "/root/repo/src/ricd/graph_generator.cc" "src/ricd/CMakeFiles/ricd_core.dir/graph_generator.cc.o" "gcc" "src/ricd/CMakeFiles/ricd_core.dir/graph_generator.cc.o.d"
+  "/root/repo/src/ricd/identification.cc" "src/ricd/CMakeFiles/ricd_core.dir/identification.cc.o" "gcc" "src/ricd/CMakeFiles/ricd_core.dir/identification.cc.o.d"
+  "/root/repo/src/ricd/incremental.cc" "src/ricd/CMakeFiles/ricd_core.dir/incremental.cc.o" "gcc" "src/ricd/CMakeFiles/ricd_core.dir/incremental.cc.o.d"
+  "/root/repo/src/ricd/screening.cc" "src/ricd/CMakeFiles/ricd_core.dir/screening.cc.o" "gcc" "src/ricd/CMakeFiles/ricd_core.dir/screening.cc.o.d"
+  "/root/repo/src/ricd/ui_adapter.cc" "src/ricd/CMakeFiles/ricd_core.dir/ui_adapter.cc.o" "gcc" "src/ricd/CMakeFiles/ricd_core.dir/ui_adapter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ricd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ricd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ricd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/ricd_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ricd_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

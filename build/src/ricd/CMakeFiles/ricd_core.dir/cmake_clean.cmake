@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ricd_core.dir/camouflage_bound.cc.o"
+  "CMakeFiles/ricd_core.dir/camouflage_bound.cc.o.d"
+  "CMakeFiles/ricd_core.dir/extension_biclique.cc.o"
+  "CMakeFiles/ricd_core.dir/extension_biclique.cc.o.d"
+  "CMakeFiles/ricd_core.dir/framework.cc.o"
+  "CMakeFiles/ricd_core.dir/framework.cc.o.d"
+  "CMakeFiles/ricd_core.dir/graph_generator.cc.o"
+  "CMakeFiles/ricd_core.dir/graph_generator.cc.o.d"
+  "CMakeFiles/ricd_core.dir/identification.cc.o"
+  "CMakeFiles/ricd_core.dir/identification.cc.o.d"
+  "CMakeFiles/ricd_core.dir/incremental.cc.o"
+  "CMakeFiles/ricd_core.dir/incremental.cc.o.d"
+  "CMakeFiles/ricd_core.dir/screening.cc.o"
+  "CMakeFiles/ricd_core.dir/screening.cc.o.d"
+  "CMakeFiles/ricd_core.dir/ui_adapter.cc.o"
+  "CMakeFiles/ricd_core.dir/ui_adapter.cc.o.d"
+  "libricd_core.a"
+  "libricd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ricd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/click_table.cc" "src/table/CMakeFiles/ricd_table.dir/click_table.cc.o" "gcc" "src/table/CMakeFiles/ricd_table.dir/click_table.cc.o.d"
+  "/root/repo/src/table/table_io.cc" "src/table/CMakeFiles/ricd_table.dir/table_io.cc.o" "gcc" "src/table/CMakeFiles/ricd_table.dir/table_io.cc.o.d"
+  "/root/repo/src/table/table_stats.cc" "src/table/CMakeFiles/ricd_table.dir/table_stats.cc.o" "gcc" "src/table/CMakeFiles/ricd_table.dir/table_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ricd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

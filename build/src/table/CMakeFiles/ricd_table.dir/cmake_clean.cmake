@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ricd_table.dir/click_table.cc.o"
+  "CMakeFiles/ricd_table.dir/click_table.cc.o.d"
+  "CMakeFiles/ricd_table.dir/table_io.cc.o"
+  "CMakeFiles/ricd_table.dir/table_io.cc.o.d"
+  "CMakeFiles/ricd_table.dir/table_stats.cc.o"
+  "CMakeFiles/ricd_table.dir/table_stats.cc.o.d"
+  "libricd_table.a"
+  "libricd_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ricd_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

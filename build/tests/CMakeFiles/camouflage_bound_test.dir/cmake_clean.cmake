@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camouflage_bound_test.dir/camouflage_bound_test.cc.o"
+  "CMakeFiles/camouflage_bound_test.dir/camouflage_bound_test.cc.o.d"
+  "camouflage_bound_test"
+  "camouflage_bound_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camouflage_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

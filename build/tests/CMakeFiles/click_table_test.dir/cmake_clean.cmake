@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/click_table_test.dir/click_table_test.cc.o"
+  "CMakeFiles/click_table_test.dir/click_table_test.cc.o.d"
+  "click_table_test"
+  "click_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/click_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/extensions_test.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/extensions_test.dir/extensions_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ricd/CMakeFiles/ricd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ricd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ricd_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/ricd_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/i2i/CMakeFiles/ricd_i2i.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ricd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ricd_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/ricd_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ricd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

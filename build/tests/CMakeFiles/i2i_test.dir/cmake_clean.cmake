@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/i2i_test.dir/i2i_test.cc.o"
+  "CMakeFiles/i2i_test.dir/i2i_test.cc.o.d"
+  "i2i_test"
+  "i2i_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/i2i_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for i2i_test.
+# This may be replaced when dependencies are built.

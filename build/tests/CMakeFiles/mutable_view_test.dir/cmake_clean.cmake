@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutable_view_test.dir/mutable_view_test.cc.o"
+  "CMakeFiles/mutable_view_test.dir/mutable_view_test.cc.o.d"
+  "mutable_view_test"
+  "mutable_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutable_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ricd_tool.dir/ricd_tool.cc.o"
+  "CMakeFiles/ricd_tool.dir/ricd_tool.cc.o.d"
+  "ricd_tool"
+  "ricd_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ricd_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
