@@ -68,14 +68,16 @@ int Run() {
   // --- Ablation: SquarePruning on/off ---
   {
     core::ExtensionBicliqueExtractor extractor(params);
-    WallTimer timer;
     core::ExtractionStats full_stats;
-    auto full = extractor.Extract(workload.graph, &full_stats);
-    const double full_time = timer.ElapsedSeconds();
-    timer.Restart();
     core::ExtractionStats core_stats;
-    auto core_only = extractor.ExtractCoreOnly(workload.graph, &core_stats);
-    const double core_time = timer.ElapsedSeconds();
+    Result<std::vector<graph::Group>> full = Status::Internal("not run");
+    Result<std::vector<graph::Group>> core_only = Status::Internal("not run");
+    const double full_time = TimedStage("bench.ablation.extract_full", [&] {
+      full = extractor.Extract(workload.graph, &full_stats);
+    });
+    const double core_time = TimedStage("bench.ablation.extract_core", [&] {
+      core_only = extractor.ExtractCoreOnly(workload.graph, &core_stats);
+    });
     RICD_CHECK(full.ok() && core_only.ok());
 
     size_t full_nodes = 0;
@@ -103,12 +105,14 @@ int Run() {
     for (const bool ordered : {false, true}) {
       graph::MutableView view(workload.graph);
       extractor.CorePruning(view, nullptr);
-      WallTimer timer;
-      extractor.SquarePruning(view, ordered, nullptr);
+      const double elapsed =
+          TimedStage("bench.ablation.square_pruning", [&] {
+            extractor.SquarePruning(view, ordered, nullptr);
+          });
       std::printf("%-28s %14u %14u %12.3f\n",
                   ordered ? "two-hop non-decreasing" : "arbitrary order",
                   view.NumActive(graph::Side::kUser),
-                  view.NumActive(graph::Side::kItem), timer.ElapsedSeconds());
+                  view.NumActive(graph::Side::kItem), elapsed);
     }
     std::printf("\n");
   }
@@ -129,13 +133,15 @@ int Run() {
         }
       }
       core::RicdFramework ricd(options);
-      WallTimer timer;
       // Build the (possibly seed-pruned) graph explicitly so metrics are
       // evaluated in the same dense-id space the detector ran in.
-      auto graph = core::GenerateGraph(workload.scenario.table, options.seeds);
-      RICD_CHECK(graph.ok()) << graph.status();
-      auto result = ricd.RunOnGraph(*graph);
-      const double elapsed = timer.ElapsedSeconds();
+      Result<graph::BipartiteGraph> graph = Status::Internal("not run");
+      Result<core::FrameworkResult> result = Status::Internal("not run");
+      const double elapsed = TimedStage("bench.ablation.seeded_run", [&] {
+        graph = core::GenerateGraph(workload.scenario.table, options.seeds);
+        RICD_CHECK(graph.ok()) << graph.status();
+        result = ricd.RunOnGraph(*graph);
+      });
       RICD_CHECK(result.ok()) << result.status();
       const auto metrics =
           eval::Evaluate(*graph, result->detection, workload.scenario.labels);
@@ -146,6 +152,7 @@ int Run() {
     std::printf("(seeding restricts the graph to seed neighborhoods: faster "
                 "end-to-end,\n same or better quality on the seeded groups)\n");
   }
+  FinishBench("bench_ablation_screening", DescribeWorkload(workload));
   return 0;
 }
 

@@ -105,6 +105,7 @@ int Run() {
               "against experienced adversaries\". Bipartite modularity (BiMod)\n"
               "suffers the classic resolution limit: attack groups are far\n"
               "smaller than sqrt(E) and get absorbed into larger communities.\n");
+  FinishBench("bench_baseline_comparison", DescribeWorkload(workload));
   return 0;
 }
 

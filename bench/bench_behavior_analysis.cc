@@ -158,6 +158,7 @@ int Run() {
               "        normal     404 / 1.99 / 2.52 / 203 / 17 / 1 / 0.49%%)\n");
   std::printf("\nExpected shape: at similar totals the suspicious item has "
               "fewer, heavier clickers\nand a larger abnormal-user share.\n");
+  FinishBench("bench_behavior_analysis", DescribeWorkload(workload));
   return 0;
 }
 

@@ -149,6 +149,15 @@ int Run() {
   std::printf("slate pollution among the hot item's real audience (top-10 "
               "slots): %.2f%% before cleanup, %.2f%% after\n",
               100.0 * polluted_before, 100.0 * polluted_after);
+
+  obs::WorkloadScale workload_desc;
+  workload_desc.scale = "case_study";
+  workload_desc.seed = SeedFromEnv(7);
+  workload_desc.users = graph->num_users();
+  workload_desc.items = graph->num_items();
+  workload_desc.edges = graph->num_edges();
+  workload_desc.clicks = graph->total_clicks();
+  FinishBench("bench_case_study", workload_desc);
   return 0;
 }
 

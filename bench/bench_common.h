@@ -1,13 +1,20 @@
 #ifndef RICD_BENCH_BENCH_COMMON_H_
 #define RICD_BENCH_BENCH_COMMON_H_
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 
 #include "common/logging.h"
+#include "common/timer.h"
 #include "gen/scenario.h"
 #include "graph/graph_builder.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "ricd/params.h"
 
 namespace ricd::bench {
@@ -26,11 +33,30 @@ inline gen::ScenarioScale ScaleFromEnv(gen::ScenarioScale default_scale) {
   return default_scale;
 }
 
-/// Seed selection: RICD_SEED overrides the default workload seed.
+/// Seed selection: RICD_SEED overrides the default workload seed. Anything
+/// that is not a plain base-10 unsigned integer (strtoull would silently
+/// return 0 for garbage and negate "-5") falls back with a warning.
 inline uint64_t SeedFromEnv(uint64_t default_seed) {
   const char* env = std::getenv("RICD_SEED");
   if (env == nullptr) return default_seed;
-  return std::strtoull(env, nullptr, 10);
+  const std::string value(env);
+  bool all_digits = !value.empty();
+  for (const char c : value) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      all_digits = false;
+      break;
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (!all_digits || end != value.c_str() + value.size() || errno == ERANGE) {
+    RICD_LOG(WARNING) << "invalid RICD_SEED '" << value
+                      << "' (expected an unsigned integer), using default seed "
+                      << default_seed;
+    return default_seed;
+  }
+  return parsed;
 }
 
 /// The paper's default detection parameters (Section VI-B): k1 = k2 = 10,
@@ -50,7 +76,21 @@ inline core::RicdParams PaperDefaultParams() {
 struct BenchWorkload {
   gen::Scenario scenario;
   graph::BipartiteGraph graph;
+  gen::ScenarioScale scale = gen::ScenarioScale::kTiny;
+  uint64_t seed = 0;
 };
+
+/// Scale descriptors of a workload for the machine-readable bench record.
+inline obs::WorkloadScale DescribeWorkload(const BenchWorkload& workload) {
+  obs::WorkloadScale desc;
+  desc.scale = gen::ScenarioScaleName(workload.scale);
+  desc.seed = workload.seed;
+  desc.users = workload.graph.num_users();
+  desc.items = workload.graph.num_items();
+  desc.edges = workload.graph.num_edges();
+  desc.clicks = workload.graph.total_clicks();
+  return desc;
+}
 
 inline BenchWorkload MakeWorkload(gen::ScenarioScale scale, uint64_t seed) {
   auto scenario = gen::MakeScenario(scale, seed);
@@ -66,7 +106,8 @@ inline BenchWorkload MakeWorkload(gen::ScenarioScale scale, uint64_t seed) {
       static_cast<unsigned long long>(graph->total_clicks()),
       scenario->labels.abnormal_users.size(),
       scenario->labels.abnormal_items.size(), scenario->groups.size());
-  return BenchWorkload{std::move(scenario).value(), std::move(graph).value()};
+  return BenchWorkload{std::move(scenario).value(), std::move(graph).value(),
+                       scale, seed};
 }
 
 /// Prints a section header in the style used across all benches.
@@ -75,6 +116,38 @@ inline void PrintHeader(const char* experiment, const char* paper_ref) {
   std::printf("%s\n", experiment);
   std::printf("paper reference: %s\n", paper_ref);
   std::printf("==============================================================\n");
+}
+
+/// Times `fn`, records the elapsed seconds into the named registry
+/// histogram, and returns the elapsed seconds — the replacement for the
+/// hand-rolled WallTimer/printf pairs the benches used to carry.
+inline double TimedStage(const char* histogram_name,
+                         const std::function<void()>& fn) {
+  obs::Histogram* hist =
+      obs::MetricsRegistry::Global().GetHistogram(histogram_name);
+  double elapsed = 0.0;
+  {
+    ScopedTimer<obs::Histogram> timer(hist);
+    fn();
+    elapsed = timer.ElapsedSeconds();
+  }
+  return elapsed;
+}
+
+/// Machine-readable perf-trajectory sink: when RICD_BENCH_JSON=<path> is
+/// set, appends one JSON record (metrics + spans + workload descriptors,
+/// JSON-Lines style) for this bench run. Call once at the end of main.
+inline void FinishBench(const char* bench_name,
+                        const obs::WorkloadScale& workload = {}) {
+  const char* path = std::getenv("RICD_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  const std::string record = obs::GlobalMetricsReportJson(bench_name, workload);
+  const Status status = obs::AppendJsonLine(path, record);
+  if (!status.ok()) {
+    RICD_LOG(ERROR) << "RICD_BENCH_JSON sink failed: " << status.ToString();
+    return;
+  }
+  std::printf("\n[obs] appended bench record '%s' to %s\n", bench_name, path);
 }
 
 }  // namespace ricd::bench

@@ -71,6 +71,7 @@ int Run() {
                  table::ItemClickHistogram(workload.scenario.table));
   PrintHistogram("--- Fig. 2b: distribution of users' clicks (log2 buckets) ---",
                  table::UserClickHistogram(workload.scenario.table));
+  FinishBench("bench_dataset_stats", DescribeWorkload(workload));
   return 0;
 }
 

@@ -47,9 +47,9 @@ int Run() {
   options.params = PaperDefaultParams();
   core::IncrementalRicd incremental(options);
 
-  WallTimer timer;
-  RICD_CHECK(incremental.Bootstrap(*background).ok());
-  const double bootstrap_s = timer.ElapsedSeconds();
+  const double bootstrap_s = TimedStage("bench.incremental.bootstrap", [&] {
+    RICD_CHECK(incremental.Bootstrap(*background).ok());
+  });
   std::printf("bootstrap: %llu edges, %.3f s (full-graph scan)\n\n",
               static_cast<unsigned long long>(incremental.num_edges()),
               bootstrap_s);
@@ -59,9 +59,10 @@ int Run() {
   size_t attackers_found = 0;
   int detection_day = 0;
   for (int day = 0; day < kDays; ++day) {
-    timer.Restart();
-    auto update = incremental.Ingest(days[day]);
-    const double ingest_s = timer.ElapsedSeconds();
+    Result<core::IncrementalUpdate> update = Status::Internal("not run");
+    const double ingest_s = TimedStage("bench.incremental.ingest", [&] {
+      update = incremental.Ingest(days[day]);
+    });
     RICD_CHECK(update.ok()) << update.status();
     for (const auto u : update->newly_flagged_users) {
       if (injection->labels.IsAbnormalUser(u)) ++attackers_found;
@@ -69,10 +70,11 @@ int Run() {
     if (attackers_found > 0 && detection_day == 0) detection_day = day + 1;
 
     // Cost of the naive alternative: full rescan of the standing table.
-    timer.Restart();
-    core::RicdFramework full(options);
-    auto rescan = full.Run(incremental.MaterializeTable());
-    const double rescan_s = timer.ElapsedSeconds();
+    Result<core::FrameworkResult> rescan = Status::Internal("not run");
+    const double rescan_s = TimedStage("bench.incremental.full_rescan", [&] {
+      core::RicdFramework full(options);
+      rescan = full.Run(incremental.MaterializeTable());
+    });
     RICD_CHECK(rescan.ok()) << rescan.status();
 
     std::printf("%4d %12zu %14llu %12.3f %14.3f %11zu/%u\n", day + 1,
@@ -86,6 +88,12 @@ int Run() {
               "detection stays\nwell below the full-rescan cost while "
               "converging to the same suspicious set.\n",
               detection_day);
+
+  obs::WorkloadScale workload_desc;
+  workload_desc.scale = gen::ScenarioScaleName(scale);
+  workload_desc.seed = seed;
+  workload_desc.edges = incremental.num_edges();
+  FinishBench("bench_incremental", workload_desc);
   return 0;
 }
 

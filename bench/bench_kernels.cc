@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 
+#include "bench/bench_common.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "gen/scenario.h"
@@ -18,7 +19,9 @@
 #include "graph/intersection.h"
 #include "graph/mutable_view.h"
 #include "i2i/i2i_score.h"
+#include "obs/metrics.h"
 #include "ricd/extension_biclique.h"
+#include "ricd/framework.h"
 
 namespace ricd::bench {
 namespace {
@@ -133,6 +136,29 @@ BENCHMARK(BM_CorePruning)
     ->Arg(static_cast<int>(gen::ScenarioScale::kMedium))
     ->Unit(benchmark::kMillisecond);
 
+/// Same kernel with the metrics registry disabled: the wall-time delta
+/// against BM_CorePruning/medium bounds the observability overhead (target
+/// in DESIGN.md: < 2%). The registry is process-global, so re-enable it
+/// before returning no matter what.
+void BM_CorePruningMetricsOff(benchmark::State& state) {
+  const auto& g = CachedGraph(ScaleArg(state.range(0)));
+  core::ExtensionBicliqueExtractor extractor(KernelParams());
+  graph::MutableView view(g);
+  auto& registry = obs::MetricsRegistry::Global();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(false);
+  for (auto _ : state) {
+    view.Reset();
+    extractor.CorePruning(view, nullptr);
+  }
+  registry.set_enabled(was_enabled);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_CorePruningMetricsOff)
+    ->Arg(static_cast<int>(gen::ScenarioScale::kMedium))
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SquarePruning(benchmark::State& state) {
   const auto& g = CachedGraph(ScaleArg(state.range(0)));
   core::ExtensionBicliqueExtractor extractor(KernelParams());
@@ -179,7 +205,79 @@ void BM_I2iRelatedItems(benchmark::State& state) {
 }
 BENCHMARK(BM_I2iRelatedItems)->Unit(benchmark::kMillisecond);
 
+/// The full detection pipeline (generation spans excluded: the graph is
+/// cached), exercising the extraction / screening / identification /
+/// feedback spans and stage counters end to end.
+void BM_RicdEndToEnd(benchmark::State& state) {
+  const auto& g = CachedGraph(ScaleArg(state.range(0)));
+  core::FrameworkOptions options;
+  options.params = KernelParams();
+  core::RicdFramework ricd(options);
+  for (auto _ : state) {
+    auto result = ricd.RunOnGraph(g);
+    RICD_CHECK(result.ok()) << result.status();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RicdEndToEnd)
+    ->Arg(static_cast<int>(gen::ScenarioScale::kTiny))
+    ->Arg(static_cast<int>(gen::ScenarioScale::kSmall))
+    ->Unit(benchmark::kMillisecond);
+
+/// Raw cost of the instruments themselves, for the overhead discussion.
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("bench.kernels.counter_add");
+  for (auto _ : state) {
+    counter->Add(1);
+  }
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  obs::Histogram* hist =
+      obs::MetricsRegistry::Global().GetHistogram("bench.kernels.hist_observe");
+  double sample = 1e-6;
+  for (auto _ : state) {
+    hist->Observe(sample);
+    sample += 1e-9;
+  }
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+/// BENCHMARK_MAIN() replacement: identical flow, plus the RICD_BENCH_JSON
+/// sink so kernel microbenchmarks feed the same perf trajectory as the
+/// experiment benches. Also runs one detection pass outside the benchmark
+/// loop so the record carries the full span tree even under --benchmark_filter.
+int KernelBenchMain(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const auto scale = gen::ScenarioScale::kSmall;
+  const auto& g = CachedGraph(scale);
+  {
+    core::FrameworkOptions options;
+    options.params = KernelParams();
+    core::RicdFramework ricd(options);
+    auto result = ricd.Run(CachedScenario(scale).table);
+    RICD_CHECK(result.ok()) << result.status();
+  }
+  obs::WorkloadScale desc;
+  desc.scale = gen::ScenarioScaleName(scale);
+  desc.seed = 42;
+  desc.users = g.num_users();
+  desc.items = g.num_items();
+  desc.edges = g.num_edges();
+  desc.clicks = g.total_clicks();
+  FinishBench("bench_kernels", desc);
+  return 0;
+}
+
 }  // namespace
 }  // namespace ricd::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ricd::bench::KernelBenchMain(argc, argv);
+}

@@ -97,6 +97,11 @@ int Run() {
   std::printf("\nExpected in expectation: RICD F1 >= every baseline; RICD "
               "precision far above\nLPA at comparable recall; FRAUDAR "
               "precision comparable at lower recall.\n");
+
+  obs::WorkloadScale workload_desc;
+  workload_desc.scale = gen::ScenarioScaleName(scale);
+  workload_desc.seed = seeds.front();
+  FinishBench("bench_robustness", workload_desc);
   return 0;
 }
 

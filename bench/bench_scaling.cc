@@ -42,36 +42,39 @@ int Run() {
     auto scenario = gen::MakeScenario(scale, 42);
     RICD_CHECK(scenario.ok()) << scenario.status();
 
-    WallTimer timer;
-    auto graph = graph::GraphBuilder::FromTable(scenario->table);
+    Result<graph::BipartiteGraph> graph = Status::Internal("not run");
+    const double build_s = TimedStage("bench.scaling.build", [&] {
+      graph = graph::GraphBuilder::FromTable(scenario->table);
+    });
     RICD_CHECK(graph.ok()) << graph.status();
-    const double build_s = timer.ElapsedSeconds();
 
     const core::RicdParams params = PaperDefaultParams();
     core::ExtensionBicliqueExtractor extractor(params);
 
     graph::MutableView view(*graph);
-    timer.Restart();
-    extractor.CorePruning(view, nullptr);
-    const double core_s = timer.ElapsedSeconds();
+    const double core_s = TimedStage("bench.scaling.core_pruning", [&] {
+      extractor.CorePruning(view, nullptr);
+    });
 
-    timer.Restart();
-    extractor.SquarePruning(view, /*ordered=*/true, nullptr);
-    const double square_s = timer.ElapsedSeconds();
+    const double square_s = TimedStage("bench.scaling.square_pruning", [&] {
+      extractor.SquarePruning(view, /*ordered=*/true, nullptr);
+    });
 
     core::FrameworkOptions options;
     options.params = params;
     core::RicdFramework ricd(options);
-    timer.Restart();
-    auto ricd_result = ricd.Detect(*graph);
+    Result<baselines::DetectionResult> ricd_result = Status::Internal("not run");
+    const double ricd_s = TimedStage("bench.scaling.ricd_end_to_end", [&] {
+      ricd_result = ricd.Detect(*graph);
+    });
     RICD_CHECK(ricd_result.ok());
-    const double ricd_s = timer.ElapsedSeconds();
 
     core::ScreenedDetector lpa(std::make_unique<baselines::Lpa>(), params);
-    timer.Restart();
-    auto lpa_result = lpa.Detect(*graph);
+    Result<baselines::DetectionResult> lpa_result = Status::Internal("not run");
+    const double lpa_s = TimedStage("bench.scaling.lpa_ui", [&] {
+      lpa_result = lpa.Detect(*graph);
+    });
     RICD_CHECK(lpa_result.ok());
-    const double lpa_s = timer.ElapsedSeconds();
 
     std::printf("%-8s %10u %10u %12llu | %10.3f %10.3f %10.3f %10.3f %10.3f\n",
                 gen::ScenarioScaleName(scale), graph->num_users(),
@@ -83,6 +86,11 @@ int Run() {
   std::printf("\nExpected shape: build and CorePruning grow linearly with "
               "edges;\nSquarePruning grows faster (two-hop term) and "
               "dominates RICD end-to-end.\n");
+
+  obs::WorkloadScale workload_desc;
+  workload_desc.scale = "sweep";
+  workload_desc.seed = 42;
+  FinishBench("bench_scaling", workload_desc);
   return 0;
 }
 

@@ -118,6 +118,7 @@ int Run() {
   std::printf("(camouflage edges cannot remove the biclique the attack "
               "needs, so quality\n should degrade only mildly — the paper's "
               "camouflage-restriction property)\n");
+  FinishBench("bench_sensitivity", DescribeWorkload(workload));
   return 0;
 }
 

@@ -4,7 +4,10 @@
 
 namespace ricd {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads) : ThreadPool(num_threads, nullptr) {}
+
+ThreadPool::ThreadPool(size_t num_threads, TaskObserver task_observer)
+    : task_observer_(std::move(task_observer)) {
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -24,7 +27,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    tasks_.push_back(std::move(task));
+    tasks_.push_back({std::move(task), std::chrono::steady_clock::now()});
     ++in_flight_;
   }
   task_available_.notify_one();
@@ -37,7 +40,7 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_available_.wait(lock,
@@ -49,7 +52,16 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
-    task();
+    if (task_observer_) {
+      const auto started_at = std::chrono::steady_clock::now();
+      task.fn();
+      const auto finished_at = std::chrono::steady_clock::now();
+      task_observer_(
+          std::chrono::duration<double>(started_at - task.enqueued_at).count(),
+          std::chrono::duration<double>(finished_at - started_at).count());
+    } else {
+      task.fn();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();

@@ -1,6 +1,7 @@
 #ifndef RICD_COMMON_THREAD_POOL_H_
 #define RICD_COMMON_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -16,8 +17,16 @@ namespace ricd {
 /// not touch threads directly.
 class ThreadPool {
  public:
+  /// Per-task timing callback, invoked on the worker thread after each task
+  /// finishes: observer(queue_wait_seconds, run_seconds). Installed at
+  /// construction so workers can read it without synchronization; the
+  /// engine module uses it to feed the observability registry without
+  /// making `common` depend on `obs`.
+  using TaskObserver = std::function<void(double, double)>;
+
   /// Spawns `num_threads` workers (>= 1 enforced).
   explicit ThreadPool(size_t num_threads);
+  ThreadPool(size_t num_threads, TaskObserver task_observer);
 
   /// Drains remaining tasks, then joins all workers.
   ~ThreadPool();
@@ -34,14 +43,20 @@ class ThreadPool {
   size_t num_threads() const { return threads_.size(); }
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
-  std::deque<std::function<void()>> tasks_;
+  std::deque<QueuedTask> tasks_;
   size_t in_flight_ = 0;  // queued + currently running
   bool shutting_down_ = false;
+  TaskObserver task_observer_;  // may be empty; immutable after construction
   std::vector<std::thread> threads_;
 };
 

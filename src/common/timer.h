@@ -28,6 +28,33 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+/// Feeds the elapsed wall time of a scope into a histogram-like sink
+/// (anything with Observe(double seconds) — in practice obs::Histogram) at
+/// destruction. Templated so `common` stays independent of `obs`:
+///
+///   obs::Histogram* hist = registry.GetHistogram("bench.stage_seconds");
+///   { ScopedTimer timer(hist); Stage(); }
+///
+/// A null sink disables recording; Elapsed* queries work either way.
+template <typename HistogramT>
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(HistogramT* sink) : sink_(sink) {}
+  ~ScopedTimer() {
+    if (sink_ != nullptr) sink_->Observe(timer_.ElapsedSeconds());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+  double ElapsedMillis() const { return timer_.ElapsedMillis(); }
+
+ private:
+  WallTimer timer_;
+  HistogramT* sink_;
+};
+
 }  // namespace ricd
 
 #endif  // RICD_COMMON_TIMER_H_

@@ -9,20 +9,61 @@ WorkerEngine::WorkerEngine(size_t num_workers) {
     num_workers = std::thread::hardware_concurrency();
     if (num_workers == 0) num_workers = 1;
   }
-  pool_ = std::make_unique<ThreadPool>(num_workers);
+
+  auto& registry = obs::MetricsRegistry::Global();
+  tasks_total_ = registry.GetCounter("engine.pool.tasks_total");
+  queue_wait_hist_ = registry.GetHistogram("engine.pool.queue_wait_seconds");
+  task_run_hist_ = registry.GetHistogram("engine.pool.task_run_seconds");
+  workers_gauge_ = registry.GetGauge("engine.pool.workers");
+  utilization_gauge_ = registry.GetGauge("engine.pool.utilization");
+  workers_gauge_->Set(static_cast<double>(num_workers));
+  created_at_ = std::chrono::steady_clock::now();
+
+  // Worker threads report per-task timings straight into the registry;
+  // instruments were resolved above, so the hot path never takes the
+  // registry lock.
+  pool_ = std::make_unique<ThreadPool>(
+      num_workers, [this](double queue_wait_s, double run_s) {
+        tasks_total_->Add(1);
+        queue_wait_hist_->Observe(queue_wait_s);
+        task_run_hist_->Observe(run_s);
+        busy_nanos_.fetch_add(static_cast<uint64_t>(run_s * 1e9),
+                              std::memory_order_relaxed);
+      });
+}
+
+void WorkerEngine::UpdateUtilization() const {
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - created_at_)
+                            .count();
+  if (wall_s <= 0.0) return;
+  const double busy_s =
+      static_cast<double>(busy_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  utilization_gauge_->Set(busy_s /
+                          (wall_s * static_cast<double>(num_workers())));
 }
 
 void WorkerEngine::ParallelForRanges(
     uint32_t n, const std::function<void(size_t, VertexRange)>& fn) const {
   const auto ranges = PartitionRange(n, num_workers());
   if (num_workers() == 1) {
+    const auto started_at = std::chrono::steady_clock::now();
     fn(0, ranges[0]);
+    const double run_s = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - started_at)
+                             .count();
+    tasks_total_->Add(1);
+    task_run_hist_->Observe(run_s);
+    busy_nanos_.fetch_add(static_cast<uint64_t>(run_s * 1e9),
+                          std::memory_order_relaxed);
+    UpdateUtilization();
     return;
   }
   for (size_t w = 0; w < ranges.size(); ++w) {
     pool_->Submit([w, range = ranges[w], &fn] { fn(w, range); });
   }
   pool_->Wait();
+  UpdateUtilization();
 }
 
 void WorkerEngine::ParallelFor(uint32_t n,

@@ -1,6 +1,8 @@
 #ifndef RICD_ENGINE_WORKER_ENGINE_H_
 #define RICD_ENGINE_WORKER_ENGINE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -9,6 +11,7 @@
 
 #include "common/thread_pool.h"
 #include "engine/partitioner.h"
+#include "obs/metrics.h"
 
 namespace ricd::engine {
 
@@ -17,6 +20,15 @@ namespace ricd::engine {
 /// owning a vertex partition"; WorkerEngine reproduces that model with a
 /// thread pool plus range partitioning, so algorithm code is written once
 /// against worker-local ranges and scales with the worker count.
+///
+/// Every engine feeds the global observability registry:
+///   engine.pool.tasks_total          counter, tasks executed
+///   engine.pool.queue_wait_seconds   histogram, submit -> start latency
+///   engine.pool.task_run_seconds     histogram, task execution time
+///   engine.pool.workers              gauge, worker count
+///   engine.pool.utilization          gauge, busy time / (wall * workers)
+/// Engines share these names, so with several engines alive the gauges
+/// reflect the engine that ran last (in practice: the default engine).
 class WorkerEngine {
  public:
   /// Creates an engine with `num_workers` workers (0 = hardware threads).
@@ -51,6 +63,16 @@ class WorkerEngine {
   }
 
  private:
+  /// Refreshes engine.pool.utilization from the busy-time accumulator.
+  void UpdateUtilization() const;
+
+  obs::Counter* tasks_total_ = nullptr;
+  obs::Histogram* queue_wait_hist_ = nullptr;
+  obs::Histogram* task_run_hist_ = nullptr;
+  obs::Gauge* workers_gauge_ = nullptr;
+  obs::Gauge* utilization_gauge_ = nullptr;
+  mutable std::atomic<uint64_t> busy_nanos_{0};
+  std::chrono::steady_clock::time_point created_at_;
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -1,5 +1,8 @@
 #include "gen/scenario.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ricd::gen {
 
 BackgroundConfig BackgroundConfigFor(ScenarioScale scale) {
@@ -83,6 +86,7 @@ Result<Scenario> MakeScenario(const BackgroundConfig& background_config,
                               const AttackConfig& attack_config,
                               const OrganicCommunityConfig& organic_config,
                               uint64_t seed) {
+  RICD_TRACE_SPAN("gen.scenario");
   Rng rng(seed);
   Scenario scenario;
   scenario.background_config = background_config;
@@ -111,6 +115,11 @@ Result<Scenario> MakeScenario(const BackgroundConfig& background_config,
   scenario.labels = std::move(injection.labels);
   scenario.groups = std::move(injection.groups);
   scenario.organic_clubs = std::move(organic.clubs);
+
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("gen.scenario.rows")->Add(scenario.table.num_rows());
+  registry.GetCounter("gen.scenario.injected_groups")
+      ->Add(scenario.groups.size());
   return scenario;
 }
 

@@ -1,0 +1,340 @@
+#include "obs/report.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace ricd::obs {
+namespace {
+
+/// Formats a double compactly; JSON has no NaN/Inf, so those become 0.
+std::string NumberToJson(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string NumberToJson(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+void AppendHistogramJson(const HistogramSnapshot& hist, std::string& out) {
+  out += "{\"count\":";
+  out += NumberToJson(hist.count);
+  out += ",\"sum\":";
+  out += NumberToJson(hist.sum);
+  out += ",\"mean\":";
+  out += NumberToJson(hist.Mean());
+  out += ",\"p50\":";
+  out += NumberToJson(hist.P50());
+  out += ",\"p95\":";
+  out += NumberToJson(hist.P95());
+  out += ",\"p99\":";
+  out += NumberToJson(hist.P99());
+  out += "}";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsReportJson(
+    const std::string& source, const WorkloadScale& workload,
+    const MetricsSnapshot& metrics,
+    const std::vector<SpanRegistry::NodeSnapshot>& spans) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"source\":\"";
+  out += JsonEscape(source);
+  out += "\",\"workload\":{\"scale\":\"";
+  out += JsonEscape(workload.scale);
+  out += "\",\"seed\":";
+  out += NumberToJson(workload.seed);
+  out += ",\"users\":";
+  out += NumberToJson(workload.users);
+  out += ",\"items\":";
+  out += NumberToJson(workload.items);
+  out += ",\"edges\":";
+  out += NumberToJson(workload.edges);
+  out += ",\"clicks\":";
+  out += NumberToJson(workload.clicks);
+  out += "},\"counters\":{";
+  for (size_t i = 0; i < metrics.counters.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(metrics.counters[i].name) + "\":";
+    out += NumberToJson(metrics.counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (size_t i = 0; i < metrics.gauges.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(metrics.gauges[i].name) + "\":";
+    out += NumberToJson(metrics.gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < metrics.histograms.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(metrics.histograms[i].name) + "\":";
+    AppendHistogramJson(metrics.histograms[i].hist, out);
+  }
+  out += "},\"spans\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const auto& span = spans[i];
+    if (i > 0) out += ",";
+    out += "{\"path\":\"" + JsonEscape(span.path) + "\",\"name\":\"" +
+           JsonEscape(span.name) + "\",\"depth\":";
+    out += NumberToJson(static_cast<uint64_t>(span.depth));
+    out += ",\"count\":";
+    out += NumberToJson(span.count);
+    out += ",\"total_seconds\":";
+    out += NumberToJson(span.total_seconds);
+    out += ",\"mean_seconds\":";
+    out += NumberToJson(span.count == 0 ? 0.0
+                                        : span.total_seconds /
+                                              static_cast<double>(span.count));
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string GlobalMetricsReportJson(const std::string& source,
+                                    const WorkloadScale& workload) {
+  return MetricsReportJson(source, workload,
+                           MetricsRegistry::Global().Snapshot(),
+                           SpanRegistry::Global().Snapshot());
+}
+
+Status WriteMetricsJson(const std::string& path, const std::string& json) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << json << '\n';
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Status AppendJsonLine(const std::string& path, const std::string& json) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return Status::IoError("cannot open '" + path + "' for append");
+  out << json << '\n';
+  if (!out) return Status::IoError("append to '" + path + "' failed");
+  return Status::Ok();
+}
+
+namespace {
+
+/// Recursive-descent JSON parser (RFC 8259 subset: no duplicate-key or
+/// depth policing beyond recursion).
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    RICD_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return ParseString();
+      case 't': return ParseLiteral("true", /*is_bool=*/true, true);
+      case 'f': return ParseLiteral("false", /*is_bool=*/true, false);
+      case 'n': return ParseLiteral("null", /*is_bool=*/false, false);
+      default: return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseLiteral(const char* word, bool is_bool, bool value) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) {
+      return Error(std::string("expected '") + word + "'");
+    }
+    pos_ += len;
+    JsonValue v;
+    if (is_bool) {
+      v.type = JsonValue::Type::kBool;
+      v.bool_value = value;
+    }
+    return v;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("malformed number '" + token + "'");
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number_value = value;
+    return v;
+  }
+
+  Result<JsonValue> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        v.string_value += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': v.string_value += '"'; break;
+        case '\\': v.string_value += '\\'; break;
+        case '/': v.string_value += '/'; break;
+        case 'b': v.string_value += '\b'; break;
+        case 'f': v.string_value += '\f'; break;
+        case 'n': v.string_value += '\n'; break;
+        case 'r': v.string_value += '\r'; break;
+        case 't': v.string_value += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            if (std::isxdigit(static_cast<unsigned char>(h)) == 0) {
+              return Error("non-hex digit in \\u escape");
+            }
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       h <= '9' ? h - '0' : (std::tolower(h) - 'a' + 10));
+          }
+          // ASCII decoded; anything wider validated but replaced.
+          v.string_value += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray() {
+    if (!Consume('[')) return Error("expected '['");
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return v;
+    for (;;) {
+      RICD_ASSIGN_OR_RETURN(JsonValue item, ParseValue());
+      v.items.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return v;
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseObject() {
+    if (!Consume('{')) return Error("expected '{'");
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return v;
+    for (;;) {
+      SkipWhitespace();
+      RICD_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      RICD_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      v.members.emplace_back(std::move(key.string_value), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return v;
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return JsonParser(text).ParseDocument();
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+}  // namespace ricd::obs

@@ -1,0 +1,85 @@
+#ifndef RICD_OBS_REPORT_H_
+#define RICD_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ricd::obs {
+
+/// Scale descriptors of the workload a metrics report was captured on, so
+/// perf-trajectory records are comparable across machines and PRs.
+struct WorkloadScale {
+  std::string scale;  // preset name ("tiny".."large"), may be empty
+  uint64_t seed = 0;
+  uint64_t users = 0;
+  uint64_t items = 0;
+  uint64_t edges = 0;
+  uint64_t clicks = 0;
+};
+
+/// Serializes one observability record — metrics snapshot, span tree and
+/// workload descriptors — as a single self-contained JSON object with no
+/// external dependencies. Schema:
+///
+///   {"source": "...", "workload": {"scale": ..., "seed": ..., "users": ...,
+///    "items": ..., "edges": ..., "clicks": ...},
+///    "counters": {"name": value, ...}, "gauges": {"name": value, ...},
+///    "histograms": {"name": {"count": n, "sum": s, "mean": m,
+///                            "p50": ..., "p95": ..., "p99": ...}, ...},
+///    "spans": [{"path": ..., "name": ..., "depth": d, "count": n,
+///               "total_seconds": s, "mean_seconds": m}, ...]}
+std::string MetricsReportJson(const std::string& source,
+                              const WorkloadScale& workload,
+                              const MetricsSnapshot& metrics,
+                              const std::vector<SpanRegistry::NodeSnapshot>& spans);
+
+/// Convenience: snapshots the global registries and serializes them.
+std::string GlobalMetricsReportJson(const std::string& source,
+                                    const WorkloadScale& workload);
+
+/// Writes `json` to `path`, truncating (ricd_tool --metrics_json).
+Status WriteMetricsJson(const std::string& path, const std::string& json);
+
+/// Appends `json` plus a newline to `path` (the RICD_BENCH_JSON perf
+/// trajectory sink: one JSON record per line, JSON-Lines style).
+Status AppendJsonLine(const std::string& path, const std::string& json);
+
+/// Escapes a string for embedding in a JSON string literal (no quotes).
+std::string JsonEscape(const std::string& value);
+
+/// Minimal JSON document model, sufficient for schema checks in tests and
+/// for consuming our own reports. Numbers are doubles; \uXXXX escapes are
+/// validated but decoded only for the ASCII range.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> items;  // arrays
+  std::vector<std::pair<std::string, JsonValue>> members;  // objects
+
+  /// Parses one complete JSON document (trailing garbage is an error).
+  static Result<JsonValue> Parse(const std::string& text);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+};
+
+}  // namespace ricd::obs
+
+#endif  // RICD_OBS_REPORT_H_

@@ -1,0 +1,110 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace ricd::obs {
+namespace {
+
+/// Innermost open span per thread. Nodes referenced here stay alive even
+/// across SpanRegistry::Reset (Reset detaches, it does not free in-use
+/// nodes; see Reset below).
+thread_local std::vector<SpanRegistry::Node*> tls_span_stack;
+
+void FlattenInto(const SpanRegistry::Node& node, const std::string& parent_path,
+                 std::vector<SpanRegistry::NodeSnapshot>& out) {
+  for (const auto& [name, child] : node.children) {
+    // Keep the path in a local: a reference into `out` would dangle when
+    // the recursive push_back reallocates the vector.
+    const std::string path =
+        parent_path.empty() ? name : parent_path + "/" + name;
+    SpanRegistry::NodeSnapshot snap;
+    snap.path = path;
+    snap.name = name;
+    snap.depth = child->depth;
+    snap.count = child->count;
+    snap.total_seconds = child->total_seconds;
+    out.push_back(std::move(snap));
+    FlattenInto(*child, path, out);
+  }
+}
+
+}  // namespace
+
+SpanRegistry& SpanRegistry::Global() {
+  // Leaked for the same reason as MetricsRegistry::Global.
+  static SpanRegistry* registry = new SpanRegistry();
+  return *registry;
+}
+
+SpanRegistry::Node* SpanRegistry::Enter(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Node* parent = tls_span_stack.empty() ? &root_ : tls_span_stack.back();
+  auto& slot = parent->children[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Node>();
+    slot->name = name;
+    slot->depth = parent == &root_ ? 0 : parent->depth + 1;
+    slot->hist = MetricsRegistry::Global().GetHistogram(name);
+  }
+  tls_span_stack.push_back(slot.get());
+  return slot.get();
+}
+
+void SpanRegistry::Exit(Node* node, double elapsed_seconds) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    node->count += 1;
+    node->total_seconds += elapsed_seconds;
+    if (!tls_span_stack.empty() && tls_span_stack.back() == node) {
+      tls_span_stack.pop_back();
+    }
+  }
+  node->hist->Observe(elapsed_seconds);
+}
+
+std::vector<SpanRegistry::NodeSnapshot> SpanRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NodeSnapshot> out;
+  FlattenInto(root_, "", out);
+  return out;
+}
+
+void SpanRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Nodes owned by root_ with open ScopedSpans would dangle if freed;
+  // Reset is documented for use between runs, when no span is open.
+  root_.children.clear();
+}
+
+std::string SpanRegistry::DumpTree() const {
+  const auto nodes = Snapshot();
+  std::string out;
+  char line[256];
+  for (const auto& node : nodes) {
+    const double total_ms = node.total_seconds * 1e3;
+    const double mean_ms =
+        node.count == 0 ? 0.0 : total_ms / static_cast<double>(node.count);
+    std::snprintf(line, sizeof(line), "%*s%-40s %8llu calls %12.3f ms total %10.3f ms mean\n",
+                  node.depth * 2, "", node.name.c_str(),
+                  static_cast<unsigned long long>(node.count), total_ms,
+                  mean_ms);
+    out += line;
+  }
+  return out;
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (!MetricsRegistry::Global().enabled()) return;
+  node_ = SpanRegistry::Global().Enter(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (node_ == nullptr) return;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  SpanRegistry::Global().Exit(node_, elapsed);
+}
+
+}  // namespace ricd::obs

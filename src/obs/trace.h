@@ -1,0 +1,107 @@
+#ifndef RICD_OBS_TRACE_H_
+#define RICD_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ricd::obs {
+
+/// Process-wide tree of named spans. Spans opened inside other spans (on
+/// the same thread) become children; worker threads open root-level spans.
+/// Each span's wall time is also recorded into a MetricsRegistry histogram
+/// named after the span (so `ricd.extraction.core_pruning` shows up with
+/// p50/p95/p99 regardless of where in the tree it ran).
+///
+/// Span bookkeeping takes one mutex on entry and exit; spans mark pipeline
+/// *stages* (milliseconds to seconds of work), not per-vertex operations.
+class SpanRegistry {
+ public:
+  /// One node of the flattened span tree, pre-order.
+  struct NodeSnapshot {
+    std::string path;  // "ricd.framework.run/ricd.extraction"
+    std::string name;  // leaf name
+    int depth = 0;
+    uint64_t count = 0;
+    double total_seconds = 0.0;
+  };
+
+  /// Tree node; public only so the implementation's file-local helpers
+  /// (thread-local span stack, flattening) can name it. Not part of the
+  /// user-facing API — consume NodeSnapshot instead.
+  struct Node {
+    std::string name;
+    int depth = 0;
+    uint64_t count = 0;
+    double total_seconds = 0.0;
+    Histogram* hist = nullptr;  // registry histogram named `name`
+    std::map<std::string, std::unique_ptr<Node>> children;
+  };
+
+  SpanRegistry() = default;
+  SpanRegistry(const SpanRegistry&) = delete;
+  SpanRegistry& operator=(const SpanRegistry&) = delete;
+
+  static SpanRegistry& Global();
+
+  /// Flattens the tree in pre-order (children sorted by name).
+  std::vector<NodeSnapshot> Snapshot() const;
+
+  /// Drops all recorded spans. Active spans keep recording into their
+  /// (detached) nodes; callers reset between runs, not mid-run.
+  void Reset();
+
+  /// Human-readable indented dump: one line per node with count, total and
+  /// mean milliseconds.
+  std::string DumpTree() const;
+
+ private:
+  friend class ScopedSpan;
+
+  /// Opens a span: finds/creates the child of this thread's innermost open
+  /// span (or of the root) and pushes it on the thread-local stack.
+  Node* Enter(const char* name);
+  /// Closes a span opened by Enter on the same thread.
+  void Exit(Node* node, double elapsed_seconds);
+
+  mutable std::mutex mu_;
+  Node root_;
+};
+
+/// RAII span timer. Use through RICD_TRACE_SPAN; nesting follows scope:
+///
+///   RICD_TRACE_SPAN("ricd.extraction");
+///   ...
+///   { RICD_TRACE_SPAN("ricd.extraction.core_pruning"); CorePruning(...); }
+///
+/// No-op (two relaxed loads) when the global MetricsRegistry is disabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanRegistry::Node* node_ = nullptr;  // null when tracing is disabled
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define RICD_TRACE_CONCAT_INNER(a, b) a##b
+#define RICD_TRACE_CONCAT(a, b) RICD_TRACE_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope as a span named `name` (a string literal in
+/// `module.stage` form).
+#define RICD_TRACE_SPAN(name) \
+  ::ricd::obs::ScopedSpan RICD_TRACE_CONCAT(ricd_trace_span_, __LINE__)(name)
+
+}  // namespace ricd::obs
+
+#endif  // RICD_OBS_TRACE_H_

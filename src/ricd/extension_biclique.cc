@@ -5,6 +5,8 @@
 #include <deque>
 
 #include "graph/connected_components.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ricd::core {
 namespace {
@@ -16,10 +18,36 @@ uint32_t CeilMul(double alpha, uint32_t k) {
   return static_cast<uint32_t>(std::ceil(alpha * static_cast<double>(k)));
 }
 
+/// Stage counters, resolved once; removal totals are bulk-added per stage
+/// so the pruning inner loops stay counter-free.
+struct ExtractionCounters {
+  obs::Counter* users_pruned_core;
+  obs::Counter* items_pruned_core;
+  obs::Counter* users_pruned_square;
+  obs::Counter* items_pruned_square;
+  obs::Counter* candidate_groups;
+  obs::Counter* sweeps;
+
+  static const ExtractionCounters& Get() {
+    static const ExtractionCounters counters = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return ExtractionCounters{
+          registry.GetCounter("ricd.extraction.users_pruned_core"),
+          registry.GetCounter("ricd.extraction.items_pruned_core"),
+          registry.GetCounter("ricd.extraction.users_pruned_square"),
+          registry.GetCounter("ricd.extraction.items_pruned_square"),
+          registry.GetCounter("ricd.extraction.candidate_groups"),
+          registry.GetCounter("ricd.extraction.sweeps")};
+    }();
+    return counters;
+  }
+};
+
 }  // namespace
 
 void ExtensionBicliqueExtractor::CorePruning(graph::MutableView& view,
                                              ExtractionStats* stats) const {
+  RICD_TRACE_SPAN("ricd.extraction.core_pruning");
   const uint32_t min_user_degree = CeilMul(params_.alpha, params_.k2);
   const uint32_t min_item_degree = CeilMul(params_.alpha, params_.k1);
   const graph::BipartiteGraph& g = view.graph();
@@ -41,17 +69,17 @@ void ExtensionBicliqueExtractor::CorePruning(graph::MutableView& view,
     }
   }
 
+  uint32_t users_removed = 0;
+  uint32_t items_removed = 0;
   while (!queue.empty()) {
     const auto [side, x] = queue.front();
     queue.pop_front();
     if (!view.IsActive(side, x)) continue;
     view.Remove(side, x);
-    if (stats != nullptr) {
-      if (side == Side::kUser) {
-        ++stats->users_removed_core;
-      } else {
-        ++stats->items_removed_core;
-      }
+    if (side == Side::kUser) {
+      ++users_removed;
+    } else {
+      ++items_removed;
     }
     const Side other = Other(side);
     const uint32_t other_min =
@@ -62,6 +90,13 @@ void ExtensionBicliqueExtractor::CorePruning(graph::MutableView& view,
       }
     }
   }
+
+  if (stats != nullptr) {
+    stats->users_removed_core += users_removed;
+    stats->items_removed_core += items_removed;
+  }
+  ExtractionCounters::Get().users_pruned_core->Add(users_removed);
+  ExtractionCounters::Get().items_pruned_core->Add(items_removed);
 }
 
 void ExtensionBicliqueExtractor::SquarePruneSide(graph::MutableView& view,
@@ -143,8 +178,16 @@ void ExtensionBicliqueExtractor::SquarePruneSide(graph::MutableView& view,
 void ExtensionBicliqueExtractor::SquarePruning(graph::MutableView& view,
                                                bool ordered,
                                                ExtractionStats* stats) const {
-  SquarePruneSide(view, Side::kUser, ordered, stats);
-  SquarePruneSide(view, Side::kItem, ordered, stats);
+  RICD_TRACE_SPAN("ricd.extraction.square_pruning");
+  ExtractionStats local;
+  SquarePruneSide(view, Side::kUser, ordered, &local);
+  SquarePruneSide(view, Side::kItem, ordered, &local);
+  if (stats != nullptr) {
+    stats->users_removed_square += local.users_removed_square;
+    stats->items_removed_square += local.items_removed_square;
+  }
+  ExtractionCounters::Get().users_pruned_square->Add(local.users_removed_square);
+  ExtractionCounters::Get().items_pruned_square->Add(local.items_removed_square);
 }
 
 Result<std::vector<graph::Group>> ExtensionBicliqueExtractor::ExtractImpl(
@@ -157,6 +200,7 @@ Result<std::vector<graph::Group>> ExtensionBicliqueExtractor::ExtractImpl(
     return Status::InvalidArgument("k1 and k2 must be > 0");
   }
 
+  RICD_TRACE_SPAN("ricd.extraction");
   graph::MutableView view(graph);
   CorePruning(view, stats);
   if (square) {
@@ -166,21 +210,27 @@ Result<std::vector<graph::Group>> ExtensionBicliqueExtractor::ExtractImpl(
       SquarePruning(view, /*ordered=*/true, stats);
       CorePruning(view, stats);
       if (stats != nullptr) ++stats->sweeps_run;
+      ExtractionCounters::Get().sweeps->Add(1);
       const uint32_t after =
           view.NumActive(Side::kUser) + view.NumActive(Side::kItem);
       if (after == before) break;
     }
   }
 
-  auto components = graph::ActiveConnectedComponents(view);
   std::vector<graph::Group> groups;
-  for (auto& c : components) {
-    if (c.users.size() < params_.k1 || c.items.size() < params_.k2) continue;
-    if (params_.max_group_users > 0 && c.users.size() > params_.max_group_users) {
-      continue;  // Property (4b): likely group buying, not an attack.
+  {
+    RICD_TRACE_SPAN("ricd.extraction.components");
+    auto components = graph::ActiveConnectedComponents(view);
+    for (auto& c : components) {
+      if (c.users.size() < params_.k1 || c.items.size() < params_.k2) continue;
+      if (params_.max_group_users > 0 &&
+          c.users.size() > params_.max_group_users) {
+        continue;  // Property (4b): likely group buying, not an attack.
+      }
+      groups.push_back(std::move(c));
     }
-    groups.push_back(std::move(c));
   }
+  ExtractionCounters::Get().candidate_groups->Add(groups.size());
   return groups;
 }
 

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "graph/hot_items.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ricd::core {
 
@@ -50,6 +52,15 @@ Result<baselines::DetectionResult> RicdFramework::Detect(
 
 Result<FrameworkResult> RicdFramework::RunOnGraph(
     const graph::BipartiteGraph& graph) const {
+  RICD_TRACE_SPAN("ricd.framework.run");
+  static auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* feedback_rounds =
+      registry.GetCounter("ricd.feedback.rounds_total");
+  static obs::Gauge* round_groups =
+      registry.GetGauge("ricd.feedback.last_groups_survived");
+  static obs::Gauge* round_nodes =
+      registry.GetGauge("ricd.feedback.last_nodes_flagged");
+
   FrameworkResult result;
   RicdParams params = options_.params;
 
@@ -63,6 +74,8 @@ Result<FrameworkResult> RicdFramework::RunOnGraph(
     result.feedback_rounds_used = round;
 
     const size_t output_nodes = result.detection.NumFlagged();
+    round_groups->Set(static_cast<double>(result.detection.groups.size()));
+    round_nodes->Set(static_cast<double>(output_nodes));
     if (options_.expectation == 0 || output_nodes >= options_.expectation ||
         round >= options_.max_feedback_rounds) {
       break;
@@ -85,6 +98,7 @@ Result<FrameworkResult> RicdFramework::RunOnGraph(
                    << relaxed_alpha;
     params.t_click = relaxed_t_click;
     params.alpha = relaxed_alpha;
+    feedback_rounds->Add(1);
   }
 
   result.effective_params = params;

@@ -4,16 +4,20 @@
 
 #include "common/logging.h"
 #include "graph/graph_builder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ricd::core {
 
 Result<graph::BipartiteGraph> GenerateGraph(const table::ClickTable& table) {
+  RICD_TRACE_SPAN("ricd.generation");
   return graph::GraphBuilder::FromTable(table);
 }
 
 Result<graph::BipartiteGraph> GenerateGraph(const table::ClickTable& table,
                                             const SeedSet& seeds) {
   if (seeds.empty()) return GenerateGraph(table);
+  RICD_TRACE_SPAN("ricd.generation");
 
   // Build the full graph once, BFS two hops out from every seed, then
   // rebuild the graph on the induced rows. (Cheaper than per-seed
@@ -62,6 +66,9 @@ Result<graph::BipartiteGraph> GenerateGraph(const table::ClickTable& table,
   if (keep_users.empty()) {
     return Status::NotFound("no seed resolved to a known node");
   }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("ricd.generation.seed_kept_users")->Add(keep_users.size());
+  registry.GetCounter("ricd.generation.seed_kept_items")->Add(keep_items.size());
 
   // Induce the click rows on (kept user, kept item) pairs.
   table::ClickTable induced;

@@ -4,12 +4,16 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ricd::core {
 
 using graph::VertexId;
 
 RankedOutput RankByRisk(const graph::BipartiteGraph& graph,
                         const std::vector<graph::Group>& groups) {
+  RICD_TRACE_SPAN("ricd.identification");
   std::unordered_set<VertexId> users;
   std::unordered_set<VertexId> items;
   for (const auto& g : groups) {
@@ -54,6 +58,14 @@ RankedOutput RankByRisk(const graph::BipartiteGraph& graph,
   };
   std::sort(out.users.begin(), out.users.end(), by_risk);
   std::sort(out.items.begin(), out.items.end(), by_risk);
+
+  static auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* flagged_users =
+      registry.GetCounter("ricd.identification.flagged_users");
+  static obs::Counter* flagged_items =
+      registry.GetCounter("ricd.identification.flagged_items");
+  flagged_users->Add(out.users.size());
+  flagged_items->Add(out.items.size());
   return out;
 }
 

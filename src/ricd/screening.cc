@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ricd::core {
 
 using graph::Side;
@@ -101,11 +104,32 @@ bool GroupScreener::ScreenGroup(graph::Group& group, ScreeningMode mode,
 void GroupScreener::Screen(std::vector<graph::Group>& groups, ScreeningMode mode,
                            ScreeningStats* stats) const {
   if (mode == ScreeningMode::kNone) return;
+  RICD_TRACE_SPAN("ricd.screening");
+  ScreeningStats local;
   std::vector<graph::Group> kept;
   kept.reserve(groups.size());
   for (auto& g : groups) {
-    if (ScreenGroup(g, mode, stats)) kept.push_back(std::move(g));
+    if (ScreenGroup(g, mode, &local)) kept.push_back(std::move(g));
   }
+
+  static auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* groups_in = registry.GetCounter("ricd.screening.groups_in");
+  static obs::Counter* groups_out =
+      registry.GetCounter("ricd.screening.groups_survived");
+  static obs::Counter* users_removed =
+      registry.GetCounter("ricd.screening.users_removed");
+  static obs::Counter* items_removed =
+      registry.GetCounter("ricd.screening.items_removed");
+  groups_in->Add(groups.size());
+  groups_out->Add(kept.size());
+  users_removed->Add(local.users_removed);
+  items_removed->Add(local.items_removed);
+  if (stats != nullptr) {
+    stats->users_removed += local.users_removed;
+    stats->items_removed += local.items_removed;
+    stats->groups_dropped += local.groups_dropped;
+  }
+
   groups = std::move(kept);
 }
 

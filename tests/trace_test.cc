@@ -1,0 +1,203 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace ricd::obs {
+namespace {
+
+/// Spans and their histograms live in the process-wide registries, so each
+/// test starts from a clean slate.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().set_enabled(true);
+    MetricsRegistry::Global().Reset();
+    SpanRegistry::Global().Reset();
+  }
+};
+
+const SpanRegistry::NodeSnapshot* FindByPath(
+    const std::vector<SpanRegistry::NodeSnapshot>& nodes,
+    const std::string& path) {
+  for (const auto& node : nodes) {
+    if (node.path == path) return &node;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, NestedSpansFormTree) {
+  {
+    RICD_TRACE_SPAN("outer");
+    {
+      RICD_TRACE_SPAN("inner");
+    }
+    {
+      RICD_TRACE_SPAN("inner");
+    }
+  }
+  {
+    RICD_TRACE_SPAN("outer");
+  }
+
+  const auto nodes = SpanRegistry::Global().Snapshot();
+  const auto* outer = FindByPath(nodes, "outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->name, "outer");
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(outer->count, 2u);
+  EXPECT_GE(outer->total_seconds, 0.0);
+
+  const auto* inner = FindByPath(nodes, "outer/inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->name, "inner");
+  EXPECT_EQ(inner->depth, 1);
+  EXPECT_EQ(inner->count, 2u);
+  // The inner span ran strictly inside the outer one.
+  EXPECT_LE(inner->total_seconds, outer->total_seconds + 1e-6);
+}
+
+TEST_F(TraceTest, SpanFeedsHistogramNamedAfterSpan) {
+  {
+    RICD_TRACE_SPAN("trace_test.stage");
+  }
+  const auto snap = MetricsRegistry::Global().Snapshot();
+  bool found = false;
+  for (const auto& entry : snap.histograms) {
+    if (entry.name == "trace_test.stage") {
+      found = true;
+      EXPECT_EQ(entry.hist.count, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceTest, DisabledRegistrySkipsSpans) {
+  MetricsRegistry::Global().set_enabled(false);
+  {
+    RICD_TRACE_SPAN("trace_test.skipped");
+  }
+  MetricsRegistry::Global().set_enabled(true);
+  EXPECT_EQ(FindByPath(SpanRegistry::Global().Snapshot(),
+                       "trace_test.skipped"),
+            nullptr);
+}
+
+TEST_F(TraceTest, DumpTreeMentionsEverySpan) {
+  {
+    RICD_TRACE_SPAN("alpha");
+    { RICD_TRACE_SPAN("beta"); }
+  }
+  const std::string dump = SpanRegistry::Global().DumpTree();
+  EXPECT_NE(dump.find("alpha"), std::string::npos);
+  EXPECT_NE(dump.find("beta"), std::string::npos);
+}
+
+TEST_F(TraceTest, ReportJsonRoundTripsThroughParser) {
+  MetricsRegistry::Global().GetCounter("trace_test.events")->Add(12);
+  MetricsRegistry::Global().GetGauge("trace_test.util")->Set(0.5);
+  {
+    RICD_TRACE_SPAN("trace_test.outer");
+    { RICD_TRACE_SPAN("trace_test.inner"); }
+  }
+
+  WorkloadScale workload;
+  workload.scale = "tiny";
+  workload.seed = 42;
+  workload.users = 10;
+  workload.items = 5;
+  workload.edges = 20;
+  workload.clicks = 40;
+  const std::string json = GlobalMetricsReportJson("trace_test", workload);
+
+  auto parsed = JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_TRUE(parsed->is_object());
+
+  const JsonValue* source = parsed->Find("source");
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(source->string_value, "trace_test");
+
+  const JsonValue* wl = parsed->Find("workload");
+  ASSERT_NE(wl, nullptr);
+  ASSERT_TRUE(wl->is_object());
+  EXPECT_EQ(wl->Find("scale")->string_value, "tiny");
+  EXPECT_DOUBLE_EQ(wl->Find("seed")->number_value, 42.0);
+  EXPECT_DOUBLE_EQ(wl->Find("users")->number_value, 10.0);
+  EXPECT_DOUBLE_EQ(wl->Find("clicks")->number_value, 40.0);
+
+  const JsonValue* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* events = counters->Find("trace_test.events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_DOUBLE_EQ(events->number_value, 12.0);
+
+  const JsonValue* gauges = parsed->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("trace_test.util")->number_value, 0.5);
+
+  // Span histograms surface under their bare names with the percentile
+  // fields the schema promises.
+  const JsonValue* histograms = parsed->Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* outer_hist = histograms->Find("trace_test.outer");
+  ASSERT_NE(outer_hist, nullptr);
+  for (const char* field : {"count", "sum", "mean", "p50", "p95", "p99"}) {
+    ASSERT_NE(outer_hist->Find(field), nullptr) << field;
+    EXPECT_TRUE(outer_hist->Find(field)->is_number()) << field;
+  }
+  EXPECT_DOUBLE_EQ(outer_hist->Find("count")->number_value, 1.0);
+
+  const JsonValue* spans = parsed->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->is_array());
+  bool found_inner = false;
+  for (const auto& span : spans->items) {
+    ASSERT_TRUE(span.is_object());
+    for (const char* field :
+         {"path", "name", "depth", "count", "total_seconds", "mean_seconds"}) {
+      ASSERT_NE(span.Find(field), nullptr) << field;
+    }
+    if (span.Find("path")->string_value ==
+        "trace_test.outer/trace_test.inner") {
+      found_inner = true;
+      EXPECT_EQ(span.Find("name")->string_value, "trace_test.inner");
+      EXPECT_DOUBLE_EQ(span.Find("depth")->number_value, 1.0);
+    }
+  }
+  EXPECT_TRUE(found_inner);
+}
+
+TEST(JsonParserTest, AcceptsEscapesAndNesting) {
+  auto parsed = JsonValue::Parse(
+      R"({"a": [1, 2.5, -3e2], "s": "q\"\\\n\u0041", "b": true, "n": null})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Find("a")->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed->Find("a")->items[2].number_value, -300.0);
+  EXPECT_EQ(parsed->Find("s")->string_value, "q\"\\\nA");
+  EXPECT_TRUE(parsed->Find("b")->bool_value);
+  EXPECT_EQ(parsed->Find("n")->type, JsonValue::Type::kNull);
+}
+
+TEST(JsonParserTest, RejectsGarbage) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": }").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1, 2,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"bad\": \"\\u00ZZ\"}").ok());
+}
+
+TEST(JsonEscapeTest, EscapesControlAndQuotes) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+}  // namespace
+}  // namespace ricd::obs

@@ -13,6 +13,16 @@
 //                      [--k1= --k2= --alpha= --t-hot= --t-click=]
 //   ricd_tool stream   --in=clicks.csv --batches=N [--bootstrap-rows=M]
 //                      [--k1= --k2= --alpha= --t-hot= --t-click=]
+//   ricd_tool selftest [--scale=tiny --seed=42]
+//
+// Every command additionally accepts --metrics_json=<path> (alias
+// --metrics-json): after the command finishes, the process-wide metrics
+// snapshot and span tree are printed as a summary table and written to
+// <path> as one JSON object (see obs/report.h for the schema). Invoking
+// the tool with only flags (`ricd_tool --metrics_json=out.json`) runs
+// `selftest`, which generates a small in-memory workload and runs the
+// full detection pipeline so every stage span and engine gauge is
+// populated.
 //
 // All click CSVs are "user,item,clicks" rows (a header is optional); label
 // files are "kind,id" rows as written by `generate --labels`.
@@ -22,6 +32,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/common_neighbors.h"
 #include "baselines/copycatch.h"
@@ -35,6 +46,9 @@
 #include "gen/scenario.h"
 #include "graph/graph_builder.h"
 #include "i2i/i2i_score.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "ricd/framework.h"
 #include "ricd/incremental.h"
 #include "ricd/ui_adapter.h"
@@ -47,15 +61,22 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: ricd_tool <generate|stats|detect|i2i|compare|stream> [--flags]\n"
+      "usage: ricd_tool <generate|stats|detect|i2i|compare|stream|selftest> "
+      "[--flags]\n"
       "  generate  synthesize a Taobao-shaped workload with planted attacks\n"
       "  stats     print Table I/II-style statistics of a click CSV\n"
       "  detect    run the RICD framework and emit ranked suspects\n"
       "  i2i       top related items of an item (the manipulated ranking)\n"
       "  compare   score RICD and all baselines against a label file\n"
-      "  stream    replay a click file in batches through incremental RICD\n");
+      "  stream    replay a click file in batches through incremental RICD\n"
+      "  selftest  generate a small workload and run the full pipeline once\n"
+      "every command accepts --metrics_json=<path> to dump the metrics/span\n"
+      "report (ricd_tool --metrics_json=out.json alone implies selftest)\n");
   return 2;
 }
+
+/// Workload descriptors of the command that ran, for the metrics report.
+obs::WorkloadScale g_workload;
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -391,18 +412,127 @@ int RunStream(const FlagParser& flags) {
   return 0;
 }
 
+int RunSelftest(const FlagParser& flags) {
+  const auto scale_name = flags.GetString("scale", "tiny");
+  const auto seed = flags.GetInt("seed", 42);
+  if (!scale_name.ok()) return Fail(scale_name.status());
+  if (!seed.ok()) return Fail(seed.status());
+  if (const int rc = RejectUnknown(flags)) return rc;
+  auto scale = ParseScale(*scale_name);
+  if (!scale.ok()) return Fail(scale.status());
+
+  auto scenario = gen::MakeScenario(*scale, static_cast<uint64_t>(*seed));
+  if (!scenario.ok()) return Fail(scenario.status());
+
+  core::FrameworkOptions options;
+  core::RicdFramework framework(options);
+  auto result = framework.Run(scenario->table);
+  if (!result.ok()) return Fail(result.status());
+
+  auto graph = graph::GraphBuilder::FromTable(scenario->table);
+  if (!graph.ok()) return Fail(graph.status());
+  g_workload.scale = gen::ScenarioScaleName(*scale);
+  g_workload.seed = static_cast<uint64_t>(*seed);
+  g_workload.users = graph->num_users();
+  g_workload.items = graph->num_items();
+  g_workload.edges = graph->num_edges();
+  g_workload.clicks = graph->total_clicks();
+
+  std::printf("selftest: scale=%s seed=%lld — detected %zu group(s), "
+              "flagged %zu users / %zu items (feedback rounds: %u)\n",
+              gen::ScenarioScaleName(*scale), static_cast<long long>(*seed),
+              result->detection.groups.size(), result->ranked.users.size(),
+              result->ranked.items.size(), result->feedback_rounds_used);
+  return 0;
+}
+
+/// End-of-run summary: span tree plus counter/gauge tables.
+void PrintMetricsSummary() {
+  std::printf("\n--- span timings (count / total ms / mean ms) ---\n%s",
+              obs::SpanRegistry::Global().DumpTree().c_str());
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  if (!snap.counters.empty()) {
+    std::printf("--- counters ---\n");
+    for (const auto& c : snap.counters) {
+      std::printf("  %-44s %14llu\n", c.name.c_str(),
+                  static_cast<unsigned long long>(c.value));
+    }
+  }
+  if (!snap.gauges.empty()) {
+    std::printf("--- gauges ---\n");
+    for (const auto& g : snap.gauges) {
+      std::printf("  %-44s %14.4f\n", g.name.c_str(), g.value);
+    }
+  }
+}
+
+/// Pulls --metrics_json=<path> (or --metrics-json=) out of argv so command
+/// flag parsers never see it; returns the remaining args.
+std::vector<char*> ExtractMetricsPath(int argc, char** argv,
+                                      std::string* metrics_path) {
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    bool consumed = false;
+    for (const char* prefix : {"--metrics_json=", "--metrics-json="}) {
+      if (arg.rfind(prefix, 0) == 0) {
+        *metrics_path = arg.substr(std::string(prefix).size());
+        consumed = true;
+        break;
+      }
+    }
+    if (!consumed) args.push_back(argv[i]);
+  }
+  return args;
+}
+
 int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  const FlagParser flags(argc - 1, argv + 1);
-  if (command == "generate") return RunGenerate(flags);
-  if (command == "stats") return RunStats(flags);
-  if (command == "detect") return RunDetect(flags);
-  if (command == "i2i") return RunI2i(flags);
-  if (command == "compare") return RunCompare(flags);
-  if (command == "stream") return RunStream(flags);
-  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-  return Usage();
+  std::string metrics_path;
+  std::vector<char*> args = ExtractMetricsPath(argc, argv, &metrics_path);
+
+  std::string command;
+  if (args.size() >= 2 && args[1][0] != '-') {
+    command = args[1];
+  } else if (!metrics_path.empty() ||
+             (args.size() >= 2 && args[1][0] == '-')) {
+    // Flag-only invocation (`ricd_tool --metrics_json=out.json`): run the
+    // self-contained pipeline so the report has something to show.
+    command = "selftest";
+    args.insert(args.begin() + 1, const_cast<char*>("selftest"));
+  } else {
+    return Usage();
+  }
+
+  const FlagParser flags(static_cast<int>(args.size()) - 1, args.data() + 1);
+  int rc = 2;
+  if (command == "generate") {
+    rc = RunGenerate(flags);
+  } else if (command == "stats") {
+    rc = RunStats(flags);
+  } else if (command == "detect") {
+    rc = RunDetect(flags);
+  } else if (command == "i2i") {
+    rc = RunI2i(flags);
+  } else if (command == "compare") {
+    rc = RunCompare(flags);
+  } else if (command == "stream") {
+    rc = RunStream(flags);
+  } else if (command == "selftest") {
+    rc = RunSelftest(flags);
+  } else {
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return Usage();
+  }
+
+  if (!metrics_path.empty()) {
+    PrintMetricsSummary();
+    const std::string report =
+        obs::GlobalMetricsReportJson("ricd_tool " + command, g_workload);
+    const Status ws = obs::WriteMetricsJson(metrics_path, report);
+    if (!ws.ok()) return Fail(ws);
+    std::printf("\nwrote metrics report to %s\n", metrics_path.c_str());
+  }
+  return rc;
 }
 
 }  // namespace
