@@ -81,4 +81,23 @@ class NullStream {
 #define RICD_CHECK_GT(a, b) RICD_CHECK((a) > (b))
 #define RICD_CHECK_GE(a, b) RICD_CHECK((a) >= (b))
 
+/// Debug-only checks for per-element assertions inside hot loops: compiled
+/// out (condition unevaluated, but still type-checked) when NDEBUG is
+/// defined. Boundary checks guarding data-structure invariants at API edges
+/// should stay RICD_CHECK; RICD_DCHECK is for the O(per-element) conditions
+/// whose always-on cost would show up in profiles.
+#ifndef NDEBUG
+#define RICD_DCHECK(cond) RICD_CHECK(cond)
+#else
+#define RICD_DCHECK(cond) \
+  while (false) RICD_CHECK(cond)
+#endif
+
+#define RICD_DCHECK_EQ(a, b) RICD_DCHECK((a) == (b))
+#define RICD_DCHECK_NE(a, b) RICD_DCHECK((a) != (b))
+#define RICD_DCHECK_LT(a, b) RICD_DCHECK((a) < (b))
+#define RICD_DCHECK_LE(a, b) RICD_DCHECK((a) <= (b))
+#define RICD_DCHECK_GT(a, b) RICD_DCHECK((a) > (b))
+#define RICD_DCHECK_GE(a, b) RICD_DCHECK((a) >= (b))
+
 #endif  // RICD_COMMON_LOGGING_H_

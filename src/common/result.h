@@ -17,7 +17,7 @@ namespace ricd {
 ///   if (!r.ok()) return r.status();
 ///   ClickTable table = std::move(r).value();
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit so `return value;` works).
   Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}

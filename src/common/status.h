@@ -30,7 +30,11 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// The OK state stores no message and allocates nothing, so returning
 /// Status::Ok() from hot paths is free.
-class Status {
+///
+/// [[nodiscard]] on the class makes silently dropping a returned Status a
+/// compile-time warning (escalated to an error by the build); intentional
+/// discards must be spelled `(void)Call();`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

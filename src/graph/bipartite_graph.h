@@ -102,8 +102,18 @@ class BipartiteGraph {
   /// Dense id of an external item id; returns false if unknown.
   bool LookupItem(table::ItemId external, VertexId* out) const;
 
+  /// Raw CSR offset arrays (size num_users()+1 / num_items()+1). Exposed so
+  /// the check library can verify offset monotonicity and terminal edge
+  /// counts without friend access; offsets are the source of truth the span
+  /// accessors above are derived from.
+  std::span<const uint64_t> UserOffsets() const { return user_offsets_; }
+  std::span<const uint64_t> ItemOffsets() const { return item_offsets_; }
+
  private:
   friend class GraphBuilder;
+  /// Test-only backdoor (tests/graph_test_peer.h) used to corrupt a
+  /// well-formed graph and prove each validator rejects it.
+  friend struct GraphTestPeer;
 
   std::vector<uint64_t> user_offsets_{0};
   std::vector<VertexId> user_adj_;

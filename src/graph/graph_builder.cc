@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace ricd::graph {
@@ -33,6 +34,13 @@ Result<BipartiteGraph> GraphBuilder::FromTable(const table::ClickTable& table) {
     row_item[i] = iit->second;
   }
 
+  // Boundary check (always on): dense ids are 32-bit; a table with more
+  // distinct users/items than VertexId can address would silently alias
+  // vertices above.
+  if (g.user_ids_.size() > std::numeric_limits<VertexId>::max() ||
+      g.item_ids_.size() > std::numeric_limits<VertexId>::max()) {
+    return Status::OutOfRange("too many distinct users/items for 32-bit ids");
+  }
   const uint32_t num_users = static_cast<uint32_t>(g.user_ids_.size());
   const uint32_t num_items = static_cast<uint32_t>(g.item_ids_.size());
 
@@ -95,6 +103,14 @@ Result<BipartiteGraph> GraphBuilder::FromTable(const table::ClickTable& table) {
       }
     }
   }
+
+  // Construction post-conditions, debug-only: both CSR sides materialize
+  // every merged edge exactly once. (The full O(E) structural audit lives
+  // in check::ValidateBipartiteGraph, run by pipeline entry points behind
+  // RICD_VALIDATE.)
+  RICD_DCHECK_EQ(g.user_offsets_.back(), g.user_adj_.size());
+  RICD_DCHECK_EQ(g.item_offsets_.back(), g.item_adj_.size());
+  RICD_DCHECK_EQ(g.user_adj_.size(), g.item_adj_.size());
 
   // Weighted degrees.
   g.user_total_clicks_.assign(num_users, 0);

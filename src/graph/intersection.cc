@@ -2,8 +2,20 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace ricd::graph {
 namespace {
+
+/// Sortedness precondition of every intersection kernel. O(n), so it runs
+/// as a debug-only per-element check — in Release the kernels would merely
+/// return a wrong count, which the gated validators catch downstream.
+bool StrictlyAscending(std::span<const VertexId> s) {
+  for (size_t i = 1; i < s.size(); ++i) {
+    if (s[i] <= s[i - 1]) return false;
+  }
+  return true;
+}
 
 // Galloping variant for strongly skewed sizes: binary-search each element of
 // the small span in the large one.
@@ -24,6 +36,8 @@ uint64_t GallopIntersection(std::span<const VertexId> small,
 
 uint64_t IntersectCapped(std::span<const VertexId> a, std::span<const VertexId> b,
                          uint64_t cap) {
+  RICD_DCHECK(StrictlyAscending(a));
+  RICD_DCHECK(StrictlyAscending(b));
   if (a.empty() || b.empty() || cap == 0) return 0;
   if (a.size() > b.size()) std::swap(a, b);
   if (b.size() / a.size() >= 16) return GallopIntersection(a, b, cap);

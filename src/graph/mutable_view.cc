@@ -1,5 +1,7 @@
 #include "graph/mutable_view.h"
 
+#include "common/logging.h"
+
 namespace ricd::graph {
 
 MutableView::MutableView(const BipartiteGraph& graph) : graph_(&graph) {
@@ -20,19 +22,31 @@ void MutableView::Reset() {
 }
 
 void MutableView::Remove(Side side, VertexId v) {
+  // Per-element degree underflow checks are debug-only: Remove sits inside
+  // every pruning cascade's inner loop, and an underflow here is exactly
+  // the incremental-maintenance bug ValidateMutableView catches in gated
+  // builds.
   if (side == Side::kUser) {
+    RICD_DCHECK_LT(v, user_active_.size());
     if (!user_active_[v]) return;
     user_active_[v] = 0;
     --num_active_users_;
     for (const VertexId w : graph_->UserNeighbors(v)) {
-      if (item_active_[w]) --item_degree_[w];
+      if (item_active_[w]) {
+        RICD_DCHECK_GT(item_degree_[w], 0u);
+        --item_degree_[w];
+      }
     }
   } else {
+    RICD_DCHECK_LT(v, item_active_.size());
     if (!item_active_[v]) return;
     item_active_[v] = 0;
     --num_active_items_;
     for (const VertexId w : graph_->ItemNeighbors(v)) {
-      if (user_active_[w]) --user_degree_[w];
+      if (user_active_[w]) {
+        RICD_DCHECK_GT(user_degree_[w], 0u);
+        --user_degree_[w];
+      }
     }
   }
 }

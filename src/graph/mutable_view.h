@@ -47,6 +47,9 @@ class MutableView {
   void Reset();
 
  private:
+  /// Test-only backdoor (tests/graph_test_peer.h); see BipartiteGraph.
+  friend struct GraphTestPeer;
+
   const BipartiteGraph* graph_;
   std::vector<uint8_t> user_active_;
   std::vector<uint8_t> item_active_;

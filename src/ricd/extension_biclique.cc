@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 
+#include "check/validate.h"
 #include "graph/connected_components.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -231,6 +232,17 @@ Result<std::vector<graph::Group>> ExtensionBicliqueExtractor::ExtractImpl(
     }
   }
   ExtractionCounters::Get().candidate_groups->Add(groups.size());
+
+  if (check::ValidationEnabled()) {
+    RICD_RETURN_IF_ERROR(check::ValidateMutableView(view));
+    // Both arms end on a CorePruning fixpoint, and a component contains all
+    // of its members' active neighbors — so every emitted group owes the
+    // alpha condition against the source graph (Lemma 1).
+    for (const graph::Group& group : groups) {
+      RICD_RETURN_IF_ERROR(
+          check::ValidateExtensionBiclique(graph, group, params_));
+    }
+  }
   return groups;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/validate.h"
 #include "common/logging.h"
 #include "graph/hot_items.h"
 #include "obs/metrics.h"
@@ -38,6 +39,12 @@ Result<baselines::DetectionResult> RicdFramework::DetectOnce(
   GroupScreener screener(graph, effective,
                          graph::ComputeHotFlags(graph, effective.t_hot));
   screener.Screen(groups, screening, screening_stats);
+  if (check::ValidationEnabled()) {
+    // Screening only removes members, so the surviving groups no longer owe
+    // the alpha condition — but they must still reference live vertices and
+    // stay duplicate-free.
+    RICD_RETURN_IF_ERROR(check::ValidatePipelineResult(graph, groups));
+  }
 
   baselines::DetectionResult result;
   result.groups = std::move(groups);
@@ -63,6 +70,11 @@ Result<FrameworkResult> RicdFramework::RunOnGraph(
 
   FrameworkResult result;
   RicdParams params = options_.params;
+
+  if (check::ValidationEnabled()) {
+    // One O(E) structural audit per run; feedback rounds reuse the graph.
+    RICD_RETURN_IF_ERROR(check::ValidateBipartiteGraph(graph));
+  }
 
   for (uint32_t round = 0;; ++round) {
     result.extraction_stats = {};
@@ -106,6 +118,10 @@ Result<FrameworkResult> RicdFramework::RunOnGraph(
     result.effective_params.t_hot = graph::DeriveHotThreshold(graph, 0.8);
   }
   result.ranked = RankByRisk(graph, result.detection.groups);
+  if (check::ValidationEnabled()) {
+    RICD_RETURN_IF_ERROR(check::ValidatePipelineResult(
+        graph, result.detection.groups, &result.ranked));
+  }
   return result;
 }
 

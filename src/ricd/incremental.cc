@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "check/validate.h"
 #include "graph/graph_builder.h"
 #include "graph/hot_items.h"
 #include "ricd/graph_generator.h"
@@ -178,6 +179,13 @@ Result<IncrementalUpdate> IncrementalRicd::Ingest(const table::ClickTable& batch
 
   RICD_ASSIGN_OR_RETURN(graph::BipartiteGraph graph,
                         graph::GraphBuilder::FromTable(region));
+  if (check::ValidationEnabled()) {
+    // The region graph is rebuilt from incrementally folded stream state —
+    // exactly the structure a lost update or double-counted edge corrupts,
+    // so audit it before detection trusts it. (RunOnGraph re-validates the
+    // CSR form; this placement pins the blame on the fold, not detection.)
+    RICD_RETURN_IF_ERROR(check::ValidateBipartiteGraph(graph));
+  }
   RicdFramework framework(options_);
   RICD_ASSIGN_OR_RETURN(FrameworkResult result, framework.RunOnGraph(graph));
   update.region_groups = static_cast<uint32_t>(result.detection.groups.size());

@@ -1,0 +1,321 @@
+// Tests of the src/check invariant validators. The core pattern: build a
+// well-formed graph, corrupt it in exactly one way through GraphTestPeer,
+// and assert the validator rejects it with the expected `validate.<area>:
+// <tag>:` Status — each corruption maps to a distinct failure.
+
+#include "check/validate.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "graph/graph_builder.h"
+#include "graph_test_peer.h"
+#include "obs/metrics.h"
+#include "table/click_table.h"
+
+namespace ricd {
+namespace {
+
+using graph::BipartiteGraph;
+using graph::GraphTestPeer;
+using graph::Group;
+using graph::MutableView;
+using graph::Side;
+using graph::VertexId;
+
+/// External ids are offset so dense and external id spaces never coincide
+/// by accident.
+constexpr table::UserId kUserBase = 1000;
+constexpr table::ItemId kItemBase = 2000;
+
+/// A small well-formed graph: a 3x3 biclique (users 0..2, items 0..2, two
+/// clicks per edge except (0,1) with five — distinct weights exercise the
+/// transpose check) plus a background user 3 clicking item 3 once.
+BipartiteGraph MakeGraph() {
+  table::ClickTable t;
+  for (int u = 0; u < 3; ++u) {
+    for (int i = 0; i < 3; ++i) {
+      const table::ClickCount clicks = (u == 0 && i == 1) ? 5 : 2;
+      t.Append(kUserBase + u, kItemBase + i, clicks);
+    }
+  }
+  t.Append(kUserBase + 3, kItemBase + 3, 1);
+  auto graph = graph::GraphBuilder::FromTable(t);
+  EXPECT_TRUE(graph.ok()) << graph.status();
+  return std::move(graph).value();
+}
+
+void ExpectRejected(const Status& status, StatusCode code,
+                    const std::string& tag) {
+  ASSERT_FALSE(status.ok()) << "expected rejection with tag " << tag;
+  EXPECT_EQ(status.code(), code) << status;
+  EXPECT_NE(status.message().find(tag), std::string::npos) << status;
+}
+
+TEST(ValidationGateTest, OverrideWins) {
+  check::SetValidationEnabled(true);
+  EXPECT_TRUE(check::ValidationEnabled());
+  check::SetValidationEnabled(false);
+  EXPECT_FALSE(check::ValidationEnabled());
+  check::SetValidationEnabled(true);  // Leave on for the rest of the binary.
+}
+
+TEST(ValidateGraphTest, WellFormedGraphPasses) {
+  const BipartiteGraph g = MakeGraph();
+  EXPECT_TRUE(check::ValidateBipartiteGraph(g).ok());
+}
+
+TEST(ValidateGraphTest, ViolationsAreCounted) {
+  obs::Counter* violations =
+      obs::MetricsRegistry::Global().GetCounter("check.violations");
+  const uint64_t before = violations->Value();
+  BipartiteGraph g = MakeGraph();
+  GraphTestPeer::TotalClicks(g) += 3;
+  ASSERT_FALSE(check::ValidateBipartiteGraph(g).ok());
+  EXPECT_EQ(violations->Value(), before + 1);
+}
+
+TEST(ValidateGraphTest, RejectsNonMonotoneOffsets) {
+  BipartiteGraph g = MakeGraph();
+  GraphTestPeer::UserOffsets(g)[1] = GraphTestPeer::UserOffsets(g).back();
+  ExpectRejected(check::ValidateBipartiteGraph(g), StatusCode::kCorruption,
+                 "offsets-not-monotone");
+}
+
+TEST(ValidateGraphTest, RejectsTerminalOffsetMismatch) {
+  BipartiteGraph g = MakeGraph();
+  GraphTestPeer::UserOffsets(g).back() -= 1;
+  ExpectRejected(check::ValidateBipartiteGraph(g), StatusCode::kCorruption,
+                 "offsets-terminal-mismatch");
+}
+
+TEST(ValidateGraphTest, RejectsDanglingNeighbor) {
+  BipartiteGraph g = MakeGraph();
+  GraphTestPeer::UserAdj(g)[0] = g.num_items() + 7;
+  ExpectRejected(check::ValidateBipartiteGraph(g), StatusCode::kCorruption,
+                 "neighbor-out-of-range");
+}
+
+TEST(ValidateGraphTest, RejectsDuplicateAdjacency) {
+  BipartiteGraph g = MakeGraph();
+  // User 0 has three item neighbors; make the second repeat the first.
+  GraphTestPeer::UserAdj(g)[1] = GraphTestPeer::UserAdj(g)[0];
+  ExpectRejected(check::ValidateBipartiteGraph(g), StatusCode::kCorruption,
+                 "adjacency-duplicate");
+}
+
+TEST(ValidateGraphTest, RejectsUnsortedAdjacency) {
+  BipartiteGraph g = MakeGraph();
+  std::swap(GraphTestPeer::UserAdj(g)[0], GraphTestPeer::UserAdj(g)[1]);
+  ExpectRejected(check::ValidateBipartiteGraph(g), StatusCode::kCorruption,
+                 "adjacency-unsorted");
+}
+
+TEST(ValidateGraphTest, RejectsZeroMultiplicityEdge) {
+  BipartiteGraph g = MakeGraph();
+  GraphTestPeer::UserClicks(g)[0] = 0;
+  ExpectRejected(check::ValidateBipartiteGraph(g), StatusCode::kCorruption,
+                 "zero-multiplicity");
+}
+
+TEST(ValidateGraphTest, RejectsPerVertexTotalMismatch) {
+  BipartiteGraph g = MakeGraph();
+  GraphTestPeer::UserTotalClicks(g)[0] += 5;
+  ExpectRejected(check::ValidateBipartiteGraph(g), StatusCode::kCorruption,
+                 "total-clicks-mismatch");
+}
+
+TEST(ValidateGraphTest, RejectsTransposeWeightDisagreement) {
+  BipartiteGraph g = MakeGraph();
+  // User 0's first two edges carry different weights (2 and 5); swapping
+  // them keeps the user-side CSR self-consistent (same sum) but the
+  // item-side copies of those edges now disagree.
+  std::swap(GraphTestPeer::UserClicks(g)[0], GraphTestPeer::UserClicks(g)[1]);
+  ExpectRejected(check::ValidateBipartiteGraph(g), StatusCode::kCorruption,
+                 "transpose-mismatch");
+}
+
+TEST(ValidateGraphTest, RejectsGlobalClickMismatch) {
+  BipartiteGraph g = MakeGraph();
+  GraphTestPeer::TotalClicks(g) += 3;
+  ExpectRejected(check::ValidateBipartiteGraph(g), StatusCode::kCorruption,
+                 "global-clicks-mismatch");
+}
+
+TEST(ValidateGraphTest, RejectsBrokenExternalIdLookup) {
+  BipartiteGraph g = MakeGraph();
+  GraphTestPeer::UserIds(g)[0] = kUserBase + 999;  // Not in the lookup map.
+  ExpectRejected(check::ValidateBipartiteGraph(g), StatusCode::kCorruption,
+                 "lookup-mismatch");
+}
+
+class ValidateBicliqueTest : public ::testing::Test {
+ protected:
+  ValidateBicliqueTest() : graph_(MakeGraph()) {
+    params_.k1 = 3;
+    params_.k2 = 3;
+    params_.alpha = 1.0;
+    biclique_.users = {0, 1, 2};
+    biclique_.items = {0, 1, 2};
+  }
+
+  BipartiteGraph graph_;
+  core::RicdParams params_;
+  Group biclique_;
+};
+
+TEST_F(ValidateBicliqueTest, AcceptsTrueBiclique) {
+  EXPECT_TRUE(
+      check::ValidateExtensionBiclique(graph_, biclique_, params_).ok());
+}
+
+TEST_F(ValidateBicliqueTest, RejectsTooFewUsers) {
+  biclique_.users = {0, 1};
+  ExpectRejected(check::ValidateExtensionBiclique(graph_, biclique_, params_),
+                 StatusCode::kInternal, "group-too-few-users");
+}
+
+TEST_F(ValidateBicliqueTest, RejectsTooFewItems) {
+  biclique_.items = {0, 1};
+  params_.k1 = 2;  // Keep the user-count gate out of the way.
+  biclique_.users = {0, 1};
+  ExpectRejected(check::ValidateExtensionBiclique(graph_, biclique_, params_),
+                 StatusCode::kInternal, "group-too-few-items");
+}
+
+TEST_F(ValidateBicliqueTest, RejectsOutOfRangeMember) {
+  biclique_.users = {0, 1, graph_.num_users() + 4};
+  ExpectRejected(check::ValidateExtensionBiclique(graph_, biclique_, params_),
+                 StatusCode::kInternal, "group-member-out-of-range");
+}
+
+TEST_F(ValidateBicliqueTest, RejectsDuplicateMember) {
+  biclique_.users = {0, 1, 1};
+  ExpectRejected(check::ValidateExtensionBiclique(graph_, biclique_, params_),
+                 StatusCode::kInternal, "group-member-unsorted-or-duplicate");
+}
+
+TEST_F(ValidateBicliqueTest, RejectsUserMissingAlphaFraction) {
+  // User 3 clicked none of the group's items; with alpha = 1 it owes all 3.
+  biclique_.users = {0, 1, 3};
+  ExpectRejected(check::ValidateExtensionBiclique(graph_, biclique_, params_),
+                 StatusCode::kInternal, "alpha-user-degree");
+}
+
+TEST_F(ValidateBicliqueTest, RejectsItemMissingAlphaFraction) {
+  // Users 0..2 click all of items 0..2, so with alpha = 0.6 and k2 = 4 each
+  // user owes ceil(2.4) = 3 in-group clicks — satisfied. Item 3 is clicked
+  // by no group user, so the item side (ceil(0.6 * 3) = 2) fails.
+  params_.alpha = 0.6;
+  params_.k2 = 4;
+  biclique_.items = {0, 1, 2, 3};
+  ExpectRejected(check::ValidateExtensionBiclique(graph_, biclique_, params_),
+                 StatusCode::kInternal, "alpha-item-degree");
+}
+
+TEST(ValidateViewTest, AcceptsConsistentViewThroughRemovals) {
+  const BipartiteGraph g = MakeGraph();
+  MutableView view(g);
+  EXPECT_TRUE(check::ValidateMutableView(view).ok());
+  view.Remove(Side::kUser, 0);
+  view.Remove(Side::kItem, 2);
+  view.Remove(Side::kItem, 2);  // No-op second removal.
+  EXPECT_TRUE(check::ValidateMutableView(view).ok());
+  view.Reset();
+  EXPECT_TRUE(check::ValidateMutableView(view).ok());
+}
+
+TEST(ValidateViewTest, RejectsStaleCachedDegree) {
+  const BipartiteGraph g = MakeGraph();
+  MutableView view(g);
+  GraphTestPeer::UserDegrees(view)[0] += 1;
+  ExpectRejected(check::ValidateMutableView(view), StatusCode::kInternal,
+                 "view-degree-mismatch");
+}
+
+TEST(ValidateViewTest, RejectsWrongActiveCount) {
+  const BipartiteGraph g = MakeGraph();
+  MutableView view(g);
+  GraphTestPeer::NumActiveUsers(view) -= 1;
+  ExpectRejected(check::ValidateMutableView(view), StatusCode::kInternal,
+                 "view-active-count-mismatch");
+}
+
+class ValidateResultTest : public ::testing::Test {
+ protected:
+  ValidateResultTest() : graph_(MakeGraph()) {
+    Group group;
+    group.users = {0, 1, 2};
+    group.items = {0, 1, 2};
+    groups_.push_back(std::move(group));
+  }
+
+  BipartiteGraph graph_;
+  std::vector<Group> groups_;
+};
+
+TEST_F(ValidateResultTest, AcceptsCleanGroups) {
+  EXPECT_TRUE(check::ValidatePipelineResult(graph_, groups_, nullptr).ok());
+}
+
+TEST_F(ValidateResultTest, RejectsEmptyGroup) {
+  groups_.emplace_back();
+  ExpectRejected(check::ValidatePipelineResult(graph_, groups_, nullptr),
+                 StatusCode::kInternal, "result-empty-group");
+}
+
+TEST_F(ValidateResultTest, RejectsOutOfRangeUser) {
+  groups_[0].users.push_back(graph_.num_users() + 1);
+  ExpectRejected(check::ValidatePipelineResult(graph_, groups_, nullptr),
+                 StatusCode::kInternal, "result-user-out-of-range");
+}
+
+TEST_F(ValidateResultTest, RejectsDuplicateUserWithinGroup) {
+  groups_[0].users.push_back(0);
+  ExpectRejected(check::ValidatePipelineResult(graph_, groups_, nullptr),
+                 StatusCode::kInternal, "result-duplicate-user");
+}
+
+TEST_F(ValidateResultTest, RejectsDuplicateItemWithinGroup) {
+  groups_[0].items.push_back(2);
+  ExpectRejected(check::ValidatePipelineResult(graph_, groups_, nullptr),
+                 StatusCode::kInternal, "result-duplicate-item");
+}
+
+TEST_F(ValidateResultTest, AcceptsWellFormedRanking) {
+  core::RankedOutput ranked;
+  ranked.users.push_back({0, graph_.ExternalUserId(0), 3.0});
+  ranked.users.push_back({1, graph_.ExternalUserId(1), 1.0});
+  ranked.items.push_back({2, graph_.ExternalItemId(2), 2.0});
+  EXPECT_TRUE(check::ValidatePipelineResult(graph_, groups_, &ranked).ok());
+}
+
+TEST_F(ValidateResultTest, RejectsUnsortedRanking) {
+  core::RankedOutput ranked;
+  ranked.users.push_back({0, graph_.ExternalUserId(0), 1.0});
+  ranked.users.push_back({1, graph_.ExternalUserId(1), 3.0});
+  ExpectRejected(check::ValidatePipelineResult(graph_, groups_, &ranked),
+                 StatusCode::kInternal, "ranked-not-sorted");
+}
+
+TEST_F(ValidateResultTest, RejectsDuplicateRankedUser) {
+  core::RankedOutput ranked;
+  ranked.users.push_back({0, graph_.ExternalUserId(0), 3.0});
+  ranked.users.push_back({0, graph_.ExternalUserId(0), 3.0});
+  ExpectRejected(check::ValidatePipelineResult(graph_, groups_, &ranked),
+                 StatusCode::kInternal, "ranked-duplicate");
+}
+
+TEST_F(ValidateResultTest, RejectsRankedExternalIdMismatch) {
+  core::RankedOutput ranked;
+  ranked.users.push_back({0, graph_.ExternalUserId(1), 3.0});
+  ExpectRejected(check::ValidatePipelineResult(graph_, groups_, &ranked),
+                 StatusCode::kInternal, "ranked-external-id-mismatch");
+}
+
+}  // namespace
+}  // namespace ricd

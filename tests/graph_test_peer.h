@@ -1,0 +1,61 @@
+#ifndef RICD_TESTS_GRAPH_TEST_PEER_H_
+#define RICD_TESTS_GRAPH_TEST_PEER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/mutable_view.h"
+
+namespace ricd::graph {
+
+/// Test-only backdoor into BipartiteGraph and MutableView internals (both
+/// classes befriend it). check_test.cc and property_test.cc use it to
+/// corrupt a well-formed structure in one precise way and prove the
+/// corresponding validator rejects it with the expected Status — there is
+/// no public API for constructing an invalid graph, by design.
+struct GraphTestPeer {
+  static std::vector<uint64_t>& UserOffsets(BipartiteGraph& g) {
+    return g.user_offsets_;
+  }
+  static std::vector<VertexId>& UserAdj(BipartiteGraph& g) {
+    return g.user_adj_;
+  }
+  static std::vector<table::ClickCount>& UserClicks(BipartiteGraph& g) {
+    return g.user_clicks_;
+  }
+  static std::vector<uint64_t>& ItemOffsets(BipartiteGraph& g) {
+    return g.item_offsets_;
+  }
+  static std::vector<VertexId>& ItemAdj(BipartiteGraph& g) {
+    return g.item_adj_;
+  }
+  static std::vector<table::ClickCount>& ItemClicks(BipartiteGraph& g) {
+    return g.item_clicks_;
+  }
+  static std::vector<uint64_t>& UserTotalClicks(BipartiteGraph& g) {
+    return g.user_total_clicks_;
+  }
+  static std::vector<uint64_t>& ItemTotalClicks(BipartiteGraph& g) {
+    return g.item_total_clicks_;
+  }
+  static std::vector<table::UserId>& UserIds(BipartiteGraph& g) {
+    return g.user_ids_;
+  }
+  static std::vector<table::ItemId>& ItemIds(BipartiteGraph& g) {
+    return g.item_ids_;
+  }
+  static uint64_t& TotalClicks(BipartiteGraph& g) { return g.total_clicks_; }
+
+  static std::vector<uint32_t>& UserDegrees(MutableView& view) {
+    return view.user_degree_;
+  }
+  static uint32_t& NumActiveUsers(MutableView& view) {
+    return view.num_active_users_;
+  }
+};
+
+}  // namespace ricd::graph
+
+#endif  // RICD_TESTS_GRAPH_TEST_PEER_H_

@@ -8,10 +8,12 @@
 #include <set>
 #include <unordered_set>
 
+#include "check/validate.h"
 #include "common/random.h"
 #include "eval/metrics.h"
 #include "gen/scenario.h"
 #include "graph/graph_builder.h"
+#include "graph_test_peer.h"
 #include "ricd/camouflage_bound.h"
 #include "ricd/framework.h"
 
@@ -130,6 +132,35 @@ TEST_P(ScenarioPropertyTest, MetricsAreWellFormed) {
     EXPECT_LE(m.f1, std::max(m.precision, m.recall));
     EXPECT_GE(m.f1, std::min(m.precision, m.recall) * 0.99);
   }
+}
+
+TEST_P(ScenarioPropertyTest, GeneratedGraphSatisfiesAllInvariants) {
+  const Status status = check::ValidateBipartiteGraph(graph_);
+  EXPECT_TRUE(status.ok()) << status;
+}
+
+// The validator must not just accept everything: mutate the generated graph
+// in a seed-dependent spot and require rejection. Together with the test
+// above this pins both directions of ValidateBipartiteGraph on every seed.
+TEST_P(ScenarioPropertyTest, MutatedGraphFailsValidation) {
+  Rng rng(GetParam());
+
+  graph::BipartiteGraph corrupted = graph_;
+  auto& adj = graph::GraphTestPeer::UserAdj(corrupted);
+  ASSERT_FALSE(adj.empty());
+  adj[rng.Uniform(static_cast<uint32_t>(adj.size()))] =
+      corrupted.num_items() + 1 + rng.Uniform(100);
+  EXPECT_FALSE(check::ValidateBipartiteGraph(corrupted).ok());
+
+  corrupted = graph_;
+  auto& clicks = graph::GraphTestPeer::UserClicks(corrupted);
+  ASSERT_FALSE(clicks.empty());
+  clicks[rng.Uniform(static_cast<uint32_t>(clicks.size()))] = 0;
+  EXPECT_FALSE(check::ValidateBipartiteGraph(corrupted).ok());
+
+  corrupted = graph_;
+  graph::GraphTestPeer::TotalClicks(corrupted) += 1 + rng.Uniform(1000);
+  EXPECT_FALSE(check::ValidateBipartiteGraph(corrupted).ok());
 }
 
 TEST_P(ScenarioPropertyTest, DeterministicDetection) {

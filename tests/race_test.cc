@@ -1,0 +1,171 @@
+// Deterministic concurrency stress tests, written for the TSan leg of
+// tools/check.sh: every test drives a fixed amount of work through the
+// shared-state surfaces (ThreadPool, WorkerEngine, the metrics registry,
+// and whole detection pipelines) and asserts the deterministic parts of
+// the outcome. Under -DRICD_SANITIZE=thread the interleavings themselves
+// are the assertion; without a sanitizer they still pass as fast checks.
+//
+// This file deliberately spawns raw std::thread contenders (allowlisted in
+// tools/lint_allowlist.txt) — the point is to race *against* the pool and
+// the registry from outside.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "engine/worker_engine.h"
+#include "gen/scenario.h"
+#include "graph/graph_builder.h"
+#include "obs/metrics.h"
+#include "ricd/framework.h"
+
+namespace ricd {
+namespace {
+
+// Submitters race Submit() against each other and against a Wait() caller;
+// every task increments one relaxed counter, so the total is exact.
+TEST(RaceTest, ThreadPoolSubmitWaitHammer) {
+  constexpr int kSubmitters = 4;
+  constexpr int kTasksPerSubmitter = 500;
+  ThreadPool pool(/*num_threads=*/4);
+  std::atomic<uint64_t> executed{0};
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &executed] {
+      for (int i = 0; i < kTasksPerSubmitter; ++i) {
+        pool.Submit([&executed] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        });
+        if (i % 100 == 0) pool.Wait();  // Wait() racing in-flight Submit().
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.Wait();
+  EXPECT_EQ(executed.load(), uint64_t{kSubmitters} * kTasksPerSubmitter);
+}
+
+// Two raw threads share one engine, each issuing ParallelFor rounds whose
+// writes land in thread-private buffers — exercises the pool's queue and
+// completion signalling under concurrent driver threads.
+TEST(RaceTest, WorkerEngineConcurrentParallelFor) {
+  constexpr uint32_t kN = 4096;
+  constexpr int kRounds = 20;
+  engine::WorkerEngine eng(/*num_workers=*/4);
+
+  auto drive = [&eng] {
+    std::vector<uint32_t> out(kN, 0);
+    for (int round = 0; round < kRounds; ++round) {
+      eng.ParallelFor(kN, [&out](uint32_t i) { out[i] = i; });
+      uint64_t sum = 0;
+      for (const uint32_t v : out) sum += v;
+      ASSERT_EQ(sum, uint64_t{kN} * (kN - 1) / 2);
+    }
+  };
+  std::thread a(drive);
+  std::thread b(drive);
+  a.join();
+  b.join();
+}
+
+// MapReduce determinism while another thread runs its own reductions.
+TEST(RaceTest, WorkerEngineConcurrentMapReduce) {
+  constexpr uint32_t kN = 10000;
+  engine::WorkerEngine eng(/*num_workers=*/4);
+  auto drive = [&eng] {
+    for (int round = 0; round < 10; ++round) {
+      const uint64_t total = eng.MapReduce<uint64_t>(
+          kN, 0,
+          [](engine::VertexRange range, uint64_t acc) {
+            for (uint32_t i = range.begin; i < range.end; ++i) acc += i;
+            return acc;
+          },
+          [](uint64_t a, uint64_t b) { return a + b; });
+      ASSERT_EQ(total, uint64_t{kN} * (kN - 1) / 2);
+    }
+  };
+  std::thread a(drive);
+  std::thread b(drive);
+  a.join();
+  b.join();
+}
+
+// Writers hammer counters/gauges/histograms while a reader snapshots and
+// resets the same (non-global) registry. Totals are unknowable with resets
+// in flight, so the deterministic tail re-checks an exact count.
+TEST(RaceTest, MetricsRegistryConcurrentReadersWriters) {
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 2000;
+  obs::MetricsRegistry registry;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, w] {
+      obs::Counter* counter =
+          registry.GetCounter("race.counter." + std::to_string(w % 2));
+      obs::Gauge* gauge = registry.GetGauge("race.gauge");
+      obs::Histogram* hist = registry.GetHistogram("race.hist");
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        counter->Add(1);
+        gauge->Set(static_cast<double>(i));
+        hist->Observe(1e-4 * i);
+      }
+    });
+  }
+  std::thread reader([&registry, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::MetricsSnapshot snap = registry.Snapshot();
+      for (const auto& c : snap.counters) ASSERT_GE(c.value, 0u);
+      registry.Reset();
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  registry.Reset();
+  obs::Counter* counter = registry.GetCounter("race.counter.0");
+  counter->Add(7);
+  EXPECT_EQ(counter->Value(), 7u);
+}
+
+// Full detection pipelines race over the same immutable graph. Each Detect
+// reads the shared graph, writes the global registry instruments, and (when
+// RICD_VALIDATE is on) runs the gated validators — exactly the shared
+// surface worth sanitizing.
+TEST(RaceTest, ConcurrentDetectOnSharedGraph) {
+  auto scenario = gen::MakeScenario(gen::ScenarioScale::kTiny, /*seed=*/42);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  auto graph = graph::GraphBuilder::FromTable(scenario.value().table);
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  const graph::BipartiteGraph& g = graph.value();
+
+  core::FrameworkOptions options;
+  options.params.k1 = 8;
+  options.params.k2 = 4;
+  options.params.alpha = 0.8;
+
+  auto detect_once = [&options, &g](std::atomic<int>* failures) {
+    core::RicdFramework framework(options);
+    auto result = framework.Detect(g);
+    if (!result.ok()) failures->fetch_add(1, std::memory_order_relaxed);
+  };
+  std::atomic<int> failures{0};
+  std::vector<std::thread> drivers;
+  for (int i = 0; i < 3; ++i) {
+    drivers.emplace_back(detect_once, &failures);
+  }
+  for (std::thread& t : drivers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace ricd

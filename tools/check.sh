@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Correctness matrix for the RICD repo: builds and tests the tree in three
+# configurations and prints a one-line verdict per configuration.
+#
+#   plain   RelWithDebInfo, full ctest suite (includes the `lint` label and
+#           the invariant-validator tests, which run with RICD_VALIDATE=1)
+#   asan    -DRICD_SANITIZE=address,undefined — full suite under
+#           AddressSanitizer + UndefinedBehaviorSanitizer
+#   tsan    -DRICD_SANITIZE=thread — the concurrency-focused tests
+#           (race_test is written for this leg) under ThreadSanitizer
+#
+# Usage: tools/check.sh [--tidy] [--jobs=N] [--only=plain,asan,tsan]
+#
+#   --tidy    additionally run clang-tidy (configuration in .clang-tidy)
+#             over src/ using the plain build's compile commands; skipped
+#             with a note when clang-tidy is not installed.
+#
+# Exits non-zero if any selected configuration fails. Build trees live
+# under build-check/ so the default ./build is never clobbered.
+
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+ROOT="$(pwd)"
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+RUN_TIDY=0
+ONLY="plain,asan,tsan"
+for arg in "$@"; do
+  case "$arg" in
+    --tidy) RUN_TIDY=1 ;;
+    --jobs=*) JOBS="${arg#--jobs=}" ;;
+    --only=*) ONLY="${arg#--only=}" ;;
+    *)
+      echo "usage: tools/check.sh [--tidy] [--jobs=N] [--only=plain,asan,tsan]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+declare -a SUMMARY=()
+FAILED=0
+
+# run_config <name> <sanitize-value> <ctest-args...>
+run_config() {
+  local name="$1" sanitize="$2"
+  shift 2
+  local build_dir="$ROOT/build-check/$name"
+  local log="$ROOT/build-check/$name.log"
+  local start end verdict
+  start=$(date +%s)
+  mkdir -p "$build_dir"
+
+  if cmake -B "$build_dir" -S "$ROOT" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DRICD_SANITIZE="$sanitize" >"$log" 2>&1 \
+      && cmake --build "$build_dir" -j "$JOBS" >>"$log" 2>&1 \
+      && (cd "$build_dir" && RICD_VALIDATE=1 ctest --output-on-failure "$@" >>"$log" 2>&1); then
+    verdict="PASS"
+  else
+    verdict="FAIL"
+    FAILED=1
+  fi
+  end=$(date +%s)
+  SUMMARY+=("$name: $verdict ($((end - start))s, log: build-check/$name.log)")
+  echo "check.sh: $name $verdict"
+}
+
+case ",$ONLY," in *,plain,*)
+  run_config plain "" -j "$JOBS"
+esac
+case ",$ONLY," in *,asan,*)
+  run_config asan "address,undefined" -j "$JOBS"
+esac
+case ",$ONLY," in *,tsan,*)
+  # Deterministic concurrency workloads; race_test exists for this leg.
+  run_config tsan "thread" -R "race_test|thread_pool_test|metrics_test|trace_test"
+esac
+
+if [ "$RUN_TIDY" -eq 1 ]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    start=$(date +%s)
+    mapfile -t tidy_files < <(find src -name '*.cc')
+    if clang-tidy -p "$ROOT/build-check/plain" "${tidy_files[@]}" \
+        >"$ROOT/build-check/tidy.log" 2>&1; then
+      verdict="PASS"
+    else
+      verdict="FAIL"
+      FAILED=1
+    fi
+    end=$(date +%s)
+    SUMMARY+=("tidy: $verdict ($((end - start))s, log: build-check/tidy.log)")
+  else
+    SUMMARY+=("tidy: SKIPPED (clang-tidy not installed)")
+  fi
+fi
+
+echo
+echo "== check.sh summary =="
+for line in "${SUMMARY[@]}"; do
+  echo "  $line"
+done
+exit "$FAILED"

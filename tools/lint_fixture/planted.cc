@@ -1,0 +1,15 @@
+// Deliberately non-conforming translation unit for the ricd_lint fixture
+// test; see planted.h. Never build or link this file.
+#include "planted.h"
+
+#include <cstdlib>
+#include <thread>
+
+int PlantedViolations() {
+  std::srand(42);                 // planted: no-rand
+  const int noise = std::rand();  // planted: no-rand
+  std::thread worker([] {});      // planted: no-raw-thread
+  worker.join();
+  DoRiskyThing(noise);  // planted: discarded-status
+  return noise;
+}

@@ -1,0 +1,429 @@
+// ricd_lint — dependency-free source linter for the RICD project rules,
+// run as a ctest (label `lint`) over src/ tests/ bench/ tools/.
+//
+//   ricd_lint --root=<repo root> [--allowlist=<file>] [--dirs=src,tests,...]
+//             [--expect-violations]
+//
+// Rules (ids shown in output; the allowlist keys on them):
+//   no-rand                    rand()/std::rand/srand — use common/random.h,
+//                              libc rand is seed-unstable across platforms
+//   no-raw-thread              std::thread/std::jthread construction or
+//                              std::async/pthread_create outside
+//                              common/thread_pool.* — algorithms go through
+//                              ThreadPool/WorkerEngine
+//   no-stdio-in-src            printf/fprintf/puts/std::cout/std::cerr in
+//                              src/ libraries — use RICD_LOG (snprintf-style
+//                              buffer formatting is allowed)
+//   no-using-namespace-in-header  `using namespace` in any header
+//   include-guard              header guards must be RICD_<PATH>_<FILE>_H_
+//                              (src/ prefix stripped)
+//   discarded-status           a Status/Result-returning call used as a
+//                              whole statement (conservative pattern; the
+//                              compile-time half is [[nodiscard]] +
+//                              -Werror=unused-result)
+//
+// The allowlist file holds `path:rule` lines (path relative to the root,
+// `*` as the rule wildcard); `#` starts a comment. Exit status: 0 when
+// clean, 1 on violations — inverted by --expect-violations, which the
+// planted-fixture ctest uses to prove the rules actually fire.
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;  // root-relative path
+  size_t line = 0;
+  std::string rule;
+  std::string detail;
+};
+
+struct SourceFile {
+  std::string rel_path;           // '/'-separated, relative to root
+  std::vector<std::string> code;  // lines with comments/strings stripped
+  std::vector<std::string> raw;   // original lines (for guard parsing)
+};
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool HasPrefix(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Removes // and /* */ comment text and the contents of string/char
+/// literals (keeping the quotes) so rules never match inside either.
+/// `in_block` carries block-comment state across lines.
+std::string StripCommentsAndStrings(const std::string& line, bool* in_block) {
+  std::string out;
+  out.reserve(line.size());
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (*in_block) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        *in_block = false;
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      *in_block = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.push_back(quote);
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) break;
+        ++i;
+      }
+      out.push_back(quote);
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Expected include guard: path relative to the root with a leading `src/`
+/// stripped, uppercased, non-alphanumerics replaced by `_`, wrapped as
+/// RICD_..._ — e.g. src/graph/group.h -> RICD_GRAPH_GROUP_H_.
+std::string ExpectedGuard(const std::string& rel_path) {
+  std::string p = rel_path;
+  if (HasPrefix(p, "src/")) p = p.substr(4);
+  std::string guard = "RICD_";
+  for (const char c : p) {
+    guard.push_back(std::isalnum(static_cast<unsigned char>(c))
+                        ? static_cast<char>(
+                              std::toupper(static_cast<unsigned char>(c)))
+                        : '_');
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+class Linter {
+ public:
+  void LoadAllowlist(const std::string& path) {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      const size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      while (!line.empty() && std::isspace(static_cast<unsigned char>(
+                                  line.back()))) {
+        line.pop_back();
+      }
+      if (line.empty()) continue;
+      const size_t colon = line.rfind(':');
+      if (colon == std::string::npos) continue;
+      allowlist_.insert(line);
+    }
+  }
+
+  void AddFile(SourceFile file) {
+    CollectStatusFunctions(file);
+    files_.push_back(std::move(file));
+  }
+
+  void Run() {
+    // The call-site regex needs the full collected name set, so rule
+    // application is a second pass over the already-loaded files.
+    BuildDiscardRegex();
+    for (const SourceFile& file : files_) LintFile(file);
+  }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  size_t files_scanned() const { return files_.size(); }
+  size_t allowlisted_hits() const { return allowlisted_hits_; }
+
+ private:
+  void Report(const SourceFile& file, size_t line_no, const std::string& rule,
+              std::string detail) {
+    if (allowlist_.count(file.rel_path + ":" + rule) > 0 ||
+        allowlist_.count(file.rel_path + ":*") > 0) {
+      ++allowlisted_hits_;
+      return;
+    }
+    violations_.push_back({file.rel_path, line_no, rule, std::move(detail)});
+  }
+
+  /// Pass 1a: function names declared to return Status or Result<...> in any
+  /// scanned header feed the conservative discarded-call pattern. Pass 1b:
+  /// names that are ALSO declared somewhere with a void/value return type are
+  /// ambiguous (`Run`, `Parse`, ...) and get subtracted — the rule only fires
+  /// on names whose every visible declaration returns Status/Result.
+  void CollectStatusFunctions(const SourceFile& file) {
+    static const std::regex kStatusDecl(
+        R"(^\s*(?:static\s+|virtual\s+|inline\s+)*(?:ricd::)?(?:\w+::)*(?:Status|Result<[^;{=]*>)\s+(\w+)\s*\()");
+    static const std::regex kOtherDecl(
+        R"(^\s*(?:static\s+|virtual\s+|inline\s+|constexpr\s+)*(?:void|bool|int|int64_t|uint64_t|uint32_t|size_t|float|double|auto|std::string)\s+(\w+)\s*\()");
+    std::smatch m;
+    for (const std::string& line : file.code) {
+      if (HasSuffix(file.rel_path, ".h") &&
+          std::regex_search(line, m, kStatusDecl)) {
+        status_functions_.insert(m[1].str());
+      }
+      if (std::regex_search(line, m, kOtherDecl)) {
+        ambiguous_functions_.insert(m[1].str());
+      }
+    }
+  }
+
+  void BuildDiscardRegex() {
+    std::string names;
+    for (const std::string& name : status_functions_) {
+      if (ambiguous_functions_.count(name) > 0) continue;
+      if (!names.empty()) names.push_back('|');
+      names += name;
+    }
+    if (names.empty()) {
+      have_discard_regex_ = false;
+      return;
+    }
+    // A candidate discarded call: optional receiver chain then a known name
+    // opening an argument list at the start of a statement. The balanced-paren
+    // and previous-line checks in LintFile finish the job; multi-line calls
+    // are deliberately out of scope (the compiler half catches those).
+    discard_regex_ = std::regex(R"(^\s*(?:[\w:]+(?:\.|->|::))?()" + names +
+                                R"()\s*\()");
+    have_discard_regex_ = true;
+  }
+
+  /// True when, starting at `open` (a '(' position in `line`), the argument
+  /// list closes on this line and is followed by only `;` and whitespace —
+  /// i.e. nothing consumes the returned value.
+  static bool CallIsWholeStatement(const std::string& line, size_t open) {
+    int depth = 0;
+    size_t i = open;
+    for (; i < line.size(); ++i) {
+      if (line[i] == '(') ++depth;
+      if (line[i] == ')' && --depth == 0) break;
+    }
+    if (i >= line.size()) return false;  // Call continues on the next line.
+    ++i;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] != ';') return false;
+    ++i;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    return i == line.size();
+  }
+
+  void LintFile(const SourceFile& file) {
+    const bool is_header = HasSuffix(file.rel_path, ".h");
+    const bool in_src = HasPrefix(file.rel_path, "src/");
+    const bool is_pool_impl =
+        HasPrefix(file.rel_path, "src/common/thread_pool.");
+
+    static const std::regex kRand(R"((^|[^\w])(std::)?s?rand\s*\()");
+    static const std::regex kRawThread(
+        R"(\bstd::(thread|jthread)\b(?!::)|\bstd::async\b|\bpthread_create\b)");
+    static const std::regex kStdio(
+        R"(\bstd::cout\b|\bstd::cerr\b|(^|[^\w])(printf|fprintf|puts|fputs|putchar)\s*\()");
+    static const std::regex kUsingNamespace(R"(\busing\s+namespace\b)");
+
+    // Tracks whether the current line starts a fresh statement: the previous
+    // code line ended in `;`/`{`/`}` (or was a preprocessor line / blank).
+    // Continuation lines of multi-line calls and assignments never do.
+    char prev_end = ';';
+
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      const size_t line_no = i + 1;
+      const bool at_statement_start =
+          prev_end == ';' || prev_end == '{' || prev_end == '}';
+      {
+        size_t last = line.find_last_not_of(" \t");
+        size_t first = line.find_first_not_of(" \t");
+        if (first != std::string::npos) {
+          prev_end = line[first] == '#' ? ';' : line[last];
+        }
+      }
+      if (std::regex_search(line, kRand)) {
+        Report(file, line_no, "no-rand",
+               "libc rand()/srand() — use common/random.h (seed-stable)");
+      }
+      if (!is_pool_impl && std::regex_search(line, kRawThread)) {
+        Report(file, line_no, "no-raw-thread",
+               "raw thread construction — go through ThreadPool/WorkerEngine");
+      }
+      if (in_src && std::regex_search(line, kStdio)) {
+        Report(file, line_no, "no-stdio-in-src",
+               "direct stdio in a library — use RICD_LOG");
+      }
+      if (is_header && std::regex_search(line, kUsingNamespace)) {
+        Report(file, line_no, "no-using-namespace-in-header",
+               "`using namespace` leaks into every includer");
+      }
+      std::smatch call;
+      if (have_discard_regex_ && !is_header && at_statement_start &&
+          line.find('=') == std::string::npos &&
+          line.find("return") == std::string::npos &&
+          line.find("RICD_") == std::string::npos &&
+          line.find("EXPECT") == std::string::npos &&
+          line.find("ASSERT") == std::string::npos &&
+          std::regex_search(line, call, discard_regex_) &&
+          CallIsWholeStatement(line, call.position(0) + call.length(0) - 1)) {
+        Report(file, line_no, "discarded-status",
+               "Status/Result-returning call discarded — inspect or (void) it");
+      }
+    }
+
+    if (is_header) CheckIncludeGuard(file);
+  }
+
+  void CheckIncludeGuard(const SourceFile& file) {
+    const std::string expected = ExpectedGuard(file.rel_path);
+    static const std::regex kIfndef(R"(^\s*#ifndef\s+(\w+))");
+    std::smatch m;
+    for (size_t i = 0; i < file.raw.size(); ++i) {
+      if (!std::regex_search(file.raw[i], m, kIfndef)) continue;
+      if (m[1].str() != expected) {
+        Report(file, i + 1, "include-guard",
+               "guard '" + m[1].str() + "' should be '" + expected + "'");
+      }
+      return;  // Only the first #ifndef is the guard.
+    }
+    Report(file, 1, "include-guard", "missing include guard '" + expected + "'");
+  }
+
+  std::set<std::string> allowlist_;
+  std::set<std::string> status_functions_;
+  std::set<std::string> ambiguous_functions_;
+  std::regex discard_regex_;
+  bool have_discard_regex_ = false;
+  std::vector<SourceFile> files_;
+  std::vector<Violation> violations_;
+  size_t allowlisted_hits_ = 0;
+};
+
+SourceFile LoadFile(const fs::path& path, std::string rel_path) {
+  SourceFile file;
+  file.rel_path = std::move(rel_path);
+  std::ifstream in(path);
+  std::string line;
+  bool in_block = false;
+  while (std::getline(in, line)) {
+    file.raw.push_back(line);
+    file.code.push_back(StripCommentsAndStrings(line, &in_block));
+  }
+  return file;
+}
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : csv) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ricd_lint --root=<dir> [--allowlist=<file>]\n"
+               "                 [--dirs=src,tests,bench,tools]\n"
+               "                 [--expect-violations]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string allowlist;
+  std::string dirs_csv = "src,tests,bench,tools";
+  bool expect_violations = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (HasPrefix(arg, "--root=")) {
+      root = arg.substr(7);
+    } else if (HasPrefix(arg, "--allowlist=")) {
+      allowlist = arg.substr(12);
+    } else if (HasPrefix(arg, "--dirs=")) {
+      dirs_csv = arg.substr(7);
+    } else if (arg == "--expect-violations") {
+      expect_violations = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  Linter linter;
+  if (!allowlist.empty()) linter.LoadAllowlist(allowlist);
+
+  const fs::path root_path(root);
+  if (!fs::is_directory(root_path)) {
+    std::fprintf(stderr, "ricd_lint: root '%s' is not a directory\n",
+                 root.c_str());
+    return 2;
+  }
+  for (const std::string& dir : SplitCsv(dirs_csv)) {
+    const fs::path base = dir == "." ? root_path : root_path / dir;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cc" && ext != ".h") continue;
+      const std::string rel =
+          fs::relative(entry.path(), root_path).generic_string();
+      // The planted-violation fixture is linted only when targeted directly.
+      if (dir != "." && rel.find("lint_fixture") != std::string::npos) continue;
+      if (rel.find("/build/") != std::string::npos ||
+          HasPrefix(rel, "build/")) {
+        continue;
+      }
+      linter.AddFile(LoadFile(entry.path(), rel));
+    }
+  }
+
+  linter.Run();
+  for (const Violation& v : linter.violations()) {
+    std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                v.detail.c_str());
+  }
+  std::printf("ricd_lint: scanned %zu files, %zu violation(s), %zu "
+              "allowlisted\n",
+              linter.files_scanned(), linter.violations().size(),
+              linter.allowlisted_hits());
+  const bool dirty = !linter.violations().empty();
+  if (expect_violations) {
+    if (!dirty) {
+      std::fprintf(stderr,
+                   "ricd_lint: expected planted violations but found none\n");
+    }
+    return dirty ? 0 : 1;
+  }
+  return dirty ? 1 : 0;
+}

@@ -14,6 +14,12 @@
 //   ricd_tool stream   --in=clicks.csv --batches=N [--bootstrap-rows=M]
 //                      [--k1= --k2= --alpha= --t-hot= --t-click=]
 //   ricd_tool selftest [--scale=tiny --seed=42]
+//   ricd_tool validate --in=clicks.csv|clicks.bin
+//
+// `validate` loads a saved click table, rebuilds the bipartite graph and
+// runs the full structural audit (src/check); it exits non-zero if any
+// invariant fails. Every other command accepts `--validate` to force the
+// pipeline's inline validators on (equivalent to RICD_VALIDATE=1).
 //
 // Every command additionally accepts --metrics_json=<path> (alias
 // --metrics-json): after the command finishes, the process-wide metrics
@@ -35,6 +41,7 @@
 #include <vector>
 
 #include "baselines/common_neighbors.h"
+#include "check/validate.h"
 #include "baselines/copycatch.h"
 #include "baselines/fraudar.h"
 #include "baselines/louvain.h"
@@ -61,7 +68,8 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: ricd_tool <generate|stats|detect|i2i|compare|stream|selftest> "
+      "usage: ricd_tool "
+      "<generate|stats|detect|i2i|compare|stream|selftest|validate> "
       "[--flags]\n"
       "  generate  synthesize a Taobao-shaped workload with planted attacks\n"
       "  stats     print Table I/II-style statistics of a click CSV\n"
@@ -70,8 +78,10 @@ int Usage() {
       "  compare   score RICD and all baselines against a label file\n"
       "  stream    replay a click file in batches through incremental RICD\n"
       "  selftest  generate a small workload and run the full pipeline once\n"
+      "  validate  audit a saved click table's graph invariants (src/check)\n"
       "every command accepts --metrics_json=<path> to dump the metrics/span\n"
-      "report (ricd_tool --metrics_json=out.json alone implies selftest)\n");
+      "report (ricd_tool --metrics_json=out.json alone implies selftest)\n"
+      "and --validate to run the pipeline's structural validators inline\n");
   return 2;
 }
 
@@ -466,10 +476,12 @@ void PrintMetricsSummary() {
   }
 }
 
-/// Pulls --metrics_json=<path> (or --metrics-json=) out of argv so command
-/// flag parsers never see it; returns the remaining args.
-std::vector<char*> ExtractMetricsPath(int argc, char** argv,
-                                      std::string* metrics_path) {
+/// Pulls the global flags --metrics_json=<path> (alias --metrics-json=) and
+/// --validate out of argv so command flag parsers never see them; returns
+/// the remaining args.
+std::vector<char*> ExtractGlobalFlags(int argc, char** argv,
+                                      std::string* metrics_path,
+                                      bool* force_validate) {
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -481,14 +493,40 @@ std::vector<char*> ExtractMetricsPath(int argc, char** argv,
         break;
       }
     }
+    if (arg == "--validate") {
+      *force_validate = true;
+      consumed = true;
+    }
     if (!consumed) args.push_back(argv[i]);
   }
   return args;
 }
 
+/// The `validate` subcommand: audits a saved table end to end.
+int RunValidate(const FlagParser& flags) {
+  auto clicks = LoadClicks(flags);
+  if (!clicks.ok()) return Fail(clicks.status());
+  if (const int rc = RejectUnknown(flags)) return rc;
+
+  auto graph = graph::GraphBuilder::FromTable(*clicks);
+  if (!graph.ok()) return Fail(graph.status());
+  const Status audit = check::ValidateBipartiteGraph(*graph);
+  if (!audit.ok()) return Fail(audit);
+
+  std::printf("validate: %zu rows -> %u users, %u items, %llu edges, %llu "
+              "clicks — all graph invariants hold\n",
+              clicks->num_rows(), graph->num_users(), graph->num_items(),
+              static_cast<unsigned long long>(graph->num_edges()),
+              static_cast<unsigned long long>(graph->total_clicks()));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   std::string metrics_path;
-  std::vector<char*> args = ExtractMetricsPath(argc, argv, &metrics_path);
+  bool force_validate = false;
+  std::vector<char*> args =
+      ExtractGlobalFlags(argc, argv, &metrics_path, &force_validate);
+  if (force_validate) check::SetValidationEnabled(true);
 
   std::string command;
   if (args.size() >= 2 && args[1][0] != '-') {
@@ -519,6 +557,8 @@ int Main(int argc, char** argv) {
     rc = RunStream(flags);
   } else if (command == "selftest") {
     rc = RunSelftest(flags);
+  } else if (command == "validate") {
+    rc = RunValidate(flags);
   } else {
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return Usage();
