@@ -3,7 +3,9 @@
 // O(U + V + E) (near-linear rows below); SquarePruning carries the
 // two-hop neighborhood term and dominates RICD's total.
 //
-// Set RICD_SCALING_LARGE=1 to include the large (200k-user) point.
+// RICD_SCALE clamps the top of the sweep (default medium; the bench_smoke
+// ctest guard runs with RICD_SCALE=tiny). Set RICD_SCALING_LARGE=1 to
+// include the large (200k-user) point.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,10 +29,16 @@ int Run() {
   PrintHeader("Scaling of detection stages across workload sizes",
               "Section V-D complexity analysis");
 
-  std::vector<gen::ScenarioScale> scales = {gen::ScenarioScale::kTiny,
-                                            gen::ScenarioScale::kSmall,
-                                            gen::ScenarioScale::kMedium};
-  if (std::getenv("RICD_SCALING_LARGE") != nullptr) {
+  const gen::ScenarioScale max_scale = ScaleFromEnv(gen::ScenarioScale::kMedium);
+  std::vector<gen::ScenarioScale> scales;
+  for (const auto scale :
+       {gen::ScenarioScale::kTiny, gen::ScenarioScale::kSmall,
+        gen::ScenarioScale::kMedium}) {
+    if (static_cast<int>(scale) > static_cast<int>(max_scale)) break;
+    scales.push_back(scale);
+  }
+  if (std::getenv("RICD_SCALING_LARGE") != nullptr ||
+      max_scale == gen::ScenarioScale::kLarge) {
     scales.push_back(gen::ScenarioScale::kLarge);
   }
 

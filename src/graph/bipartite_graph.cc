@@ -1,8 +1,24 @@
 #include "graph/bipartite_graph.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace ricd::graph {
+namespace {
+
+/// Binary search over a dense-id permutation ordered by external id.
+template <typename ExtId>
+bool LookupSorted(std::span<const ExtId> ids, std::span<const VertexId> sorted,
+                  ExtId external, VertexId* out) {
+  const auto it = std::lower_bound(
+      sorted.begin(), sorted.end(), external,
+      [&](VertexId dense, ExtId value) { return ids[dense] < value; });
+  if (it == sorted.end() || ids[*it] != external) return false;
+  *out = *it;
+  return true;
+}
+
+}  // namespace
 
 table::ClickCount BipartiteGraph::EdgeWeight(VertexId u, VertexId v) const {
   const auto neighbors = UserNeighbors(u);
@@ -13,6 +29,9 @@ table::ClickCount BipartiteGraph::EdgeWeight(VertexId u, VertexId v) const {
 }
 
 bool BipartiteGraph::LookupUser(table::UserId external, VertexId* out) const {
+  if (external_) {
+    return LookupSorted(ext_.user_ids, ext_.user_lookup_sorted, external, out);
+  }
   const auto it = user_lookup_.find(external);
   if (it == user_lookup_.end()) return false;
   *out = it->second;
@@ -20,10 +39,44 @@ bool BipartiteGraph::LookupUser(table::UserId external, VertexId* out) const {
 }
 
 bool BipartiteGraph::LookupItem(table::ItemId external, VertexId* out) const {
+  if (external_) {
+    return LookupSorted(ext_.item_ids, ext_.item_lookup_sorted, external, out);
+  }
   const auto it = item_lookup_.find(external);
   if (it == item_lookup_.end()) return false;
   *out = it->second;
   return true;
+}
+
+GraphSections BipartiteGraph::Freeze() const {
+  if (external_) return ext_;
+  GraphSections s;
+  s.user_offsets = user_offsets_;
+  s.item_offsets = item_offsets_;
+  s.user_adj = user_adj_;
+  s.item_adj = item_adj_;
+  s.user_clicks = user_clicks_;
+  s.item_clicks = item_clicks_;
+  s.user_total_clicks = user_total_clicks_;
+  s.item_total_clicks = item_total_clicks_;
+  s.user_ids = user_ids_;
+  s.item_ids = item_ids_;
+  // lookup_sorted stays empty: built graphs answer lookups via the hash
+  // maps; writers materialize the permutations with ArgsortByExternalId.
+  s.total_clicks = total_clicks_;
+  return s;
+}
+
+BipartiteGraph BipartiteGraph::AdoptExternal(
+    const GraphSections& sections, std::shared_ptr<const void> retention) {
+  BipartiteGraph g;
+  g.user_offsets_.clear();  // drop the default {0} so owned storage is empty
+  g.item_offsets_.clear();
+  g.external_ = true;
+  g.ext_ = sections;
+  g.retention_ = std::move(retention);
+  g.total_clicks_ = sections.total_clicks;
+  return g;
 }
 
 }  // namespace ricd::graph

@@ -2,6 +2,7 @@
 #define RICD_GRAPH_BIPARTITE_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -20,47 +21,74 @@ enum class Side { kUser, kItem };
 /// Returns the opposite side.
 inline Side Other(Side s) { return s == Side::kUser ? Side::kItem : Side::kUser; }
 
+/// All storage of a BipartiteGraph as read-only spans — the unit of
+/// exchange with external storage (the src/snapshot binary container).
+/// Freeze() produces one over a live graph; AdoptExternal() builds a graph
+/// whose accessors alias these spans (e.g. an mmap'd snapshot file).
+///
+/// The lookup spans hold dense ids ordered by ascending external id, so an
+/// adopted graph answers LookupUser/LookupItem by binary search instead of
+/// rebuilding a hash map. Freeze() leaves them empty on hash-backed graphs;
+/// GraphBuilder::ArgsortByExternalId materializes them for writers.
+struct GraphSections {
+  std::span<const uint64_t> user_offsets;  // num_users + 1
+  std::span<const uint64_t> item_offsets;  // num_items + 1
+  std::span<const VertexId> user_adj;      // num_edges
+  std::span<const VertexId> item_adj;      // num_edges
+  std::span<const table::ClickCount> user_clicks;  // num_edges
+  std::span<const table::ClickCount> item_clicks;  // num_edges
+  std::span<const uint64_t> user_total_clicks;     // num_users
+  std::span<const uint64_t> item_total_clicks;     // num_items
+  std::span<const table::UserId> user_ids;         // num_users
+  std::span<const table::ItemId> item_ids;         // num_items
+  std::span<const VertexId> user_lookup_sorted;    // num_users (may be empty)
+  std::span<const VertexId> item_lookup_sorted;    // num_items (may be empty)
+  uint64_t total_clicks = 0;
+};
+
 /// Immutable weighted bipartite click graph in dual-CSR form: adjacency is
 /// materialized from both sides (user -> items and item -> users), each
 /// sorted by neighbor id so set intersections run in linear time. Edge
 /// weights are click counts.
 ///
 /// Construction goes through GraphBuilder, which compacts arbitrary external
-/// 64-bit user/item ids into dense ids.
+/// 64-bit user/item ids into dense ids — or through AdoptExternal, which
+/// aliases storage owned elsewhere (a heap buffer or an mmap'd snapshot)
+/// without copying it.
 class BipartiteGraph {
  public:
   BipartiteGraph() = default;
 
-  uint32_t num_users() const { return static_cast<uint32_t>(user_offsets_.size()) - 1; }
-  uint32_t num_items() const { return static_cast<uint32_t>(item_offsets_.size()) - 1; }
+  uint32_t num_users() const { return static_cast<uint32_t>(uoffs().size()) - 1; }
+  uint32_t num_items() const { return static_cast<uint32_t>(ioffs().size()) - 1; }
   uint32_t num_vertices(Side side) const {
     return side == Side::kUser ? num_users() : num_items();
   }
-  uint64_t num_edges() const { return user_adj_.size(); }
+  uint64_t num_edges() const { return uadj().size(); }
   uint64_t total_clicks() const { return total_clicks_; }
 
   /// Sorted neighbor ids of user `u` (item ids).
   std::span<const VertexId> UserNeighbors(VertexId u) const {
-    return {user_adj_.data() + user_offsets_[u],
-            user_offsets_[u + 1] - user_offsets_[u]};
+    const auto offsets = uoffs();
+    return uadj().subspan(offsets[u], offsets[u + 1] - offsets[u]);
   }
 
   /// Click weights aligned with UserNeighbors(u).
   std::span<const table::ClickCount> UserEdgeClicks(VertexId u) const {
-    return {user_clicks_.data() + user_offsets_[u],
-            user_offsets_[u + 1] - user_offsets_[u]};
+    const auto offsets = uoffs();
+    return uclk().subspan(offsets[u], offsets[u + 1] - offsets[u]);
   }
 
   /// Sorted neighbor ids of item `v` (user ids).
   std::span<const VertexId> ItemNeighbors(VertexId v) const {
-    return {item_adj_.data() + item_offsets_[v],
-            item_offsets_[v + 1] - item_offsets_[v]};
+    const auto offsets = ioffs();
+    return iadj().subspan(offsets[v], offsets[v + 1] - offsets[v]);
   }
 
   /// Click weights aligned with ItemNeighbors(v).
   std::span<const table::ClickCount> ItemEdgeClicks(VertexId v) const {
-    return {item_clicks_.data() + item_offsets_[v],
-            item_offsets_[v + 1] - item_offsets_[v]};
+    const auto offsets = ioffs();
+    return iclk().subspan(offsets[v], offsets[v + 1] - offsets[v]);
   }
 
   /// Side-generic sorted neighbors of vertex `v` on `side`.
@@ -79,10 +107,10 @@ class BipartiteGraph {
   }
 
   /// Total clicks incident to user `u` (weighted degree).
-  uint64_t UserTotalClicks(VertexId u) const { return user_total_clicks_[u]; }
+  uint64_t UserTotalClicks(VertexId u) const { return utot()[u]; }
 
   /// Total clicks incident to item `v` (the paper's per-item Total_click).
-  uint64_t ItemTotalClicks(VertexId v) const { return item_total_clicks_[v]; }
+  uint64_t ItemTotalClicks(VertexId v) const { return itot()[v]; }
 
   /// Click count on edge (u, v); 0 if absent. O(log degree(u)).
   table::ClickCount EdgeWeight(VertexId u, VertexId v) const;
@@ -91,12 +119,14 @@ class BipartiteGraph {
   bool HasEdge(VertexId u, VertexId v) const { return EdgeWeight(u, v) > 0; }
 
   /// External (table-level) id of user `u`.
-  table::UserId ExternalUserId(VertexId u) const { return user_ids_[u]; }
+  table::UserId ExternalUserId(VertexId u) const { return uids()[u]; }
 
   /// External (table-level) id of item `v`.
-  table::ItemId ExternalItemId(VertexId v) const { return item_ids_[v]; }
+  table::ItemId ExternalItemId(VertexId v) const { return iids()[v]; }
 
-  /// Dense id of an external user id; returns false if unknown.
+  /// Dense id of an external user id; returns false if unknown. O(1) on
+  /// built graphs (hash map), O(log U) on adopted graphs (binary search
+  /// over the external-storage lookup table).
   bool LookupUser(table::UserId external, VertexId* out) const;
 
   /// Dense id of an external item id; returns false if unknown.
@@ -106,8 +136,26 @@ class BipartiteGraph {
   /// the check library can verify offset monotonicity and terminal edge
   /// counts without friend access; offsets are the source of truth the span
   /// accessors above are derived from.
-  std::span<const uint64_t> UserOffsets() const { return user_offsets_; }
-  std::span<const uint64_t> ItemOffsets() const { return item_offsets_; }
+  std::span<const uint64_t> UserOffsets() const { return uoffs(); }
+  std::span<const uint64_t> ItemOffsets() const { return ioffs(); }
+
+  /// Freezes the graph for external storage: read-only spans over every
+  /// array, valid while this graph (and, for adopted graphs, its retained
+  /// backing store) is alive. The snapshot writer serializes exactly these.
+  GraphSections Freeze() const;
+
+  /// Builds a graph whose storage aliases `sections` without copying.
+  /// `retention` keeps the backing memory (heap buffer, mmap handle) alive
+  /// for the graph's lifetime, including through copies and moves. The
+  /// caller is responsible for having validated the sections (the snapshot
+  /// loader runs check::ValidateSnapshotHeader + checksum first); the
+  /// lookup spans must be populated. Both lookup paths and all accessors
+  /// behave identically to a built graph.
+  static BipartiteGraph AdoptExternal(const GraphSections& sections,
+                                      std::shared_ptr<const void> retention);
+
+  /// True when storage is adopted external memory rather than owned vectors.
+  bool is_external() const { return external_; }
 
  private:
   friend class GraphBuilder;
@@ -115,6 +163,49 @@ class BipartiteGraph {
   /// well-formed graph and prove each validator rejects it.
   friend struct GraphTestPeer;
 
+  // Accessor plumbing: every read goes through one of these, which pick
+  // the owned vectors or the adopted external spans. The `external_` branch
+  // is invariant per graph, so it predicts perfectly in pruning loops.
+  std::span<const uint64_t> uoffs() const {
+    return external_ ? ext_.user_offsets
+                     : std::span<const uint64_t>(user_offsets_);
+  }
+  std::span<const uint64_t> ioffs() const {
+    return external_ ? ext_.item_offsets
+                     : std::span<const uint64_t>(item_offsets_);
+  }
+  std::span<const VertexId> uadj() const {
+    return external_ ? ext_.user_adj : std::span<const VertexId>(user_adj_);
+  }
+  std::span<const VertexId> iadj() const {
+    return external_ ? ext_.item_adj : std::span<const VertexId>(item_adj_);
+  }
+  std::span<const table::ClickCount> uclk() const {
+    return external_ ? ext_.user_clicks
+                     : std::span<const table::ClickCount>(user_clicks_);
+  }
+  std::span<const table::ClickCount> iclk() const {
+    return external_ ? ext_.item_clicks
+                     : std::span<const table::ClickCount>(item_clicks_);
+  }
+  std::span<const uint64_t> utot() const {
+    return external_ ? ext_.user_total_clicks
+                     : std::span<const uint64_t>(user_total_clicks_);
+  }
+  std::span<const uint64_t> itot() const {
+    return external_ ? ext_.item_total_clicks
+                     : std::span<const uint64_t>(item_total_clicks_);
+  }
+  std::span<const table::UserId> uids() const {
+    return external_ ? ext_.user_ids
+                     : std::span<const table::UserId>(user_ids_);
+  }
+  std::span<const table::ItemId> iids() const {
+    return external_ ? ext_.item_ids
+                     : std::span<const table::ItemId>(item_ids_);
+  }
+
+  // Owned storage (built graphs). Empty when external_.
   std::vector<uint64_t> user_offsets_{0};
   std::vector<VertexId> user_adj_;
   std::vector<table::ClickCount> user_clicks_;
@@ -128,6 +219,12 @@ class BipartiteGraph {
   std::unordered_map<table::UserId, VertexId> user_lookup_;
   std::unordered_map<table::ItemId, VertexId> item_lookup_;
   uint64_t total_clicks_ = 0;
+
+  // Adopted storage. `retention_` keeps the backing memory alive; copies of
+  // the graph share it, so adopted graphs copy in O(1).
+  bool external_ = false;
+  GraphSections ext_;
+  std::shared_ptr<const void> retention_;
 };
 
 }  // namespace ricd::graph

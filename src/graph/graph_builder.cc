@@ -128,4 +128,13 @@ Result<BipartiteGraph> GraphBuilder::FromTable(const table::ClickTable& table) {
   return g;
 }
 
+std::vector<VertexId> GraphBuilder::ArgsortByExternalId(
+    std::span<const int64_t> ids) {
+  std::vector<VertexId> order(ids.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](VertexId a, VertexId b) { return ids[a] < ids[b]; });
+  return order;
+}
+
 }  // namespace ricd::graph

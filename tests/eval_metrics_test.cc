@@ -1,0 +1,127 @@
+// Hand-computed fixtures for the paper's Eq. 5-6 evaluation metrics and
+// the top-k ranked precision (property 4a). The expected numbers below are
+// small exact fractions worked out by hand, so any change in counting
+// convention (node-level, distinct, label intersection) breaks loudly.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/detector.h"
+#include "eval/metrics.h"
+#include "gen/label_set.h"
+#include "graph/graph_builder.h"
+#include "ricd/identification.h"
+#include "table/click_table.h"
+
+namespace ricd::eval {
+namespace {
+
+/// 4 users (101..104) x 3 items (901..903); dense ids follow first-seen
+/// order, so user 101 -> 0, ..., item 901 -> 0, ...
+graph::BipartiteGraph FixtureGraph() {
+  table::ClickTable table;
+  table.Append(101, 901, 5);
+  table.Append(102, 901, 3);
+  table.Append(103, 902, 7);
+  table.Append(104, 903, 2);
+  auto graph = graph::GraphBuilder::FromTable(table);
+  EXPECT_TRUE(graph.ok()) << graph.status();
+  return std::move(graph).value();
+}
+
+gen::LabelSet FixtureLabels() {
+  gen::LabelSet labels;
+  labels.abnormal_users = {101, 103};
+  labels.abnormal_items = {901};
+  return labels;
+}
+
+TEST(EvalMetricsTest, HandComputedPrecisionRecallF1) {
+  const auto graph = FixtureGraph();
+  baselines::DetectionResult result;
+  result.groups.push_back({{0, 1}, {0}});  // users 101,102 + item 901
+
+  const Metrics m = Evaluate(graph, result, FixtureLabels());
+  // Output nodes: {u101, u102, i901} = 3. Detected: u101, i901 = 2.
+  // Known abnormal: {u101, u103, i901} = 3.
+  EXPECT_EQ(m.output_nodes, 3u);
+  EXPECT_EQ(m.detected_nodes, 2u);
+  EXPECT_EQ(m.known_nodes, 3u);
+  EXPECT_DOUBLE_EQ(m.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.f1, 2.0 / 3.0);  // harmonic mean of equal P and R
+}
+
+TEST(EvalMetricsTest, DuplicateMembersAcrossGroupsCountOnce) {
+  const auto graph = FixtureGraph();
+  baselines::DetectionResult result;
+  result.groups.push_back({{0}, {0}});
+  result.groups.push_back({{0, 2}, {0}});  // u101 and i901 repeat
+
+  const Metrics m = Evaluate(graph, result, FixtureLabels());
+  // Distinct output: {u101, u103, i901} = 3, all abnormal.
+  EXPECT_EQ(m.output_nodes, 3u);
+  EXPECT_EQ(m.detected_nodes, 3u);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(EvalMetricsTest, EmptyOutputScoresZeroByConvention) {
+  const auto graph = FixtureGraph();
+  const Metrics m = Evaluate(graph, {}, FixtureLabels());
+  EXPECT_EQ(m.output_nodes, 0u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(EvalMetricsTest, FalsePositivesOnlyDriveRecallToZero) {
+  const auto graph = FixtureGraph();
+  baselines::DetectionResult result;
+  result.groups.push_back({{3}, {2}});  // u104 + i903: neither labeled
+
+  const Metrics m = Evaluate(graph, result, FixtureLabels());
+  EXPECT_EQ(m.output_nodes, 2u);
+  EXPECT_EQ(m.detected_nodes, 0u);
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(EvalMetricsTest, RankedPrecisionAtK) {
+  core::RankedOutput ranked;
+  ranked.users = {{0, 101, 3.0}, {1, 102, 2.0}, {2, 103, 1.0}};
+  ranked.items = {{0, 901, 2.5}};
+
+  const auto rows = RankedPrecision(ranked, FixtureLabels(), {1, 2, 5});
+  ASSERT_EQ(rows.size(), 3u);
+
+  // k=1: top user 101 abnormal (1/1); top item 901 abnormal (1/1).
+  EXPECT_EQ(rows[0].k, 1u);
+  EXPECT_DOUBLE_EQ(rows[0].user_precision, 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].item_precision, 1.0);
+
+  // k=2: users 101 (hit), 102 (miss) -> 1/2; items truncate to 1 row.
+  EXPECT_EQ(rows[1].k, 2u);
+  EXPECT_DOUBLE_EQ(rows[1].user_precision, 0.5);
+  EXPECT_DOUBLE_EQ(rows[1].item_precision, 1.0);
+
+  // k=5: only 3 users exist; 101 and 103 abnormal -> 2/3.
+  EXPECT_EQ(rows[2].k, 5u);
+  EXPECT_DOUBLE_EQ(rows[2].user_precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(rows[2].item_precision, 1.0);
+}
+
+TEST(EvalMetricsTest, RankedPrecisionEmptySideScoresZero) {
+  core::RankedOutput ranked;
+  ranked.users = {{0, 101, 1.0}};
+  const auto rows = RankedPrecision(ranked, FixtureLabels(), {3});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].user_precision, 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].item_precision, 0.0);
+}
+
+}  // namespace
+}  // namespace ricd::eval

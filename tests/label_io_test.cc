@@ -1,0 +1,107 @@
+// Round-trip and malformed-input coverage for the label file format
+// ("kind,id" rows) consumed by `ricd_tool compare` and external tooling.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "gen/label_io.h"
+#include "gen/label_set.h"
+
+namespace ricd::gen {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string WriteText(const std::string& name, const std::string& text) {
+  const std::string path = TempPath(name);
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  out.flush();
+  EXPECT_TRUE(out.good());
+  return path;
+}
+
+TEST(LabelIoTest, RoundTripPreservesBothSides) {
+  LabelSet labels;
+  labels.abnormal_users = {42, -7, 1000000007};
+  labels.abnormal_items = {900001, 900002};
+
+  const std::string path = TempPath("roundtrip.labels");
+  ASSERT_TRUE(WriteLabels(labels, path).ok());
+  auto read = ReadLabels(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->abnormal_users, labels.abnormal_users);
+  EXPECT_EQ(read->abnormal_items, labels.abnormal_items);
+}
+
+TEST(LabelIoTest, RoundTripEmptySet) {
+  const std::string path = TempPath("empty.labels");
+  ASSERT_TRUE(WriteLabels({}, path).ok());
+  auto read = ReadLabels(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->size(), 0u);
+}
+
+TEST(LabelIoTest, HeaderIsOptional) {
+  const std::string path =
+      WriteText("no_header.labels", "user,5\nitem,9\n");
+  auto read = ReadLabels(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_TRUE(read->IsAbnormalUser(5));
+  EXPECT_TRUE(read->IsAbnormalItem(9));
+}
+
+TEST(LabelIoTest, BlankLinesAreSkipped) {
+  const std::string path =
+      WriteText("blanks.labels", "kind,id\n\nuser,1\n   \nitem,2\n");
+  auto read = ReadLabels(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->size(), 2u);
+}
+
+TEST(LabelIoTest, MalformedRowFailsWithLineNumber) {
+  const std::string path =
+      WriteText("malformed.labels", "kind,id\nuser,1\nbogus-no-comma\n");
+  auto read = ReadLabels(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(read.status().message().find(":3:"), std::string::npos)
+      << "error must name the offending line: " << read.status().ToString();
+}
+
+TEST(LabelIoTest, NonNumericIdFails) {
+  const std::string path =
+      WriteText("nonnumeric.labels", "user,notanumber\n");
+  auto read = ReadLabels(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+}
+
+TEST(LabelIoTest, UnknownKindFails) {
+  const std::string path = WriteText("badkind.labels", "shop,12\n");
+  auto read = ReadLabels(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(read.status().message().find("unknown label kind"),
+            std::string::npos);
+}
+
+TEST(LabelIoTest, TooManyFieldsFails) {
+  const std::string path = WriteText("threefields.labels", "user,1,extra\n");
+  auto read = ReadLabels(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+}
+
+TEST(LabelIoTest, MissingFileIsIoError) {
+  auto read = ReadLabels(TempPath("does_not_exist.labels"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace ricd::gen

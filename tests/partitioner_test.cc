@@ -1,0 +1,99 @@
+// Coverage for the engine's range partitioner: exact cover, balance, and
+// the degenerate shapes (empty range, more parts than vertices, zero
+// parts) that the parallel pruning stages rely on silently.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/partitioner.h"
+
+namespace ricd::engine {
+namespace {
+
+void ExpectExactCover(const std::vector<VertexRange>& ranges, uint32_t n) {
+  uint32_t cursor = 0;
+  for (const VertexRange& r : ranges) {
+    EXPECT_EQ(r.begin, cursor) << "ranges must be contiguous and ascending";
+    EXPECT_LE(r.begin, r.end);
+    cursor = r.end;
+  }
+  EXPECT_EQ(cursor, n) << "ranges must cover [0, n) exactly";
+}
+
+void ExpectBalanced(const std::vector<VertexRange>& ranges) {
+  uint32_t min_size = UINT32_MAX;
+  uint32_t max_size = 0;
+  for (const VertexRange& r : ranges) {
+    min_size = std::min(min_size, r.size());
+    max_size = std::max(max_size, r.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u)
+      << "range sizes may differ by at most one";
+}
+
+TEST(PartitionerTest, EvenSplit) {
+  const auto ranges = PartitionRange(12, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  ExpectExactCover(ranges, 12);
+  for (const auto& r : ranges) EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(PartitionerTest, UnevenSplitFrontLoadsTheRemainder) {
+  const auto ranges = PartitionRange(10, 3);
+  ASSERT_EQ(ranges.size(), 3u);
+  ExpectExactCover(ranges, 10);
+  ExpectBalanced(ranges);
+  EXPECT_EQ(ranges[0].size(), 4u);
+  EXPECT_EQ(ranges[1].size(), 3u);
+  EXPECT_EQ(ranges[2].size(), 3u);
+}
+
+TEST(PartitionerTest, MorePartsThanVertices) {
+  const auto ranges = PartitionRange(2, 5);
+  ASSERT_EQ(ranges.size(), 5u);
+  ExpectExactCover(ranges, 2);
+  EXPECT_EQ(ranges[0].size(), 1u);
+  EXPECT_EQ(ranges[1].size(), 1u);
+  for (size_t p = 2; p < ranges.size(); ++p) {
+    EXPECT_TRUE(ranges[p].empty()) << "trailing ranges must be empty";
+  }
+}
+
+TEST(PartitionerTest, EmptyRange) {
+  const auto ranges = PartitionRange(0, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  ExpectExactCover(ranges, 0);
+  for (const auto& r : ranges) EXPECT_TRUE(r.empty());
+}
+
+TEST(PartitionerTest, ZeroPartsClampsToOne) {
+  const auto ranges = PartitionRange(7, 0);
+  ASSERT_EQ(ranges.size(), 1u);
+  ExpectExactCover(ranges, 7);
+  EXPECT_EQ(ranges[0].size(), 7u);
+}
+
+TEST(PartitionerTest, SinglePartTakesEverything) {
+  const auto ranges = PartitionRange(1000, 1);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].begin, 0u);
+  EXPECT_EQ(ranges[0].end, 1000u);
+}
+
+TEST(PartitionerTest, BalanceHoldsAcrossAwkwardShapes) {
+  for (const uint32_t n : {1u, 7u, 63u, 64u, 65u, 1024u, 100003u}) {
+    for (const size_t parts : {1u, 2u, 3u, 8u, 16u, 61u}) {
+      SCOPED_TRACE("n=" + std::to_string(n) +
+                   " parts=" + std::to_string(parts));
+      const auto ranges = PartitionRange(n, parts);
+      ASSERT_EQ(ranges.size(), parts);
+      ExpectExactCover(ranges, n);
+      ExpectBalanced(ranges);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ricd::engine

@@ -9,6 +9,11 @@
 #   tsan    -DRICD_SANITIZE=thread — the concurrency-focused tests
 #           (race_test is written for this leg) under ThreadSanitizer
 #
+# snapshot_fuzz_test (deterministic corruption of binary graph snapshots)
+# runs in every leg: the plain and asan legs run the full suite, and the
+# tsan leg's -R filter names it explicitly, so hostile-input parsing is
+# exercised under ASan/UBSan/TSan on every invocation.
+#
 # Usage: tools/check.sh [--tidy] [--jobs=N] [--only=plain,asan,tsan]
 #
 #   --tidy    additionally run clang-tidy (configuration in .clang-tidy)
@@ -73,8 +78,9 @@ case ",$ONLY," in *,asan,*)
   run_config asan "address,undefined" -j "$JOBS"
 esac
 case ",$ONLY," in *,tsan,*)
-  # Deterministic concurrency workloads; race_test exists for this leg.
-  run_config tsan "thread" -R "race_test|thread_pool_test|metrics_test|trace_test"
+  # Deterministic concurrency workloads (race_test exists for this leg),
+  # plus the snapshot corruption suite so it sees all three sanitizers.
+  run_config tsan "thread" -R "race_test|thread_pool_test|metrics_test|trace_test|snapshot_fuzz_test"
 esac
 
 if [ "$RUN_TIDY" -eq 1 ]; then

@@ -2,6 +2,7 @@
 // test; see planted.h. Never build or link this file.
 #include "planted.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
@@ -11,5 +12,9 @@ int PlantedViolations() {
   std::thread worker([] {});      // planted: no-raw-thread
   worker.join();
   DoRiskyThing(noise);  // planted: discarded-status
-  return noise;
+  char scratch[8];
+  std::FILE* f = std::fopen("/dev/null", "rb");
+  fread(scratch, 1, sizeof(scratch), f);  // planted: unchecked-io-return
+  std::fclose(f);
+  return noise + static_cast<int>(scratch[0]);
 }

@@ -21,6 +21,10 @@
 //                              whole statement (conservative pattern; the
 //                              compile-time half is [[nodiscard]] +
 //                              -Werror=unused-result)
+//   unchecked-io-return        mmap/munmap/fread/fwrite/pread/pwrite called
+//                              as a whole statement — the return value is
+//                              the only error signal these APIs have
+//                              (MAP_FAILED, short reads/writes)
 //
 // The allowlist file holds `path:rule` lines (path relative to the root,
 // `*` as the rule wildcard); `#` starts a comment. Exit status: 0 when
@@ -246,6 +250,10 @@ class Linter {
     static const std::regex kStdio(
         R"(\bstd::cout\b|\bstd::cerr\b|(^|[^\w])(printf|fprintf|puts|fputs|putchar)\s*\()");
     static const std::regex kUsingNamespace(R"(\busing\s+namespace\b)");
+    // Anchored to the statement start so `ptr = mmap(...)` and
+    // `if (fread(...) != n)` never match — only a bare discarded call does.
+    static const std::regex kUncheckedIo(
+        R"(^\s*(?:::)?(mmap|munmap|fread|fwrite|pread|pwrite)\s*\()");
 
     // Tracks whether the current line starts a fresh statement: the previous
     // code line ended in `;`/`{`/`}` (or was a preprocessor line / blank).
@@ -279,6 +287,15 @@ class Linter {
       if (is_header && std::regex_search(line, kUsingNamespace)) {
         Report(file, line_no, "no-using-namespace-in-header",
                "`using namespace` leaks into every includer");
+      }
+      std::smatch io_call;
+      if (at_statement_start && std::regex_search(line, io_call, kUncheckedIo) &&
+          CallIsWholeStatement(line,
+                               io_call.position(0) + io_call.length(0) - 1)) {
+        Report(file, line_no, "unchecked-io-return",
+               io_call[1].str() +
+                   "() return ignored — it is the only error signal "
+                   "(MAP_FAILED / short transfer)");
       }
       std::smatch call;
       if (have_discard_regex_ && !is_header && at_statement_start &&

@@ -14,12 +14,22 @@
 //   ricd_tool stream   --in=clicks.csv --batches=N [--bootstrap-rows=M]
 //                      [--k1= --k2= --alpha= --t-hot= --t-click=]
 //   ricd_tool selftest [--scale=tiny --seed=42]
-//   ricd_tool validate --in=clicks.csv|clicks.bin
+//   ricd_tool validate --in=clicks.csv|clicks.bin | --snapshot=graph.snap
+//   ricd_tool snapshot save --in=clicks.csv --out=graph.snap
+//                      [--labels=labels.csv]
+//   ricd_tool snapshot load --in=graph.snap [--mmap=true]
+//   ricd_tool snapshot info --in=graph.snap
 //
 // `validate` loads a saved click table, rebuilds the bipartite graph and
 // runs the full structural audit (src/check); it exits non-zero if any
 // invariant fails. Every other command accepts `--validate` to force the
 // pipeline's inline validators on (equivalent to RICD_VALIDATE=1).
+//
+// `snapshot save` freezes a built graph (and optionally its ground-truth
+// labels) into the versioned binary container of src/snapshot;
+// `detect`, `i2i`, `compare` and `validate` then accept
+// `--snapshot=graph.snap` in place of `--in` to mmap that container
+// zero-copy instead of re-parsing and rebuilding.
 //
 // Every command additionally accepts --metrics_json=<path> (alias
 // --metrics-json): after the command finishes, the process-wide metrics
@@ -59,6 +69,7 @@
 #include "ricd/framework.h"
 #include "ricd/incremental.h"
 #include "ricd/ui_adapter.h"
+#include "snapshot/snapshot.h"
 #include "table/table_io.h"
 #include "table/table_stats.h"
 
@@ -69,7 +80,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: ricd_tool "
-      "<generate|stats|detect|i2i|compare|stream|selftest|validate> "
+      "<generate|stats|detect|i2i|compare|stream|selftest|validate|snapshot> "
       "[--flags]\n"
       "  generate  synthesize a Taobao-shaped workload with planted attacks\n"
       "  stats     print Table I/II-style statistics of a click CSV\n"
@@ -79,6 +90,9 @@ int Usage() {
       "  stream    replay a click file in batches through incremental RICD\n"
       "  selftest  generate a small workload and run the full pipeline once\n"
       "  validate  audit a saved click table's graph invariants (src/check)\n"
+      "  snapshot  save|load|info for binary graph snapshots (src/snapshot)\n"
+      "detect/i2i/compare/validate accept --snapshot=<graph.snap> instead of\n"
+      "--in to mmap a saved graph zero-copy instead of rebuilding it;\n"
       "every command accepts --metrics_json=<path> to dump the metrics/span\n"
       "report (ricd_tool --metrics_json=out.json alone implies selftest)\n"
       "and --validate to run the pipeline's structural validators inline\n");
@@ -147,6 +161,19 @@ Result<table::ClickTable> LoadClicks(const FlagParser& flags) {
   return table::ReadCsv(in);
 }
 
+/// Loads the graph for commands that accept either `--in=<clicks>` (parse
+/// and rebuild) or `--snapshot=<graph.snap>` (mmap zero-copy).
+Result<graph::BipartiteGraph> LoadGraphFromFlags(const FlagParser& flags) {
+  RICD_ASSIGN_OR_RETURN(const std::string snap,
+                        flags.GetString("snapshot", ""));
+  if (!snap.empty()) {
+    RICD_ASSIGN_OR_RETURN(auto view, snapshot::GraphView::Map(snap));
+    return std::move(view).TakeGraph();
+  }
+  RICD_ASSIGN_OR_RETURN(const auto clicks, LoadClicks(flags));
+  return graph::GraphBuilder::FromTable(clicks);
+}
+
 int RunGenerate(const FlagParser& flags) {
   const auto scale_name = flags.GetString("scale", "small");
   const auto seed = flags.GetInt("seed", 42);
@@ -209,8 +236,9 @@ int RunStats(const FlagParser& flags) {
 }
 
 int RunDetect(const FlagParser& flags) {
-  auto clicks = LoadClicks(flags);
-  if (!clicks.ok()) return Fail(clicks.status());
+  const auto snapshot_path = flags.GetString("snapshot", "");
+  const auto in_path = flags.GetString("in", "");  // consumed in the lambda
+  if (!snapshot_path.ok() || !in_path.ok()) return 2;
   auto params = ParamsFromFlags(flags);
   if (!params.ok()) return Fail(params.status());
   const auto screening_name = flags.GetString("screening", "full");
@@ -238,7 +266,15 @@ int RunDetect(const FlagParser& flags) {
   options.seeds.items.assign(seed_items->begin(), seed_items->end());
 
   core::RicdFramework framework(options);
-  auto result = framework.Run(*clicks);
+  auto result = [&]() -> Result<core::FrameworkResult> {
+    if (!snapshot_path->empty()) {
+      RICD_ASSIGN_OR_RETURN(const auto view,
+                            snapshot::GraphView::Map(*snapshot_path));
+      return framework.RunOnGraph(view.graph());
+    }
+    RICD_ASSIGN_OR_RETURN(const auto clicks, LoadClicks(flags));
+    return framework.Run(clicks);
+  }();
   if (!result.ok()) return Fail(result.status());
 
   std::printf("detected %zu suspicious group(s); flagged %zu users, %zu "
@@ -287,8 +323,8 @@ int RunDetect(const FlagParser& flags) {
 }
 
 int RunI2i(const FlagParser& flags) {
-  auto clicks = LoadClicks(flags);
-  if (!clicks.ok()) return Fail(clicks.status());
+  auto graph = LoadGraphFromFlags(flags);
+  if (!graph.ok()) return Fail(graph.status());
   const auto item = flags.GetInt("item", -1);
   const auto top = flags.GetInt("top", 10);
   if (!item.ok()) return Fail(item.status());
@@ -296,8 +332,6 @@ int RunI2i(const FlagParser& flags) {
   if (const int rc = RejectUnknown(flags)) return rc;
   if (*item < 0) return Fail(Status::InvalidArgument("--item=<id> required"));
 
-  auto graph = graph::GraphBuilder::FromTable(*clicks);
-  if (!graph.ok()) return Fail(graph.status());
   graph::VertexId anchor = 0;
   if (!graph->LookupItem(*item, &anchor)) {
     return Fail(Status::NotFound("item not present in the click table"));
@@ -318,21 +352,43 @@ int RunI2i(const FlagParser& flags) {
 }
 
 int RunCompare(const FlagParser& flags) {
-  auto clicks = LoadClicks(flags);
-  if (!clicks.ok()) return Fail(clicks.status());
+  const auto snapshot_path = flags.GetString("snapshot", "");
+  const auto in_path = flags.GetString("in", "");  // consumed below
   const auto labels_path = flags.GetString("labels", "");
   auto params = ParamsFromFlags(flags);
-  if (!labels_path.ok()) return 2;
+  if (!snapshot_path.ok() || !in_path.ok() || !labels_path.ok()) return 2;
   if (!params.ok()) return Fail(params.status());
-  if (const int rc = RejectUnknown(flags)) return rc;
-  if (labels_path->empty()) {
-    return Fail(Status::InvalidArgument("--labels=<label file> required"));
-  }
-  auto labels = gen::ReadLabels(*labels_path);
-  if (!labels.ok()) return Fail(labels.status());
 
-  auto graph = graph::GraphBuilder::FromTable(*clicks);
-  if (!graph.ok()) return Fail(graph.status());
+  // Graph from the snapshot (which may also carry the labels) or from a
+  // click table; labels from --labels when given.
+  graph::BipartiteGraph graph;
+  gen::LabelSet labels;
+  bool have_labels = false;
+  if (!snapshot_path->empty()) {
+    auto view = snapshot::GraphView::Map(*snapshot_path);
+    if (!view.ok()) return Fail(view.status());
+    if (labels_path->empty() && view->has_labels()) {
+      labels = view->Labels();
+      have_labels = true;
+    }
+    graph = std::move(*view).TakeGraph();
+  } else {
+    auto clicks = LoadClicks(flags);
+    if (!clicks.ok()) return Fail(clicks.status());
+    auto built = graph::GraphBuilder::FromTable(*clicks);
+    if (!built.ok()) return Fail(built.status());
+    graph = std::move(built).value();
+  }
+  if (const int rc = RejectUnknown(flags)) return rc;
+  if (!have_labels) {
+    if (labels_path->empty()) {
+      return Fail(Status::InvalidArgument(
+          "--labels=<label file> required (snapshot has no label sections)"));
+    }
+    auto read = gen::ReadLabels(*labels_path);
+    if (!read.ok()) return Fail(read.status());
+    labels = std::move(read).value();
+  }
 
   std::vector<std::unique_ptr<baselines::Detector>> detectors;
   {
@@ -352,7 +408,7 @@ int RunCompare(const FlagParser& flags) {
 
   std::vector<eval::ExperimentRow> rows;
   for (auto& detector : detectors) {
-    auto row = eval::RunExperiment(*detector, *graph, *labels);
+    auto row = eval::RunExperiment(*detector, graph, labels);
     if (!row.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", detector->name().c_str(),
                    row.status().ToString().c_str());
@@ -502,23 +558,134 @@ std::vector<char*> ExtractGlobalFlags(int argc, char** argv,
   return args;
 }
 
-/// The `validate` subcommand: audits a saved table end to end.
+/// The `validate` subcommand: audits a saved table or snapshot end to end.
+/// For --snapshot, the load itself already re-verifies the header, whole-
+/// file checksum and section bounds; this adds the full structural audit.
 int RunValidate(const FlagParser& flags) {
+  auto graph = LoadGraphFromFlags(flags);
+  if (!graph.ok()) return Fail(graph.status());
+  if (const int rc = RejectUnknown(flags)) return rc;
+
+  const Status audit = check::ValidateBipartiteGraph(*graph);
+  if (!audit.ok()) return Fail(audit);
+
+  std::printf("validate: %u users, %u items, %llu edges, %llu clicks — all "
+              "graph invariants hold\n",
+              graph->num_users(), graph->num_items(),
+              static_cast<unsigned long long>(graph->num_edges()),
+              static_cast<unsigned long long>(graph->total_clicks()));
+  return 0;
+}
+
+/// The `snapshot` command family: save | load | info.
+int RunSnapshotSave(const FlagParser& flags) {
   auto clicks = LoadClicks(flags);
   if (!clicks.ok()) return Fail(clicks.status());
+  const auto out = flags.GetString("out", "graph.snap");
+  const auto labels_path = flags.GetString("labels", "");
+  if (!out.ok() || !labels_path.ok()) return 2;
   if (const int rc = RejectUnknown(flags)) return rc;
 
   auto graph = graph::GraphBuilder::FromTable(*clicks);
   if (!graph.ok()) return Fail(graph.status());
-  const Status audit = check::ValidateBipartiteGraph(*graph);
-  if (!audit.ok()) return Fail(audit);
 
-  std::printf("validate: %zu rows -> %u users, %u items, %llu edges, %llu "
-              "clicks — all graph invariants hold\n",
-              clicks->num_rows(), graph->num_users(), graph->num_items(),
-              static_cast<unsigned long long>(graph->num_edges()),
-              static_cast<unsigned long long>(graph->total_clicks()));
+  gen::LabelSet labels;
+  bool have_labels = false;
+  if (!labels_path->empty()) {
+    auto read = gen::ReadLabels(*labels_path);
+    if (!read.ok()) return Fail(read.status());
+    labels = std::move(read).value();
+    have_labels = true;
+  }
+  const Status save = snapshot::SaveSnapshot(*graph, *out,
+                                             have_labels ? &labels : nullptr);
+  if (!save.ok()) return Fail(save);
+
+  auto info = snapshot::ReadSnapshotInfo(*out);
+  if (!info.ok()) return Fail(info.status());
+  std::printf("saved snapshot %s: %llu bytes, %llu users, %llu items, %llu "
+              "edges%s\n",
+              out->c_str(),
+              static_cast<unsigned long long>(info->file_bytes),
+              static_cast<unsigned long long>(info->num_users),
+              static_cast<unsigned long long>(info->num_items),
+              static_cast<unsigned long long>(info->num_edges),
+              info->has_labels ? " (with labels)" : "");
   return 0;
+}
+
+int RunSnapshotLoad(const FlagParser& flags) {
+  const auto in = flags.GetString("in", "");
+  const auto use_mmap = flags.GetBool("mmap", true);
+  if (!in.ok() || !use_mmap.ok()) return 2;
+  if (const int rc = RejectUnknown(flags)) return rc;
+  if (in->empty()) {
+    return Fail(Status::InvalidArgument("--in=<graph.snap> required"));
+  }
+
+  auto view = *use_mmap ? snapshot::GraphView::Map(*in)
+                        : snapshot::GraphView::Read(*in);
+  if (!view.ok()) return Fail(view.status());
+  std::printf("loaded snapshot %s (%s): %u users, %u items, %llu edges, "
+              "%llu clicks",
+              in->c_str(), *use_mmap ? "mmap zero-copy" : "owning read",
+              view->graph().num_users(), view->graph().num_items(),
+              static_cast<unsigned long long>(view->graph().num_edges()),
+              static_cast<unsigned long long>(view->graph().total_clicks()));
+  if (view->has_labels()) {
+    std::printf("; labels: %zu users, %zu items",
+                view->label_user_ids().size(), view->label_item_ids().size());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int RunSnapshotInfo(const FlagParser& flags) {
+  const auto in = flags.GetString("in", "");
+  if (!in.ok()) return 2;
+  if (const int rc = RejectUnknown(flags)) return rc;
+  if (in->empty()) {
+    return Fail(Status::InvalidArgument("--in=<graph.snap> required"));
+  }
+
+  auto info = snapshot::ReadSnapshotInfo(*in);
+  if (!info.ok()) return Fail(info.status());
+  std::printf("snapshot:     %s\n", in->c_str());
+  std::printf("version:      %u\n", info->version);
+  std::printf("file bytes:   %llu\n",
+              static_cast<unsigned long long>(info->file_bytes));
+  std::printf("checksum:     %016llx\n",
+              static_cast<unsigned long long>(info->checksum));
+  std::printf("users:        %llu\n",
+              static_cast<unsigned long long>(info->num_users));
+  std::printf("items:        %llu\n",
+              static_cast<unsigned long long>(info->num_items));
+  std::printf("edges:        %llu\n",
+              static_cast<unsigned long long>(info->num_edges));
+  std::printf("clicks:       %llu\n",
+              static_cast<unsigned long long>(info->total_clicks));
+  std::printf("labels:       %s",
+              info->has_labels ? "yes" : "no");
+  if (info->has_labels) {
+    std::printf(" (%llu users, %llu items)",
+                static_cast<unsigned long long>(info->label_users),
+                static_cast<unsigned long long>(info->label_items));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int RunSnapshot(const std::string& action, const FlagParser& flags) {
+  if (action == "save") return RunSnapshotSave(flags);
+  if (action == "load") return RunSnapshotLoad(flags);
+  if (action == "info") return RunSnapshotInfo(flags);
+  std::fprintf(stderr,
+               "usage: ricd_tool snapshot <save|load|info> [--flags]\n"
+               "  save  --in=clicks.{csv,bin} --out=graph.snap "
+               "[--labels=labels.csv]\n"
+               "  load  --in=graph.snap [--mmap=true]\n"
+               "  info  --in=graph.snap\n");
+  return 2;
 }
 
 int Main(int argc, char** argv) {
@@ -543,7 +710,19 @@ int Main(int argc, char** argv) {
 
   const FlagParser flags(static_cast<int>(args.size()) - 1, args.data() + 1);
   int rc = 2;
-  if (command == "generate") {
+  if (command == "snapshot") {
+    // Second positional: the snapshot action (save|load|info).
+    std::string action;
+    size_t flag_start = 2;
+    if (args.size() >= 3 && args[2][0] != '-') {
+      action = args[2];
+      flag_start = 3;
+    }
+    const FlagParser snap_flags(
+        static_cast<int>(args.size()) - static_cast<int>(flag_start) + 1,
+        args.data() + flag_start - 1);
+    rc = RunSnapshot(action, snap_flags);
+  } else if (command == "generate") {
     rc = RunGenerate(flags);
   } else if (command == "stats") {
     rc = RunStats(flags);
