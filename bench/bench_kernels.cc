@@ -13,6 +13,7 @@
 #include "bench/bench_common.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "engine/worker_engine.h"
 #include "gen/scenario.h"
 #include "graph/connected_components.h"
 #include "graph/graph_builder.h"
@@ -110,6 +111,69 @@ void BM_IntersectionGallop(benchmark::State& state) {
 }
 BENCHMARK(BM_IntersectionGallop)->Arg(4096)->Arg(65536);
 
+void BM_IntersectionDense(benchmark::State& state) {
+  // Every other id over a tight range: IntersectCapped routes this to the
+  // word-parallel bitset-pair path (range <= 8 * total size).
+  const int64_t n = state.range(0);
+  std::vector<graph::VertexId> a;
+  std::vector<graph::VertexId> b;
+  for (int64_t i = 0; i < 2 * n; ++i) {
+    if (i % 2 == 0) a.push_back(static_cast<graph::VertexId>(i));
+    if (i % 3 != 0) b.push_back(static_cast<graph::VertexId>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::IntersectionSize(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_IntersectionDense)->Arg(1024)->Arg(16384);
+
+void BM_CountAtLeast(benchmark::State& state) {
+  // The SquarePruning qualification scan: count touched ids whose count
+  // clears the threshold.
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  std::vector<uint32_t> counts(4 * n, 0);
+  std::vector<graph::VertexId> ids;
+  for (int64_t i = 0; i < n; ++i) {
+    const auto id = static_cast<graph::VertexId>(rng.Uniform(4 * n));
+    counts[id] = static_cast<uint32_t>(rng.Uniform(16));
+    ids.push_back(id);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::CountAtLeast(counts, ids, 8));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_CountAtLeast)->Arg(1024)->Arg(65536);
+
+void BM_BitsetProbe(benchmark::State& state) {
+  // CopyCatch's one-vs-many shape: one base loaded once, many probes
+  // counted against it.
+  const int64_t probes = state.range(0);
+  Rng rng(4);
+  std::vector<graph::VertexId> base;
+  for (graph::VertexId v = 0; v < 4096; v += 2) base.push_back(v);
+  std::vector<std::vector<graph::VertexId>> probe_sets(
+      static_cast<size_t>(probes));
+  for (auto& probe : probe_sets) {
+    for (int i = 0; i < 64; ++i) {
+      probe.push_back(static_cast<graph::VertexId>(rng.Uniform(4096)));
+    }
+    std::sort(probe.begin(), probe.end());
+    probe.erase(std::unique(probe.begin(), probe.end()), probe.end());
+  }
+  graph::BitsetIntersector bitset;
+  for (auto _ : state) {
+    bitset.Load(base, 4096);
+    uint64_t total = 0;
+    for (const auto& probe : probe_sets) total += bitset.Count(probe);
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * probes);
+}
+BENCHMARK(BM_BitsetProbe)->Arg(16)->Arg(256);
+
 core::RicdParams KernelParams() {
   core::RicdParams p;
   p.k1 = 10;
@@ -172,6 +236,30 @@ void BM_SquarePruning(benchmark::State& state) {
 BENCHMARK(BM_SquarePruning)
     ->Arg(static_cast<int>(gen::ScenarioScale::kTiny))
     ->Arg(static_cast<int>(gen::ScenarioScale::kSmall))
+    ->Unit(benchmark::kMillisecond);
+
+/// Round-based parallel pruning at an explicit worker count (arg), with the
+/// sequential fallback disabled so the round machinery itself is measured.
+/// Output is bit-identical across args by construction; this bench tracks
+/// the schedule's cost/scaling, bench_parallel_scaling asserts the ratio.
+void BM_SquarePruningParallel(benchmark::State& state) {
+  const auto& g = CachedGraph(gen::ScenarioScale::kSmall);
+  engine::WorkerEngine engine(static_cast<size_t>(state.range(0)));
+  core::PruneSchedule schedule;
+  schedule.sequential_cutoff = 0;
+  schedule.frontier_cutoff = 0;
+  core::ExtensionBicliqueExtractor extractor(KernelParams(), &engine, schedule);
+  graph::MutableView view(g);
+  for (auto _ : state) {
+    view.Reset();
+    extractor.CorePruning(view, nullptr);
+    extractor.SquarePruning(view, /*ordered=*/true, nullptr);
+  }
+}
+BENCHMARK(BM_SquarePruningParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ConnectedComponents(benchmark::State& state) {

@@ -16,8 +16,8 @@ using graph::VertexId;
 class Enumerator {
  public:
   Enumerator(const std::vector<std::vector<VertexId>>& item_users,
-             const CopyCatchParams& params)
-      : item_users_(item_users), params_(params) {}
+             uint32_t num_users, const CopyCatchParams& params)
+      : item_users_(item_users), num_users_(num_users), params_(params) {}
 
   /// Runs enumeration from the root call; results accumulate in groups().
   void Run(std::vector<VertexId> all_users, std::vector<VertexId> all_items) {
@@ -64,13 +64,27 @@ class Enumerator {
       std::vector<VertexId> R2 = R;
       R2.push_back(x);
 
+      // Both loops below intersect probe sets against the same base L'.
+      // When there are enough probes, load L' into the bitset once and do
+      // O(|probe|) bit tests per probe instead of a full merge each time.
+      // Recursion happens only after both loops finish, so the single
+      // reusable bitset is reloaded at the top of each candidate iteration.
+      const bool use_bitset = graph::BitsetIntersector::ShouldUse(
+          L2.size(), Q.size() + P.size());
+      if (use_bitset) bitset_.Load({L2.data(), L2.size()}, num_users_);
+      const auto common_with = [&](const std::vector<VertexId>& other) {
+        return use_bitset
+                   ? bitset_.Count({other.data(), other.size()})
+                   : graph::IntersectionSize(
+                         {L2.data(), L2.size()}, {other.data(), other.size()});
+      };
+
       // Maximality: some processed item covering all of L' means this
       // branch re-derives a biclique already reported elsewhere.
       bool maximal = true;
       std::vector<VertexId> Q2;
       for (const VertexId q : Q) {
-        const uint64_t common = graph::IntersectionSize(
-            {L2.data(), L2.size()}, {Users(q).data(), Users(q).size()});
+        const uint64_t common = common_with(Users(q));
         if (common == L2.size()) {
           maximal = false;
           break;
@@ -83,8 +97,7 @@ class Enumerator {
         // L' directly into R'; keep partially connected ones as candidates.
         std::vector<VertexId> P2;
         for (const VertexId p : P) {
-          const uint64_t common = graph::IntersectionSize(
-              {L2.data(), L2.size()}, {Users(p).data(), Users(p).size()});
+          const uint64_t common = common_with(Users(p));
           if (common == L2.size()) {
             R2.push_back(p);
           } else if (common > 0) {
@@ -109,7 +122,9 @@ class Enumerator {
   }
 
   const std::vector<std::vector<VertexId>>& item_users_;
+  uint32_t num_users_;
   const CopyCatchParams& params_;
+  graph::BitsetIntersector bitset_;
   std::vector<graph::Group> groups_;
   WallTimer timer_;
   bool out_of_time_ = false;
@@ -162,7 +177,7 @@ Result<DetectionResult> CopyCatch::Detect(const graph::BipartiteGraph& g) {
     return a > b;
   });
 
-  Enumerator enumerator(item_users, params_);
+  Enumerator enumerator(item_users, g.num_users(), params_);
   enumerator.Run(std::move(users), std::move(items));
 
   DetectionResult result;

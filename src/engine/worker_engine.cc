@@ -1,8 +1,40 @@
 #include "engine/worker_engine.h"
 
+#include <cctype>
+#include <cstdlib>
+#include <string>
 #include <thread>
 
+#include "common/logging.h"
+
 namespace ricd::engine {
+namespace {
+
+/// RICD_WORKERS=<n> pins the default engine's worker count. Anything that
+/// is not a plain positive base-10 integer falls back to hardware sizing
+/// with a warning (0 would build a hardware-sized pool anyway).
+size_t WorkersFromEnv() {
+  const char* env = std::getenv("RICD_WORKERS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  const std::string value(env);
+  bool all_digits = true;
+  for (const char c : value) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      all_digits = false;
+      break;
+    }
+  }
+  const long parsed = all_digits ? std::strtol(value.c_str(), nullptr, 10) : -1;
+  if (parsed < 0 || parsed > 4096) {
+    RICD_LOG(WARNING) << "invalid RICD_WORKERS '" << value
+                      << "' (expected a positive integer), using hardware "
+                         "concurrency";
+    return 0;
+  }
+  return static_cast<size_t>(parsed);
+}
+
+}  // namespace
 
 WorkerEngine::WorkerEngine(size_t num_workers) {
   if (num_workers == 0) {
@@ -43,32 +75,26 @@ void WorkerEngine::UpdateUtilization() const {
                           (wall_s * static_cast<double>(num_workers())));
 }
 
+void WorkerEngine::RecordInlineTask(
+    std::chrono::steady_clock::time_point started_at) const {
+  const double run_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - started_at)
+                           .count();
+  tasks_total_->Add(1);
+  task_run_hist_->Observe(run_s);
+  busy_nanos_.fetch_add(static_cast<uint64_t>(run_s * 1e9),
+                        std::memory_order_relaxed);
+  UpdateUtilization();
+}
+
 void WorkerEngine::ParallelForRanges(
     uint32_t n, const std::function<void(size_t, VertexRange)>& fn) const {
-  const auto ranges = PartitionRange(n, num_workers());
-  if (num_workers() == 1) {
-    const auto started_at = std::chrono::steady_clock::now();
-    fn(0, ranges[0]);
-    const double run_s = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - started_at)
-                             .count();
-    tasks_total_->Add(1);
-    task_run_hist_->Observe(run_s);
-    busy_nanos_.fetch_add(static_cast<uint64_t>(run_s * 1e9),
-                          std::memory_order_relaxed);
-    UpdateUtilization();
-    return;
-  }
-  for (size_t w = 0; w < ranges.size(); ++w) {
-    pool_->Submit([w, range = ranges[w], &fn] { fn(w, range); });
-  }
-  pool_->Wait();
-  UpdateUtilization();
+  RunPartitioned(PartitionRange(n, num_workers()), fn);
 }
 
 void WorkerEngine::ParallelFor(uint32_t n,
                                const std::function<void(uint32_t)>& fn) const {
-  ParallelForRanges(n, [&fn](size_t, VertexRange range) {
+  ParallelForChunks(n, [&fn](size_t, VertexRange range) {
     for (uint32_t i = range.begin; i < range.end; ++i) fn(i);
   });
 }
@@ -76,7 +102,7 @@ void WorkerEngine::ParallelFor(uint32_t n,
 const WorkerEngine& DefaultEngine() {
   // Intentionally leaked: avoids shutdown-order issues with static dtors
   // (per style guide, static objects must be trivially destructible).
-  static const WorkerEngine* engine = new WorkerEngine(0);
+  static const WorkerEngine* engine = new WorkerEngine(WorkersFromEnv());
   return *engine;
 }
 

@@ -1,5 +1,7 @@
 #include "graph/mutable_view.h"
 
+#include <atomic>
+
 #include "common/logging.h"
 
 namespace ricd::graph {
@@ -49,6 +51,38 @@ void MutableView::Remove(Side side, VertexId v) {
       }
     }
   }
+}
+
+void MutableView::DeactivateBatch(Side side, std::span<const VertexId> batch) {
+  auto& active = side == Side::kUser ? user_active_ : item_active_;
+  uint32_t& num_active =
+      side == Side::kUser ? num_active_users_ : num_active_items_;
+  for (const VertexId v : batch) {
+    RICD_DCHECK_LT(v, active.size());
+    RICD_DCHECK(active[v] != 0);
+    active[v] = 0;
+  }
+  RICD_DCHECK_GE(num_active, batch.size());
+  num_active -= static_cast<uint32_t>(batch.size());
+}
+
+uint32_t MutableView::DecrementDegree(Side side, VertexId v) {
+  auto& degree = side == Side::kUser ? user_degree_ : item_degree_;
+  RICD_DCHECK_LT(v, degree.size());
+  const uint32_t old = degree[v];
+  RICD_DCHECK_GT(old, 0u);
+  degree[v] = old - 1;
+  return old;
+}
+
+uint32_t MutableView::DecrementDegreeAtomic(Side side, VertexId v) {
+  auto& degree = side == Side::kUser ? user_degree_ : item_degree_;
+  RICD_DCHECK_LT(v, degree.size());
+  // fetch_sub returns the pre-decrement value; the unique min -> min-1
+  // crossing is how the parallel CorePruning claims a vertex for the next
+  // frontier exactly once.
+  return std::atomic_ref<uint32_t>(degree[v]).fetch_sub(
+      1, std::memory_order_relaxed);
 }
 
 std::vector<VertexId> MutableView::ActiveNeighbors(Side side, VertexId v) const {

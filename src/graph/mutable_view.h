@@ -2,6 +2,7 @@
 #define RICD_GRAPH_MUTABLE_VIEW_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/bipartite_graph.h"
@@ -31,6 +32,25 @@ class MutableView {
   /// Deactivates `v`, decrementing the active degree of each of its active
   /// neighbors. No-op if already inactive.
   void Remove(Side side, VertexId v);
+
+  /// Level-synchronous batch removal, phase 1 of 2: marks every vertex in
+  /// `batch` inactive and fixes the active counter WITHOUT touching
+  /// neighbor degrees. The caller then runs phase 2 — decrementing the
+  /// degrees of the batch's still-active neighbors via DecrementDegree /
+  /// DecrementDegreeAtomic — before reading any degree. Vertices must be
+  /// currently active and listed at most once. Deactivating the whole level
+  /// first makes intra-level edges behave identically to any sequential
+  /// removal order (degrees of inactive vertices are never observed).
+  void DeactivateBatch(Side side, std::span<const VertexId> batch);
+
+  /// Decrements the cached active degree of `v`, returning the
+  /// pre-decrement value. Batch phase 2 helper for the sequential path.
+  uint32_t DecrementDegree(Side side, VertexId v);
+
+  /// Atomic variant of DecrementDegree for concurrent batch phase 2 (pool
+  /// workers decrementing shared neighbors). Degrees must not be read
+  /// non-atomically until the parallel phase has joined.
+  uint32_t DecrementDegreeAtomic(Side side, VertexId v);
 
   /// Number of still-active vertices on `side`.
   uint32_t NumActive(Side side) const {

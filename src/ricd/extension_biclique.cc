@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
 #include "check/validate.h"
+#include "engine/worker_buffers.h"
 #include "graph/connected_components.h"
+#include "graph/intersection.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -19,8 +20,8 @@ uint32_t CeilMul(double alpha, uint32_t k) {
   return static_cast<uint32_t>(std::ceil(alpha * static_cast<double>(k)));
 }
 
-/// Stage counters, resolved once; removal totals are bulk-added per stage
-/// so the pruning inner loops stay counter-free.
+/// Stage counters, resolved once; totals are bulk-added per stage so the
+/// pruning inner loops stay counter-free.
 struct ExtractionCounters {
   obs::Counter* users_pruned_core;
   obs::Counter* items_pruned_core;
@@ -28,6 +29,10 @@ struct ExtractionCounters {
   obs::Counter* items_pruned_square;
   obs::Counter* candidate_groups;
   obs::Counter* sweeps;
+  obs::Counter* rounds;
+  obs::Counter* round_rechecks;
+  obs::Counter* core_levels;
+  obs::Counter* scratch_reuses;
 
   static const ExtractionCounters& Get() {
     static const ExtractionCounters counters = [] {
@@ -38,11 +43,57 @@ struct ExtractionCounters {
           registry.GetCounter("ricd.extraction.users_pruned_square"),
           registry.GetCounter("ricd.extraction.items_pruned_square"),
           registry.GetCounter("ricd.extraction.candidate_groups"),
-          registry.GetCounter("ricd.extraction.sweeps")};
+          registry.GetCounter("ricd.extraction.sweeps"),
+          registry.GetCounter("ricd.extraction.rounds"),
+          registry.GetCounter("ricd.extraction.round_rechecks"),
+          registry.GetCounter("ricd.extraction.core_levels"),
+          registry.GetCounter("ricd.extraction.scratch_reuses")};
     }();
     return counters;
   }
 };
+
+/// Reusable per-worker scratch of the Lemma-2 test: a flat counting array
+/// (reset cost proportional to the touched list, not to n) plus the touched
+/// list itself. Pooled per worker and reused across every candidate and
+/// round — the parallel schedule allocates nothing per candidate.
+struct PruneScratch {
+  std::vector<uint32_t> counts;
+  std::vector<VertexId> touched;
+
+  void EnsureUniverse(uint32_t n) {
+    if (counts.size() < n) counts.assign(n, 0);
+  }
+};
+
+/// The Lemma-2 qualification test for candidate `x` against the current
+/// state of `view`: counts, for every active same-side vertex y reachable
+/// in two hops, |N(x) ∩ N(y)| restricted to active counterparts, then asks
+/// whether at least `neighbors_needed` of them (x itself included) reach
+/// `common_needed`. Read-only on `view`, so any number of workers may run
+/// it concurrently against a fixed view.
+bool PassesLemma2(const graph::MutableView& view, Side side, VertexId x,
+                  uint32_t common_needed, uint32_t neighbors_needed,
+                  PruneScratch& scratch) {
+  const graph::BipartiteGraph& g = view.graph();
+  const Side other = Other(side);
+  scratch.touched.clear();
+  for (const VertexId w : g.Neighbors(side, x)) {
+    if (!view.IsActive(other, w)) continue;
+    for (const VertexId y : g.Neighbors(other, w)) {
+      if (!view.IsActive(side, y)) continue;
+      if (scratch.counts[y]++ == 0) scratch.touched.push_back(y);
+    }
+  }
+
+  // counts[x] is x's own active degree, so x is counted as its own
+  // (alpha, k)-neighbor exactly when Lemma 1 already holds for it.
+  const uint64_t qualified =
+      graph::CountAtLeast(scratch.counts, scratch.touched, common_needed);
+
+  for (const VertexId y : scratch.touched) scratch.counts[y] = 0;
+  return qualified >= neighbors_needed;
+}
 
 }  // namespace
 
@@ -52,44 +103,101 @@ void ExtensionBicliqueExtractor::CorePruning(graph::MutableView& view,
   const uint32_t min_user_degree = CeilMul(params_.alpha, params_.k2);
   const uint32_t min_item_degree = CeilMul(params_.alpha, params_.k1);
   const graph::BipartiteGraph& g = view.graph();
+  const size_t workers = engine_->num_workers();
 
-  // Worklist cascade: removing a vertex can only lower neighbor degrees,
-  // so seeding with all under-degree vertices and chasing neighbors reaches
-  // the fixpoint in O(U + V + E).
-  std::deque<std::pair<Side, VertexId>> queue;
-  for (VertexId u = 0; u < g.num_users(); ++u) {
-    if (view.IsActive(Side::kUser, u) &&
-        view.ActiveDegree(Side::kUser, u) < min_user_degree) {
-      queue.emplace_back(Side::kUser, u);
+  // Level-synchronous frontier cascade. The removed set is the unique
+  // fixpoint of "drop active vertices with active degree < min" (removals
+  // only lower neighbor degrees), so any schedule — the old sequential
+  // deque, these frontiers, any worker count — yields the same final view.
+  //
+  // Seed frontiers: every active under-degree vertex, found by a chunked
+  // parallel scan. Workers own contiguous ascending ranges and append in
+  // order, so concatenating the buffers in worker order is already sorted.
+  engine::PerWorkerBuffers<VertexId> user_buf(workers);
+  engine::PerWorkerBuffers<VertexId> item_buf(workers);
+  engine_->ParallelForChunks(
+      g.num_users(), [&](size_t worker, engine::VertexRange range) {
+        auto& out = user_buf.ForWorker(worker);
+        for (VertexId u = range.begin; u < range.end; ++u) {
+          if (view.IsActive(Side::kUser, u) &&
+              view.ActiveDegree(Side::kUser, u) < min_user_degree) {
+            out.push_back(u);
+          }
+        }
+      });
+  engine_->ParallelForChunks(
+      g.num_items(), [&](size_t worker, engine::VertexRange range) {
+        auto& out = item_buf.ForWorker(worker);
+        for (VertexId v = range.begin; v < range.end; ++v) {
+          if (view.IsActive(Side::kItem, v) &&
+              view.ActiveDegree(Side::kItem, v) < min_item_degree) {
+            out.push_back(v);
+          }
+        }
+      });
+  std::vector<VertexId> user_frontier;
+  std::vector<VertexId> item_frontier;
+  user_buf.ConcatTo(&user_frontier);
+  item_buf.ConcatTo(&item_frontier);
+
+  // Expands one side's frontier: decrement the active degree of every
+  // still-active counterpart; a neighbor joins the next frontier exactly
+  // when its degree crosses from `other_min` to `other_min - 1` — each
+  // vertex crosses once globally, so frontiers stay duplicate-free without
+  // a dedup pass. Above the cutoff the decrements run atomically across
+  // workers (commutative, hence deterministic final degrees) and the
+  // per-worker discoveries are merged in worker order + sorted.
+  uint32_t levels = 0;
+  const auto expand = [&](Side side, const std::vector<VertexId>& frontier,
+                          uint32_t other_min, std::vector<VertexId>* next) {
+    const Side other = Other(side);
+    if (workers == 1 || frontier.size() < schedule_.frontier_cutoff) {
+      for (const VertexId x : frontier) {
+        for (const VertexId w : g.Neighbors(side, x)) {
+          if (!view.IsActive(other, w)) continue;
+          if (view.DecrementDegree(other, w) == other_min) {
+            next->push_back(w);
+          }
+        }
+      }
+      std::sort(next->begin(), next->end());
+      return;
     }
-  }
-  for (VertexId v = 0; v < g.num_items(); ++v) {
-    if (view.IsActive(Side::kItem, v) &&
-        view.ActiveDegree(Side::kItem, v) < min_item_degree) {
-      queue.emplace_back(Side::kItem, v);
-    }
-  }
+    engine::PerWorkerBuffers<VertexId> next_buf(workers);
+    engine_->ParallelForChunks(
+        static_cast<uint32_t>(frontier.size()),
+        [&](size_t worker, engine::VertexRange range) {
+          auto& out = next_buf.ForWorker(worker);
+          for (uint32_t i = range.begin; i < range.end; ++i) {
+            for (const VertexId w : g.Neighbors(side, frontier[i])) {
+              if (!view.IsActive(other, w)) continue;
+              if (view.DecrementDegreeAtomic(other, w) == other_min) {
+                out.push_back(w);
+              }
+            }
+          }
+        });
+    next_buf.SortedTo(next);
+  };
 
   uint32_t users_removed = 0;
   uint32_t items_removed = 0;
-  while (!queue.empty()) {
-    const auto [side, x] = queue.front();
-    queue.pop_front();
-    if (!view.IsActive(side, x)) continue;
-    view.Remove(side, x);
-    if (side == Side::kUser) {
-      ++users_removed;
-    } else {
-      ++items_removed;
-    }
-    const Side other = Other(side);
-    const uint32_t other_min =
-        other == Side::kUser ? min_user_degree : min_item_degree;
-    for (const VertexId w : g.Neighbors(side, x)) {
-      if (view.IsActive(other, w) && view.ActiveDegree(other, w) < other_min) {
-        queue.emplace_back(other, w);
-      }
-    }
+  std::vector<VertexId> next_users;
+  std::vector<VertexId> next_items;
+  while (!user_frontier.empty() || !item_frontier.empty()) {
+    ++levels;
+    users_removed += static_cast<uint32_t>(user_frontier.size());
+    items_removed += static_cast<uint32_t>(item_frontier.size());
+    // Deactivate the whole level before any degree update so intra-level
+    // edges cannot re-discover a vertex that is already being removed.
+    view.DeactivateBatch(Side::kUser, user_frontier);
+    view.DeactivateBatch(Side::kItem, item_frontier);
+    next_users.clear();
+    next_items.clear();
+    expand(Side::kUser, user_frontier, min_item_degree, &next_items);
+    expand(Side::kItem, item_frontier, min_user_degree, &next_users);
+    user_frontier.swap(next_users);
+    item_frontier.swap(next_items);
   }
 
   if (stats != nullptr) {
@@ -98,6 +206,7 @@ void ExtensionBicliqueExtractor::CorePruning(graph::MutableView& view,
   }
   ExtractionCounters::Get().users_pruned_core->Add(users_removed);
   ExtractionCounters::Get().items_pruned_core->Add(items_removed);
+  ExtractionCounters::Get().core_levels->Add(levels);
 }
 
 void ExtensionBicliqueExtractor::SquarePruneSide(graph::MutableView& view,
@@ -106,6 +215,7 @@ void ExtensionBicliqueExtractor::SquarePruneSide(graph::MutableView& view,
   const graph::BipartiteGraph& g = view.graph();
   const uint32_t n = g.num_vertices(side);
   const Side other = Other(side);
+  const size_t workers = engine_->num_workers();
 
   // Thresholds per Definition 4 / Lemma 2: a user needs >= k1 members in
   // its (alpha, k2)-neighbor set (self included); items symmetrically.
@@ -121,59 +231,118 @@ void ExtensionBicliqueExtractor::SquarePruneSide(graph::MutableView& view,
     if (view.IsActive(side, x)) order.push_back(x);
   }
   if (ordered) {
-    // Two-hop sizes are independent per vertex: compute them on the worker
-    // engine (each worker writes a disjoint range of `two_hop`).
+    // Two-hop sizes are independent per vertex: chunked across workers,
+    // each writing a disjoint range of `two_hop`.
     std::vector<uint64_t> two_hop(n, 0);
-    engine_->ParallelFor(n, [&](VertexId x) {
-      if (!view.IsActive(side, x)) return;
-      uint64_t size = 0;
-      for (const VertexId w : g.Neighbors(side, x)) {
-        if (view.IsActive(other, w)) size += view.ActiveDegree(other, w);
+    engine_->ParallelForChunks(n, [&](size_t, engine::VertexRange range) {
+      for (VertexId x = range.begin; x < range.end; ++x) {
+        if (!view.IsActive(side, x)) continue;
+        uint64_t size = 0;
+        for (const VertexId w : g.Neighbors(side, x)) {
+          if (view.IsActive(other, w)) size += view.ActiveDegree(other, w);
+        }
+        two_hop[x] = size;
       }
-      two_hop[x] = size;
     });
     std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
       return two_hop[a] < two_hop[b];
     });
   }
 
-  // Flat counting array with a touched list (reset cost proportional to the
-  // number of distinct two-hop neighbors, not to n).
-  std::vector<uint32_t> counts(n, 0);
-  std::vector<VertexId> touched;
-
-  for (const VertexId x : order) {
-    if (!view.IsActive(side, x)) continue;
-
-    touched.clear();
-    for (const VertexId w : g.Neighbors(side, x)) {
-      if (!view.IsActive(other, w)) continue;
-      for (const VertexId y : g.Neighbors(other, w)) {
-        if (!view.IsActive(side, y)) continue;
-        if (counts[y]++ == 0) touched.push_back(y);
+  const auto commit_removal = [&](VertexId x) {
+    view.Remove(side, x);
+    if (stats != nullptr) {
+      if (side == Side::kUser) {
+        ++stats->users_removed_square;
+      } else {
+        ++stats->items_removed_square;
       }
     }
+  };
 
-    // counts[x] is x's own active degree, so x is counted as its own
-    // (alpha, k)-neighbor exactly when Lemma 1 already holds for it.
-    uint32_t qualified = 0;
-    for (const VertexId y : touched) {
-      if (counts[y] >= common_needed) ++qualified;
+  // Sequential path (single worker or tiny candidate list): the classic
+  // immediate-removal cascade. This is the reference schedule the round
+  // path must match bit for bit.
+  if (workers == 1 || order.size() < schedule_.sequential_cutoff) {
+    PruneScratch scratch;
+    scratch.EnsureUniverse(n);
+    for (const VertexId x : order) {
+      if (!PassesLemma2(view, side, x, common_needed, neighbors_needed,
+                        scratch)) {
+        commit_removal(x);
+      }
     }
+    return;
+  }
 
-    if (qualified < neighbors_needed) {
-      view.Remove(side, x);
-      if (stats != nullptr) {
-        if (side == Side::kUser) {
-          ++stats->users_removed_square;
+  // Round-based parallel schedule. Each round evaluates a slice of the
+  // candidate order against the ROUND-START view in parallel (per-worker
+  // pooled scratch, zero allocation per candidate), then commits decisions
+  // in candidate order. Serial equivalence rests on Lemma-2 monotonicity:
+  // a side pass only removes same-side vertices, removals only shrink the
+  // qualified set, so
+  //   * a snapshot FAIL stays a fail under the (smaller) sequential view at
+  //     that candidate's turn -> removal commits without re-checking;
+  //   * a snapshot PASS is final while no removal precedes the candidate in
+  //     this round (the views coincide), and is re-evaluated against the
+  //     live view otherwise — exactly the sequential state at its turn.
+  std::vector<PruneScratch> scratch(workers);
+  for (PruneScratch& s : scratch) s.EnsureUniverse(n);
+  engine::PerWorkerBuffers<uint32_t> fail_buf(workers);
+  std::vector<uint32_t> fails;
+  RoundScheduler rounds(schedule_);
+  uint64_t rounds_run = 0;
+  uint64_t rechecks = 0;
+  uint64_t pooled_evals = 0;
+  size_t pos = 0;
+  while (pos < order.size()) {
+    const uint32_t round_size = rounds.NextRoundSize(order.size() - pos);
+    RICD_TRACE_SPAN("ricd.extraction.square_round");
+    fail_buf.Clear();
+    engine_->ParallelForChunks(
+        round_size, [&](size_t worker, engine::VertexRange range) {
+          PruneScratch& sc = scratch[worker];
+          auto& out = fail_buf.ForWorker(worker);
+          for (uint32_t i = range.begin; i < range.end; ++i) {
+            if (!PassesLemma2(view, side, order[pos + i], common_needed,
+                              neighbors_needed, sc)) {
+              out.push_back(i);
+            }
+          }
+        });
+    fails.clear();
+    fail_buf.ConcatTo(&fails);  // contiguous ascending ranges -> sorted
+
+    uint32_t removals = 0;
+    if (!fails.empty()) {
+      // Candidates before the first snapshot failure saw a view identical
+      // to the snapshot — their PASS is final; start committing there.
+      size_t f = 0;
+      for (uint32_t i = fails[0]; i < round_size; ++i) {
+        const VertexId x = order[pos + i];
+        bool remove;
+        if (f < fails.size() && fails[f] == i) {
+          remove = true;
+          ++f;
         } else {
-          ++stats->items_removed_square;
+          ++rechecks;
+          remove = !PassesLemma2(view, side, x, common_needed,
+                                 neighbors_needed, scratch[0]);
+        }
+        if (remove) {
+          commit_removal(x);
+          ++removals;
         }
       }
     }
-
-    for (const VertexId y : touched) counts[y] = 0;
+    rounds.Observe(round_size, removals);
+    ++rounds_run;
+    pooled_evals += round_size;
+    pos += round_size;
   }
+  ExtractionCounters::Get().rounds->Add(rounds_run);
+  ExtractionCounters::Get().round_rechecks->Add(rechecks);
+  ExtractionCounters::Get().scratch_reuses->Add(pooled_evals);
 }
 
 void ExtensionBicliqueExtractor::SquarePruning(graph::MutableView& view,

@@ -10,6 +10,7 @@
 #include "graph/group.h"
 #include "graph/mutable_view.h"
 #include "ricd/params.h"
+#include "ricd/round_scheduler.h"
 
 namespace ricd::core {
 
@@ -35,17 +36,25 @@ struct ExtractionStats {
 ///    order of two-hop neighborhood size (the reduce2Hop ordering of [6]),
 ///    with immediate removal so cascades shrink later neighborhoods.
 ///
+/// Both pruning phases are parallel AND deterministic: CorePruning runs as
+/// level-synchronous frontiers (the fixpoint is order-independent), and
+/// SquarePruning runs in rounds whose candidates are evaluated against the
+/// round-start view and committed in candidate order — provably equivalent
+/// to the sequential immediate-removal schedule (DESIGN.md §9), so output
+/// is bit-identical for every worker count.
+///
 /// The surviving subgraph's connected components with >= k1 users and
 /// >= k2 items are returned as suspicious groups.
 class ExtensionBicliqueExtractor {
  public:
-  /// `engine` runs the data-parallel phases (degree scans, two-hop size
-  /// computation); the pruning cascades themselves are sequential for
-  /// determinism. Defaults to the process-wide engine.
+  /// `engine` runs every data-parallel phase (degree scans, two-hop sizes,
+  /// frontier expansion, round evaluation); `schedule` steers batching only
+  /// and defaults to the env-tunable adaptive schedule (RICD_ROUND_SIZE).
   explicit ExtensionBicliqueExtractor(
       RicdParams params,
-      const engine::WorkerEngine* engine = &engine::DefaultEngine())
-      : params_(params), engine_(engine) {}
+      const engine::WorkerEngine* engine = &engine::DefaultEngine(),
+      PruneSchedule schedule = PruneSchedule::FromEnv())
+      : params_(params), engine_(engine), schedule_(schedule) {}
 
   /// Runs pruning + component extraction over `graph`. Fails with
   /// InvalidArgument on out-of-domain parameters (alpha outside (0, 1],
@@ -66,6 +75,8 @@ class ExtensionBicliqueExtractor {
   void SquarePruning(graph::MutableView& view, bool ordered,
                      ExtractionStats* stats) const;
 
+  const PruneSchedule& schedule() const { return schedule_; }
+
  private:
   Result<std::vector<graph::Group>> ExtractImpl(const graph::BipartiteGraph& graph,
                                                 bool square,
@@ -76,6 +87,7 @@ class ExtensionBicliqueExtractor {
 
   RicdParams params_;
   const engine::WorkerEngine* engine_;
+  PruneSchedule schedule_;
 };
 
 }  // namespace ricd::core

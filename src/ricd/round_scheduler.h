@@ -1,0 +1,96 @@
+#ifndef RICD_RICD_ROUND_SCHEDULER_H_
+#define RICD_RICD_ROUND_SCHEDULER_H_
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace ricd::core {
+
+/// Scheduling knobs of the deterministic parallel pruning phases
+/// (extension_biclique.cc). These only steer how work is batched across
+/// workers — by construction every schedule produces bit-identical output
+/// (see DESIGN.md §9 for the serial-equivalence argument), so knobs are
+/// pure performance tuning and safe to vary per deployment.
+struct PruneSchedule {
+  /// SquarePruning candidate lists shorter than this (or any run on a
+  /// single-worker engine) skip the round machinery and run the plain
+  /// sequential cascade.
+  uint32_t sequential_cutoff = 512;
+
+  /// Adaptive round-size bounds/start for SquarePruning rounds.
+  uint32_t min_round = 64;
+  uint32_t initial_round = 1024;
+  uint32_t max_round = 16384;
+
+  /// CorePruning frontiers smaller than this are expanded on the calling
+  /// thread (no atomics) instead of across workers.
+  uint32_t frontier_cutoff = 2048;
+
+  /// Env override: RICD_ROUND_SIZE=<n> pins the SquarePruning round size
+  /// (min = initial = max = n); unset or 0 keeps the adaptive default.
+  static PruneSchedule FromEnv() {
+    PruneSchedule schedule;
+    const char* env = std::getenv("RICD_ROUND_SIZE");
+    if (env == nullptr || env[0] == '\0') return schedule;
+    const std::string value(env);
+    bool all_digits = true;
+    for (const char c : value) {
+      if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+        all_digits = false;
+        break;
+      }
+    }
+    const long parsed =
+        all_digits ? std::strtol(value.c_str(), nullptr, 10) : 0;
+    if (parsed > 0 && parsed <= (1 << 24)) {
+      schedule.min_round = static_cast<uint32_t>(parsed);
+      schedule.initial_round = static_cast<uint32_t>(parsed);
+      schedule.max_round = static_cast<uint32_t>(parsed);
+    }
+    return schedule;
+  }
+};
+
+/// Adaptive round sizing for the snapshot-evaluate / commit-in-order
+/// SquarePruning schedule. Rounds SHRINK while removals are cascading — a
+/// dense cascade makes round-start snapshots stale, so most of a big round
+/// would be re-checked sequentially anyway — and GROW while the view is
+/// stable, where a round is pure parallel work and bigger batches amortize
+/// the per-round barrier.
+class RoundScheduler {
+ public:
+  explicit RoundScheduler(const PruneSchedule& schedule)
+      : schedule_(schedule),
+        round_(std::clamp(schedule.initial_round, schedule.min_round,
+                          std::max(schedule.min_round, schedule.max_round))) {}
+
+  /// Size of the next round given how many candidates remain.
+  uint32_t NextRoundSize(uint64_t remaining) const {
+    return static_cast<uint32_t>(
+        std::min<uint64_t>(round_, remaining));
+  }
+
+  /// Feeds back one committed round: `removals` of `round_size` candidates
+  /// were removed. Removal density >= 1/8 halves the round; a clean round
+  /// doubles it.
+  void Observe(uint32_t round_size, uint32_t removals) {
+    if (removals == 0) {
+      round_ = std::min(schedule_.max_round, round_ * 2);
+    } else if (removals * 8 >= round_size) {
+      round_ = std::max(schedule_.min_round, round_ / 2);
+    }
+  }
+
+  uint32_t current_round_size() const { return round_; }
+
+ private:
+  PruneSchedule schedule_;
+  uint32_t round_;
+};
+
+}  // namespace ricd::core
+
+#endif  // RICD_RICD_ROUND_SCHEDULER_H_

@@ -92,5 +92,129 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<int, int>{50, 800},
                       std::pair<int, int>{200, 200}));
 
+TEST(IntersectionTest, DensePathTriggeredByTightRange) {
+  // Two interleaved runs over [0, 512): range <= 8 * (|a| + |b|) -> the
+  // bitset pair path. Equal-size inputs, so no gallop.
+  std::vector<VertexId> a;
+  std::vector<VertexId> b;
+  for (VertexId i = 0; i < 512; ++i) {
+    if (i % 2 == 0) a.push_back(i);
+    if (i % 3 == 0) b.push_back(i);
+  }
+  std::vector<VertexId> expected;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(expected));
+  EXPECT_EQ(IntersectionSize(a, b), expected.size());  // multiples of 6
+  EXPECT_EQ(IntersectionAtLeast(a, b, 1000), expected.size());
+}
+
+TEST(IntersectionTest, BlockMergeHandlesUnalignedTails) {
+  // Sizes straddling the 8-wide block boundary exercise the scalar tail.
+  for (const int size : {7, 8, 9, 15, 16, 17, 63, 64, 65}) {
+    std::vector<VertexId> a;
+    std::vector<VertexId> b;
+    // Spread ids far apart so the dense path's range heuristic rejects.
+    for (int i = 0; i < size; ++i) {
+      a.push_back(static_cast<VertexId>(i * 1000));
+      b.push_back(static_cast<VertexId>(i * 1500));
+    }
+    std::vector<VertexId> expected;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected));
+    EXPECT_EQ(IntersectionSize(a, b), expected.size()) << "size=" << size;
+  }
+}
+
+TEST(CountAtLeastTest, MatchesScalarLoop) {
+  Rng rng(99);
+  std::vector<uint32_t> counts(500, 0);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::set<VertexId> touched_set;
+    const int m = 1 + static_cast<int>(rng.Uniform(200));
+    for (int i = 0; i < m; ++i) {
+      const auto id = static_cast<VertexId>(rng.Uniform(500));
+      touched_set.insert(id);
+      counts[id] = static_cast<uint32_t>(rng.Uniform(10));
+    }
+    const std::vector<VertexId> ids(touched_set.begin(), touched_set.end());
+    for (const uint32_t threshold : {0u, 1u, 3u, 9u, 100u}) {
+      uint64_t expected = 0;
+      for (const VertexId id : ids) expected += counts[id] >= threshold;
+      EXPECT_EQ(CountAtLeast(counts, ids, threshold), expected)
+          << "trial=" << trial << " threshold=" << threshold;
+    }
+    for (const VertexId id : ids) counts[id] = 0;
+  }
+}
+
+TEST(CountAtLeastTest, EmptyIds) {
+  const std::vector<uint32_t> counts(10, 5);
+  EXPECT_EQ(CountAtLeast(counts, {}, 1), 0u);
+}
+
+TEST(BitsetIntersectorTest, CountMatchesMergeKernel) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::set<VertexId> base_set;
+    const int base_size = 1 + static_cast<int>(rng.Uniform(300));
+    while (static_cast<int>(base_set.size()) < base_size) {
+      base_set.insert(static_cast<VertexId>(rng.Uniform(2000)));
+    }
+    const std::vector<VertexId> base(base_set.begin(), base_set.end());
+    BitsetIntersector bitset;
+    bitset.Load(base, 2000);
+    EXPECT_EQ(bitset.base_size(), base.size());
+
+    for (int probe_trial = 0; probe_trial < 10; ++probe_trial) {
+      std::set<VertexId> probe_set;
+      const int probe_size = static_cast<int>(rng.Uniform(150));
+      while (static_cast<int>(probe_set.size()) < probe_size) {
+        probe_set.insert(static_cast<VertexId>(rng.Uniform(2000)));
+      }
+      const std::vector<VertexId> probe(probe_set.begin(), probe_set.end());
+      EXPECT_EQ(bitset.Count(probe), IntersectionSize(base, probe));
+    }
+  }
+}
+
+TEST(BitsetIntersectorTest, ReloadClearsPreviousBase) {
+  BitsetIntersector bitset;
+  bitset.Load(V({1, 2, 3}), 100);
+  EXPECT_EQ(bitset.Count(V({1, 2, 3})), 3u);
+  // Smaller universe + disjoint base: stale bits from the first load must
+  // not leak into the second.
+  bitset.Load(V({50, 60}), 100);
+  EXPECT_EQ(bitset.Count(V({1, 2, 3})), 0u);
+  EXPECT_EQ(bitset.Count(V({50, 60})), 2u);
+  bitset.Load({}, 100);
+  EXPECT_EQ(bitset.Count(V({50, 60})), 0u);
+}
+
+TEST(BitsetIntersectorTest, CountAndMatchesThreeWayOracle) {
+  Rng rng(31);
+  std::set<VertexId> sa;
+  std::set<VertexId> sb;
+  for (int i = 0; i < 200; ++i) {
+    sa.insert(static_cast<VertexId>(rng.Uniform(1000)));
+    sb.insert(static_cast<VertexId>(rng.Uniform(1000)));
+  }
+  const std::vector<VertexId> a(sa.begin(), sa.end());
+  const std::vector<VertexId> b(sb.begin(), sb.end());
+  BitsetIntersector ba;
+  BitsetIntersector bb;
+  ba.Load(a, 1000);
+  bb.Load(b, 1000);
+  EXPECT_EQ(ba.CountAnd(bb), IntersectionSize(a, b));
+  EXPECT_EQ(bb.CountAnd(ba), IntersectionSize(a, b));
+}
+
+TEST(BitsetIntersectorTest, ShouldUseHeuristic) {
+  // Worth it only with enough probes over a big enough base.
+  EXPECT_TRUE(BitsetIntersector::ShouldUse(64, 4));
+  EXPECT_FALSE(BitsetIntersector::ShouldUse(63, 4));
+  EXPECT_FALSE(BitsetIntersector::ShouldUse(64, 3));
+  EXPECT_TRUE(BitsetIntersector::ShouldUse(10000, 100));
+}
+
 }  // namespace
 }  // namespace ricd::graph

@@ -12,6 +12,8 @@ int PlantedViolations() {
   std::thread worker([] {});      // planted: no-raw-thread
   worker.join();
   DoRiskyThing(noise);  // planted: discarded-status
+  FakeEngine eng;
+  eng.ParallelFor(8, nullptr);  // planted: std-function-hot-loop
   char scratch[8];
   std::FILE* f = std::fopen("/dev/null", "rb");
   fread(scratch, 1, sizeof(scratch), f);  // planted: unchecked-io-return

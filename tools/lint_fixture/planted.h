@@ -15,4 +15,8 @@ struct Status {
 
 Status DoRiskyThing(int attempts);
 
+struct FakeEngine {
+  void ParallelFor(unsigned n, void (*fn)(unsigned));
+};
+
 #endif  // WRONG_GUARD_NAME_H

@@ -25,6 +25,11 @@
 //                              as a whole statement — the return value is
 //                              the only error signal these APIs have
 //                              (MAP_FAILED, short reads/writes)
+//   std-function-hot-loop      engine.ParallelFor(...) in library code —
+//                              one type-erased std::function dispatch per
+//                              element; hot paths use ParallelForChunks
+//                              (functor inlined per worker range). Tests
+//                              and benches may keep the convenience form.
 //
 // The allowlist file holds `path:rule` lines (path relative to the root,
 // `*` as the rule wildcard); `#` starts a comment. Exit status: 0 when
@@ -243,6 +248,12 @@ class Linter {
     const bool in_src = HasPrefix(file.rel_path, "src/");
     const bool is_pool_impl =
         HasPrefix(file.rel_path, "src/common/thread_pool.");
+    // Library code by exclusion rather than `in_src`: the planted fixture is
+    // scanned with the fixture directory as the root, so its files carry no
+    // src/ prefix yet must exercise library-only rules.
+    const bool in_library = !HasPrefix(file.rel_path, "tests/") &&
+                            !HasPrefix(file.rel_path, "bench/") &&
+                            !HasPrefix(file.rel_path, "tools/");
 
     static const std::regex kRand(R"((^|[^\w])(std::)?s?rand\s*\()");
     static const std::regex kRawThread(
@@ -254,6 +265,10 @@ class Linter {
     // `if (fread(...) != n)` never match — only a bare discarded call does.
     static const std::regex kUncheckedIo(
         R"(^\s*(?:::)?(mmap|munmap|fread|fwrite|pread|pwrite)\s*\()");
+    // Member-call spelling only: `WorkerEngine::ParallelFor` itself (the
+    // declaration/definition) is not a call site, and ParallelForChunks /
+    // ParallelForRanges do not match (no `(` directly after ParallelFor).
+    static const std::regex kPerElementLoop(R"((\.|->)\s*ParallelFor\s*\()");
 
     // Tracks whether the current line starts a fresh statement: the previous
     // code line ended in `;`/`{`/`}` (or was a preprocessor line / blank).
@@ -283,6 +298,11 @@ class Linter {
       if (in_src && std::regex_search(line, kStdio)) {
         Report(file, line_no, "no-stdio-in-src",
                "direct stdio in a library — use RICD_LOG");
+      }
+      if (in_library && std::regex_search(line, kPerElementLoop)) {
+        Report(file, line_no, "std-function-hot-loop",
+               "per-element ParallelFor in library code — use "
+               "ParallelForChunks (no std::function dispatch per element)");
       }
       if (is_header && std::regex_search(line, kUsingNamespace)) {
         Report(file, line_no, "no-using-namespace-in-header",
