@@ -22,17 +22,20 @@ int Run() {
   const auto scale = ScaleFromEnv(gen::ScenarioScale::kSmall);
   const uint64_t seed = SeedFromEnv(42);
 
-  // Organic marketplace + one fresh campaign to stream in.
-  Rng rng(seed);
-  auto background =
-      gen::GenerateBackground(gen::BackgroundConfigFor(scale), rng);
-  RICD_CHECK(background.ok()) << background.status();
+  // Standing marketplace from the shared workload path (RICD_SNAPSHOT
+  // cache applies), plus one fresh campaign to stream in on top of it.
+  BenchWorkload workload = MakeWorkload(scale, seed);
+  Rng rng(seed ^ 0x1c2d3e4f);
   gen::AttackConfig attack = gen::AttackConfigFor(scale);
+  // The standing table already contains one injected campaign whose workers
+  // sit at the default id bases; give the streamed campaign its own range.
+  attack.worker_id_base *= 2;
+  attack.target_id_base *= 2;
   attack.num_groups = 2;
   attack.cautious_fraction = 0.0;
   attack.structure_evading_fraction = 0.0;
   attack.budget_evading_fraction = 0.0;
-  auto injection = gen::InjectAttacks(attack, *background, rng);
+  auto injection = gen::InjectAttacks(attack, workload.scenario.table, rng);
   RICD_CHECK(injection.ok()) << injection.status();
 
   // Split the campaign into 6 "days" (workers activate over time).
@@ -48,7 +51,7 @@ int Run() {
   core::IncrementalRicd incremental(options);
 
   const double bootstrap_s = TimedStage("bench.incremental.bootstrap", [&] {
-    RICD_CHECK(incremental.Bootstrap(*background).ok());
+    RICD_CHECK(incremental.Bootstrap(workload.scenario.table).ok());
   });
   std::printf("bootstrap: %llu edges, %.3f s (full-graph scan)\n\n",
               static_cast<unsigned long long>(incremental.num_edges()),
@@ -89,11 +92,9 @@ int Run() {
               "converging to the same suspicious set.\n",
               detection_day);
 
-  obs::WorkloadScale workload_desc;
-  workload_desc.scale = gen::ScenarioScaleName(scale);
-  workload_desc.seed = seed;
-  workload_desc.edges = incremental.num_edges();
-  FinishBench("bench_incremental", workload_desc);
+  // Same machine-readable schema keys as every other bench: the standing
+  // marketplace the stream was bootstrapped on.
+  FinishBench("bench_incremental", DescribeWorkload(workload));
   return 0;
 }
 

@@ -1,0 +1,181 @@
+// Serving bench (extension; Section VII deployment discussion): closed-loop
+// client threads against one TCP front end over a live DetectionService.
+// Each client drives its own connection — query-heavy with periodic ingest
+// batches — and reports end-to-end qps and latency percentiles through the
+// observability registry (RICD_BENCH_JSON gets the machine-readable record).
+// A deterministic backpressure check first proves that a full ingest queue
+// rejects with ResourceExhausted and never silently drops a record.
+
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "serve/detection_service.h"
+#include "serve/ingest_queue.h"
+#include "serve/server.h"
+
+namespace ricd::bench {
+namespace {
+
+constexpr size_t kClients = 4;
+constexpr size_t kRequestsPerClient = 1500;
+constexpr size_t kIngestEvery = 8;      // every 8th request is an ingest batch
+constexpr size_t kIngestBatchRows = 16;
+
+/// Deterministic backpressure proof: a 4-slot queue with no consumer
+/// accepts exactly its capacity, then refuses with ResourceExhausted —
+/// every attempt is accounted as either pushed or rejected.
+void CheckBackpressure() {
+  serve::IngestQueue queue(4);
+  constexpr uint64_t kAttempts = 9;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  for (uint64_t i = 0; i < kAttempts; ++i) {
+    const Status pushed =
+        queue.Push({static_cast<table::UserId>(i), static_cast<table::ItemId>(i), 1});
+    if (pushed.ok()) {
+      ++accepted;
+    } else {
+      RICD_CHECK(pushed.code() == StatusCode::kResourceExhausted) << pushed;
+      ++rejected;
+    }
+  }
+  const serve::IngestQueueStats stats = queue.stats();
+  RICD_CHECK(accepted == queue.capacity());
+  RICD_CHECK(stats.pushed == accepted);
+  RICD_CHECK(stats.rejected == rejected);
+  RICD_CHECK(stats.pushed + stats.rejected == kAttempts);
+  std::printf("backpressure: capacity=%zu accepted=%llu rejected=%llu "
+              "(push %llu refused with ResourceExhausted, none dropped)\n\n",
+              queue.capacity(), static_cast<unsigned long long>(accepted),
+              static_cast<unsigned long long>(rejected),
+              static_cast<unsigned long long>(queue.capacity() + 1));
+}
+
+int Run() {
+  PrintHeader("Online serving: closed-loop query/ingest throughput",
+              "extension; Section VII deployment discussion");
+
+  const auto scale = ScaleFromEnv(gen::ScenarioScale::kSmall);
+  const uint64_t seed = SeedFromEnv(42);
+  BenchWorkload workload = MakeWorkload(scale, seed);
+
+  CheckBackpressure();
+
+  serve::ServeOptions options = serve::ServeOptions::FromEnv();
+  options.framework.params = PaperDefaultParams();
+  serve::DetectionService service(options);
+  const double bootstrap_s = TimedStage("bench.serve.bootstrap", [&] {
+    const Status started = service.Start(workload.scenario.table);
+    RICD_CHECK(started.ok()) << started;
+  });
+  serve::TcpServer server(&service, serve::TcpServer::Options{0, kClients});
+  {
+    const Status started = server.Start();
+    RICD_CHECK(started.ok()) << started;
+  }
+  std::printf("bootstrap %.3f s; serving on 127.0.0.1:%u with %zu handler "
+              "threads\n",
+              bootstrap_s, server.port(), kClients);
+
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Histogram* query_latency =
+      registry.GetHistogram("bench.serve.query.seconds");
+  obs::Histogram* ingest_latency =
+      registry.GetHistogram("bench.serve.ingest.seconds");
+
+  const table::ClickTable& rows = workload.scenario.table;
+  RICD_CHECK(rows.num_rows() > 0);
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> ingest_rejected{0};
+  std::atomic<uint64_t> failures{0};
+
+  WallTimer run_timer;
+  {
+    ThreadPool clients(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.Submit([&, c] {
+        serve::TcpClient client;
+        const Status connected = client.Connect(server.port());
+        if (!connected.ok()) {
+          RICD_LOG(ERROR) << "client " << c << ": " << connected;
+          failures.fetch_add(kRequestsPerClient, std::memory_order_relaxed);
+          return;
+        }
+        for (size_t i = 0; i < kRequestsPerClient; ++i) {
+          // Deterministic per-client walk over the workload rows.
+          const size_t r = (c * 7919 + i * 31) % rows.num_rows();
+          WallTimer timer;
+          if (i % kIngestEvery == kIngestEvery - 1) {
+            std::vector<table::ClickRecord> batch;
+            batch.reserve(kIngestBatchRows);
+            for (size_t j = 0; j < kIngestBatchRows; ++j) {
+              batch.push_back(rows.row((r + j) % rows.num_rows()));
+            }
+            const auto ack = client.Ingest(batch);
+            if (ack.ok()) {
+              ingest_rejected.fetch_add(ack->rejected,
+                                        std::memory_order_relaxed);
+            } else {
+              failures.fetch_add(1, std::memory_order_relaxed);
+            }
+            ingest_latency->Observe(timer.ElapsedSeconds());
+          } else {
+            const auto verdict = (i % 2 == 0)
+                                     ? client.QueryUser(rows.user(r))
+                                     : client.QueryPair(rows.user(r),
+                                                        rows.item(r));
+            if (!verdict.ok()) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+            }
+            query_latency->Observe(timer.ElapsedSeconds());
+          }
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    clients.Wait();
+  }
+  const double elapsed_s = run_timer.ElapsedSeconds();
+
+  server.Stop();
+  {
+    const Status drained = service.Drain();
+    RICD_CHECK(drained.ok()) << drained;
+  }
+  const Status shutdown = service.Shutdown();
+  RICD_CHECK(shutdown.ok()) << shutdown;
+
+  const uint64_t total = completed.load();
+  const double qps = elapsed_s > 0.0 ? static_cast<double>(total) / elapsed_s
+                                     : 0.0;
+  registry.GetGauge("bench.serve.qps")->Set(qps);
+  const obs::HistogramSnapshot q = query_latency->Snapshot();
+  const obs::HistogramSnapshot g = ingest_latency->Snapshot();
+  std::printf("\n%-10s %10s %12s %12s %12s\n", "op", "requests", "p50(us)",
+              "p99(us)", "mean(us)");
+  std::printf("%-10s %10llu %12.1f %12.1f %12.1f\n", "query",
+              static_cast<unsigned long long>(q.count), q.P50() * 1e6,
+              q.P99() * 1e6, q.Mean() * 1e6);
+  std::printf("%-10s %10llu %12.1f %12.1f %12.1f\n", "ingest",
+              static_cast<unsigned long long>(g.count), g.P50() * 1e6,
+              g.P99() * 1e6, g.Mean() * 1e6);
+  std::printf("\n%llu requests in %.3f s -> %.0f qps (%zu closed-loop "
+              "clients); %llu ingest rows hit backpressure, %llu request "
+              "failures\n",
+              static_cast<unsigned long long>(total), elapsed_s, qps,
+              kClients, static_cast<unsigned long long>(ingest_rejected.load()),
+              static_cast<unsigned long long>(failures.load()));
+  RICD_CHECK(failures.load() == 0) << "serving requests failed";
+
+  FinishBench("bench_serving", DescribeWorkload(workload));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ricd::bench
+
+int main() { return ricd::bench::Run(); }

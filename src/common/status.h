@@ -20,6 +20,7 @@ enum class StatusCode {
   kCorruption = 6,
   kInternal = 7,
   kDeadlineExceeded = 8,
+  kResourceExhausted = 9,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("Ok",
@@ -71,6 +72,12 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// A bounded resource (queue slot, connection budget) is full right now.
+  /// Callers distinguish this retryable condition from hard failures — the
+  /// serve ingest path returns it for backpressure instead of blocking.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

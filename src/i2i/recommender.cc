@@ -1,9 +1,26 @@
 #include "i2i/recommender.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 
 namespace ricd::i2i {
+
+std::vector<ItemScore> Recommender::RecommendForUser(
+    graph::VertexId user, size_t k, const SlateFilter& filter) const {
+  // Over-fetch the unfiltered slate (no truncation), drop blocked entries,
+  // then cut to k — filtered-out positions backfill deterministically.
+  std::vector<ItemScore> slate =
+      RecommendForUser(user, std::numeric_limits<size_t>::max());
+  const table::UserId external_user = graph_->ExternalUserId(user);
+  std::erase_if(slate, [&](const ItemScore& s) {
+    const table::ItemId external_item = graph_->ExternalItemId(s.item);
+    return !filter.AllowItem(external_item) ||
+           !filter.AllowPair(external_user, external_item);
+  });
+  if (slate.size() > k) slate.resize(k);
+  return slate;
+}
 
 std::vector<ItemScore> Recommender::RecommendForUser(graph::VertexId user,
                                                      size_t k) const {

@@ -10,6 +10,25 @@
 
 namespace ricd::i2i {
 
+/// Serving-time verdict filter consulted by Recommender::RecommendForUser:
+/// the paper's intercept-before-I2I semantics, where detected fake clicks
+/// are removed from the recommendation path before they reach the user.
+/// Implementations (src/serve's DetectionService) answer by *external* ids
+/// so one filter works across graph rebuilds. Must be safe to call
+/// concurrently and must not block — it sits on the query path.
+class SlateFilter {
+ public:
+  virtual ~SlateFilter() = default;
+
+  /// False when `item` is a detected fake-click target: drop it from every
+  /// slate.
+  virtual bool AllowItem(table::ItemId item) const = 0;
+
+  /// False when the (user, item) pair is a detected fake co-click edge:
+  /// drop the item from this user's slate.
+  virtual bool AllowPair(table::UserId user, table::ItemId item) const = 0;
+};
+
 /// The item-to-user recommendation scenario the paper's introduction
 /// describes: "once the user clicks an item A, recommendation systems will
 /// figure out other items that are 'similar' to A, then recommend them".
@@ -28,6 +47,12 @@ class Recommender {
   /// Top-k recommendation slate for `user`, descending aggregate score.
   /// Deterministic (ties by ascending item id).
   std::vector<ItemScore> RecommendForUser(graph::VertexId user, size_t k) const;
+
+  /// Filtered variant: candidates rejected by `filter` (flagged items,
+  /// blocked user-item pairs) are removed *before* the top-k cut, so clean
+  /// items backfill the slate instead of leaving holes.
+  std::vector<ItemScore> RecommendForUser(graph::VertexId user, size_t k,
+                                          const SlateFilter& filter) const;
 
   const I2iScorer& scorer() const { return scorer_; }
 

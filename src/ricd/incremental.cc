@@ -36,6 +36,13 @@ void IncrementalRicd::FoldBatch(const table::ClickTable& batch,
   }
 }
 
+std::vector<std::pair<table::ItemId, uint64_t>> IncrementalRicd::UserEdges(
+    table::UserId u) const {
+  const auto it = user_adj_.find(u);
+  if (it == user_adj_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
 table::ClickTable IncrementalRicd::MaterializeTable() const {
   table::ClickTable out;
   out.Reserve(num_edges_);

@@ -79,6 +79,14 @@ class IncrementalRicd {
   bool IsFlaggedUser(table::UserId u) const { return flagged_users_.count(u) > 0; }
   bool IsFlaggedItem(table::ItemId v) const { return flagged_items_.count(v) > 0; }
 
+  bool bootstrapped() const { return bootstrapped_; }
+
+  /// Standing (item, clicks) edges of `u`, ascending by item id; empty when
+  /// the user is unknown. Used by the serving layer to derive blocked
+  /// user-item pairs without materializing the whole table.
+  std::vector<std::pair<table::ItemId, uint64_t>> UserEdges(
+      table::UserId u) const;
+
   /// Clears the standing suspicious set (after a platform cleanup).
   void ResetFlags();
 

@@ -1,0 +1,306 @@
+#include "serve/detection_service.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "check/validate.h"
+#include "check/validate_serve.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "obs/trace.h"
+
+namespace ricd::serve {
+namespace {
+
+uint64_t EnvUint(const char* name, uint64_t fallback, uint64_t max) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  for (const char* c = env; *c != '\0'; ++c) {
+    if (std::isdigit(static_cast<unsigned char>(*c)) == 0) return fallback;
+  }
+  const unsigned long long parsed = std::strtoull(env, nullptr, 10);
+  if (parsed == 0 || parsed > max) return fallback;
+  return parsed;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(env, &end);
+  if (end == env || *end != '\0' || parsed < 0.0) return fallback;
+  return parsed;
+}
+
+}  // namespace
+
+ServeOptions ServeOptions::FromEnv() {
+  ServeOptions options;
+  options.ingest_batch =
+      EnvUint("RICD_INGEST_BATCH", options.ingest_batch, 1ull << 24);
+  options.rebuild_drift = EnvDouble("RICD_REBUILD_DRIFT", options.rebuild_drift);
+  return options;
+}
+
+DetectionService::DetectionService(ServeOptions options)
+    : options_(std::move(options)),
+      queue_(options_.queue_capacity) {
+  auto& registry = obs::MetricsRegistry::Global();
+  ingest_accepted_ = registry.GetCounter("serve.ingest.accepted");
+  ingest_rejected_ = registry.GetCounter("serve.ingest.rejected");
+  batches_counter_ = registry.GetCounter("serve.ingest.batches");
+  rebuilds_counter_ = registry.GetCounter("serve.rebuilds");
+  query_counter_ = registry.GetCounter("serve.queries");
+  queue_depth_gauge_ = registry.GetGauge("serve.queue.depth");
+  epoch_gauge_ = registry.GetGauge("serve.epoch");
+}
+
+DetectionService::~DetectionService() { (void)Shutdown(); }
+
+Status DetectionService::Start(const table::ClickTable& initial) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (detector_ != nullptr) {
+    return Status::FailedPrecondition("DetectionService already started");
+  }
+  RICD_TRACE_SPAN("serve.bootstrap");
+  detector_ = std::make_unique<core::IncrementalRicd>(options_.framework);
+  RICD_RETURN_IF_ERROR(detector_->Bootstrap(initial));
+  ++rebuilds_;  // the bootstrap full pass counts as generation 1
+  RICD_RETURN_IF_ERROR(PublishLocked(BuildSnapshotLocked()));
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  refresh_thread_ = std::make_unique<ThreadPool>(1);
+  refresh_thread_->Submit([this] { RefreshLoop(); });
+  return Status::Ok();
+}
+
+Status DetectionService::IngestClick(const table::ClickRecord& record) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("DetectionService not running");
+  }
+  Status status = queue_.Push(record);
+  if (!status.ok()) {
+    ingest_rejected_->Add(1);
+    return status;
+  }
+  ingest_accepted_->Add(1);
+  const uint64_t accepted =
+      accepted_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  const uint64_t applied = applied_.load(std::memory_order_acquire);
+  if (accepted - applied >= options_.ingest_batch) {
+    // Size trigger hit — kick the refresh thread out of its timed wait.
+    wake_cv_.notify_one();
+  }
+  return Status::Ok();
+}
+
+bool DetectionService::IsFlaggedUser(table::UserId u) const {
+  query_counter_->Add(1);
+  return store_.Acquire()->FlaggedUser(u);
+}
+
+bool DetectionService::IsFlaggedItem(table::ItemId v) const {
+  query_counter_->Add(1);
+  return store_.Acquire()->FlaggedItem(v);
+}
+
+bool DetectionService::IsBlockedPair(table::UserId u, table::ItemId v) const {
+  query_counter_->Add(1);
+  return store_.Acquire()->BlockedPair(u, v);
+}
+
+void DetectionService::RefreshLoop() {
+  std::vector<table::ClickRecord> pending;
+  pending.reserve(options_.ingest_batch);
+  const auto poll_interval = std::chrono::milliseconds(
+      options_.max_batch_delay_ms == 0 ? 10 : options_.max_batch_delay_ms);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait_for(lock, poll_interval, [this] {
+        if (stop_.load(std::memory_order_acquire)) return true;
+        const uint64_t accepted = accepted_.load(std::memory_order_acquire);
+        const uint64_t applied = applied_.load(std::memory_order_acquire);
+        return accepted - applied >= options_.ingest_batch;
+      });
+    }
+    const bool stopping = stop_.load(std::memory_order_acquire);
+    pending.clear();
+    queue_.PopBatch(&pending, options_.ingest_batch);
+    queue_depth_gauge_->Set(static_cast<double>(queue_.depth()));
+    if (check::ValidationEnabled()) {
+      // Audited here — on the single consumer thread — because that is the
+      // one vantage point where popped_ is frozen and the depth <= capacity
+      // bound is exact (see IngestQueue::stats()).
+      const Status accounting = check::ValidateIngestAccounting(
+          queue_.stats(), /*expect_quiescent=*/false);
+      if (!accounting.ok()) {
+        RICD_LOG(ERROR) << "serve queue accounting: " << accounting.ToString();
+      }
+    }
+    if (!pending.empty()) {
+      table::ClickTable batch;
+      batch.Reserve(pending.size());
+      for (const table::ClickRecord& r : pending) batch.Append(r);
+      Status status;
+      {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        status = ApplyBatchLocked(batch);
+      }
+      if (status.ok()) {
+        applied_.fetch_add(pending.size(), std::memory_order_acq_rel);
+      } else {
+        // A failed batch must not wedge Drain() forever: account the
+        // records as applied (they are consumed from the queue either way)
+        // and surface the failure through the log + violation counter.
+        applied_.fetch_add(pending.size(), std::memory_order_acq_rel);
+        RICD_LOG(ERROR) << "serve refresh batch failed: " << status.ToString();
+      }
+      applied_cv_.notify_all();
+      continue;  // drain eagerly while batches are ready
+    }
+    applied_cv_.notify_all();
+    if (stopping) return;
+  }
+}
+
+Status DetectionService::ApplyBatchLocked(const table::ClickTable& batch) {
+  RICD_TRACE_SPAN("serve.refresh");
+  ScopedTimer<obs::Histogram> timer(
+      obs::MetricsRegistry::Global().GetHistogram("serve.refresh.seconds"));
+  RICD_ASSIGN_OR_RETURN(core::IncrementalUpdate update,
+                        detector_->Ingest(batch));
+  ++batches_;
+  batches_counter_->Add(1);
+  region_edges_since_rebuild_ += update.region_edges;
+  const uint64_t standing = detector_->num_edges();
+  if (options_.rebuild_drift > 0 && standing > 0 &&
+      static_cast<double>(region_edges_since_rebuild_) >
+          options_.rebuild_drift * static_cast<double>(standing)) {
+    return RebuildLocked();
+  }
+  return PublishLocked(BuildSnapshotLocked());
+}
+
+Status DetectionService::RebuildLocked() {
+  RICD_TRACE_SPAN("serve.rebuild");
+  // A rebuild is a fresh offline run over the consolidated stream: new
+  // detector, same original options (so t_hot is re-derived on the full
+  // graph), bootstrap on the materialized table. This is the one operation
+  // allowed to retract verdicts, and it makes the service's standing state
+  // bit-identical to an offline RicdFramework::Run over the same table.
+  auto fresh = std::make_unique<core::IncrementalRicd>(options_.framework);
+  RICD_RETURN_IF_ERROR(fresh->Bootstrap(detector_->MaterializeTable()));
+  detector_ = std::move(fresh);
+  ++rebuilds_;
+  rebuilds_counter_->Add(1);
+  region_edges_since_rebuild_ = 0;
+  return PublishLocked(BuildSnapshotLocked());
+}
+
+std::shared_ptr<const VerdictSnapshot> DetectionService::BuildSnapshotLocked() {
+  auto snapshot = std::make_shared<VerdictSnapshot>();
+  snapshot->epoch = ++epoch_;
+
+  const auto& users = detector_->flagged_users();
+  snapshot->flagged_users.reserve(users.size());
+  for (const auto& [u, risk] : users) snapshot->flagged_users.push_back(u);
+  std::sort(snapshot->flagged_users.begin(), snapshot->flagged_users.end());
+  snapshot->user_risks.reserve(users.size());
+  for (const table::UserId u : snapshot->flagged_users) {
+    snapshot->user_risks.push_back(users.at(u));
+  }
+
+  const auto& items = detector_->flagged_items();
+  snapshot->flagged_items.reserve(items.size());
+  for (const auto& [v, risk] : items) snapshot->flagged_items.push_back(v);
+  std::sort(snapshot->flagged_items.begin(), snapshot->flagged_items.end());
+  snapshot->item_risks.reserve(items.size());
+  for (const table::ItemId v : snapshot->flagged_items) {
+    snapshot->item_risks.push_back(items.at(v));
+  }
+
+  // Blocked pairs: standing fake co-click edges between two flagged
+  // endpoints. Outer loop ascends by user and UserEdges ascends by item, so
+  // the result is sorted lexicographically by construction.
+  for (const table::UserId u : snapshot->flagged_users) {
+    for (const auto& [v, clicks] : detector_->UserEdges(u)) {
+      if (snapshot->FlaggedItem(v)) snapshot->blocked_pairs.emplace_back(u, v);
+    }
+  }
+
+  const IngestQueueStats queue_stats = queue_.stats();
+  // The queue's own pushed counter is the accepted count: it is sampled
+  // popped-first, so applied (== popped) never overtakes it even while
+  // producers are mid-push.
+  snapshot->stats.accepted = queue_stats.pushed;
+  snapshot->stats.rejected = queue_stats.rejected;
+  snapshot->stats.applied = queue_stats.popped;
+  snapshot->stats.batches = batches_;
+  snapshot->stats.rebuilds = rebuilds_;
+  snapshot->stats.stream_edges = detector_->num_edges();
+  snapshot->stats.stream_clicks = detector_->total_clicks();
+  snapshot->stats.region_edges_since_rebuild = region_edges_since_rebuild_;
+  return snapshot;
+}
+
+Status DetectionService::PublishLocked(
+    std::shared_ptr<const VerdictSnapshot> next) {
+  if (check::ValidationEnabled()) {
+    RICD_RETURN_IF_ERROR(check::ValidateVerdictSnapshot(*next));
+    if (last_published_ != nullptr) {
+      RICD_RETURN_IF_ERROR(
+          check::ValidateVerdictTransition(*last_published_, *next));
+    }
+  }
+  epoch_gauge_->Set(static_cast<double>(next->epoch));
+  last_published_ = next;
+  store_.Publish(std::move(next));
+  return Status::Ok();
+}
+
+Status DetectionService::Drain() {
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("DetectionService not running");
+  }
+  const uint64_t target = accepted_.load(std::memory_order_acquire);
+  wake_cv_.notify_one();
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  applied_cv_.wait(lock, [this, target] {
+    return applied_.load(std::memory_order_acquire) >= target ||
+           !running_.load(std::memory_order_acquire);
+  });
+  return Status::Ok();
+}
+
+Status DetectionService::ForceRebuild() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (detector_ == nullptr) {
+    return Status::FailedPrecondition("DetectionService not started");
+  }
+  return RebuildLocked();
+}
+
+Status DetectionService::Shutdown() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return Status::Ok();  // idempotent
+  }
+  // Producers are refused from here on (running_ is false); let the refresh
+  // thread drain what was already accepted, then stop it.
+  stop_.store(true, std::memory_order_release);
+  wake_cv_.notify_one();
+  refresh_thread_->Wait();
+  refresh_thread_.reset();
+  queue_depth_gauge_->Set(static_cast<double>(queue_.depth()));
+  if (check::ValidationEnabled()) {
+    RICD_RETURN_IF_ERROR(check::ValidateIngestAccounting(
+        queue_.stats(), /*expect_quiescent=*/true));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ricd::serve

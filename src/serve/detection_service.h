@@ -1,0 +1,196 @@
+#ifndef RICD_SERVE_DETECTION_SERVICE_H_
+#define RICD_SERVE_DETECTION_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "i2i/recommender.h"
+#include "obs/metrics.h"
+#include "ricd/framework.h"
+#include "ricd/incremental.h"
+#include "serve/ingest_queue.h"
+#include "serve/verdict_store.h"
+#include "table/click_table.h"
+
+namespace ricd::serve {
+
+/// Configuration of the online detection service. Environment knobs (read
+/// by FromEnv): RICD_INGEST_BATCH (records per detection batch) and
+/// RICD_REBUILD_DRIFT (cumulative region growth, as a multiple of the
+/// standing edge count, that escalates to a full pipeline rebuild).
+struct ServeOptions {
+  core::FrameworkOptions framework;
+
+  /// Click-event queue capacity (rounded up to a power of two).
+  size_t queue_capacity = 1 << 16;
+
+  /// Size trigger: the refresh thread runs incremental detection once this
+  /// many records are pending.
+  size_t ingest_batch = 2048;
+
+  /// Time trigger: a partial batch is flushed after this many milliseconds
+  /// even if the size trigger has not fired (0 = size trigger only).
+  uint32_t max_batch_delay_ms = 50;
+
+  /// Drift escalation: when the 2-hop regions re-examined since the last
+  /// full pass have accumulated more than `rebuild_drift` times the
+  /// standing edge count, the incremental state is considered stale and the
+  /// whole pipeline is re-run from the materialized table (regional
+  /// re-detection only ever adds verdicts; a rebuild is the one operation
+  /// allowed to retract them). 0 disables drift-triggered rebuilds.
+  double rebuild_drift = 8.0;
+
+  /// Applies RICD_INGEST_BATCH / RICD_REBUILD_DRIFT on top of the defaults.
+  static ServeOptions FromEnv();
+};
+
+/// The in-process serving façade: accepts click events without blocking,
+/// answers verdict queries wait-free from the current VerdictSnapshot, and
+/// republishes snapshots from a background refresh thread that drains the
+/// ingest queue through core::IncrementalRicd in size/time-triggered
+/// batches.
+///
+/// Threading model:
+///  * any number of producer threads call IngestClick() (lock-free queue
+///    push + one atomic counter);
+///  * any number of query threads call IsFlaggedUser / IsFlaggedItem /
+///    IsBlockedPair / Verdicts() (VerdictStore::Acquire — no mutexes);
+///  * exactly one internal refresh thread owns the IncrementalRicd state;
+///    Drain()/ForceRebuild()/Shutdown() coordinate with it via a mutex
+///    that producers and queriers never touch.
+class DetectionService {
+ public:
+  explicit DetectionService(ServeOptions options);
+  ~DetectionService();
+
+  DetectionService(const DetectionService&) = delete;
+  DetectionService& operator=(const DetectionService&) = delete;
+
+  /// Bootstraps detection on `initial` (one full-graph pass), publishes the
+  /// first snapshot and starts the refresh thread. Must be called once,
+  /// before any ingest.
+  Status Start(const table::ClickTable& initial);
+
+  /// Producer API: enqueues one click event. Returns ResourceExhausted when
+  /// the queue is full (explicit backpressure — the caller decides whether
+  /// to retry, shed or surface the error) and FailedPrecondition when the
+  /// service is not running. Never blocks.
+  Status IngestClick(const table::ClickRecord& record);
+
+  /// Wait-free query API — one snapshot pin per call, no locks.
+  bool IsFlaggedUser(table::UserId u) const;
+  bool IsFlaggedItem(table::ItemId v) const;
+  bool IsBlockedPair(table::UserId u, table::ItemId v) const;
+
+  /// Pins the whole current snapshot (batch queries, STATS).
+  VerdictStore::ReadRef Verdicts() const { return store_.Acquire(); }
+
+  /// A SlateFilter view over the live verdicts, for wiring into
+  /// i2i::Recommender — each Allow* call pins the current snapshot.
+  const i2i::SlateFilter& slate_filter() const { return filter_; }
+
+  /// Serving-time filtered recommendation: the paper's intercept-before-I2I
+  /// semantics on the query path (flagged items and blocked pairs never
+  /// reach the slate; clean items backfill).
+  std::vector<i2i::ItemScore> FilterRecommendations(
+      const i2i::Recommender& recommender, graph::VertexId user,
+      size_t k) const {
+    return recommender.RecommendForUser(user, k, filter_);
+  }
+
+  /// Blocks until every record accepted so far has been applied and its
+  /// snapshot published. Only meaningful while no producer keeps pushing.
+  Status Drain();
+
+  /// Escalates immediately: full pipeline re-run over the materialized
+  /// standing table (fresh hot-threshold derivation, verdicts replaced
+  /// wholesale), then publishes. Runs on the caller's thread.
+  Status ForceRebuild();
+
+  /// Graceful shutdown: stop accepting ingests, drain the queue, apply the
+  /// final batch, stop the refresh thread. Idempotent.
+  Status Shutdown();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  IngestQueueStats queue_stats() const { return queue_.stats(); }
+
+ private:
+  /// SlateFilter implementation backed by the store.
+  class VerdictFilter : public i2i::SlateFilter {
+   public:
+    explicit VerdictFilter(const VerdictStore* store) : store_(store) {}
+    bool AllowItem(table::ItemId item) const override {
+      return !store_->Acquire()->FlaggedItem(item);
+    }
+    bool AllowPair(table::UserId user, table::ItemId item) const override {
+      return !store_->Acquire()->BlockedPair(user, item);
+    }
+
+   private:
+    const VerdictStore* store_;
+  };
+
+  void RefreshLoop();
+
+  /// Runs incremental detection over `batch` and publishes the resulting
+  /// snapshot; escalates to RebuildLocked when drift crosses the threshold.
+  /// Caller holds state_mu_.
+  Status ApplyBatchLocked(const table::ClickTable& batch);
+
+  /// Full pipeline re-run + publish. Caller holds state_mu_.
+  Status RebuildLocked();
+
+  /// Builds a snapshot from the current detector state. Caller holds
+  /// state_mu_.
+  std::shared_ptr<const VerdictSnapshot> BuildSnapshotLocked();
+
+  /// Publishes `next`, running the serve validators when enabled. Caller
+  /// holds state_mu_.
+  Status PublishLocked(std::shared_ptr<const VerdictSnapshot> next);
+
+  ServeOptions options_;
+  IngestQueue queue_;
+  VerdictStore store_;
+  VerdictFilter filter_{&store_};
+
+  /// Guards detector_ and all snapshot construction/publication. Never
+  /// touched by IngestClick or the query API.
+  std::mutex state_mu_;
+  std::unique_ptr<core::IncrementalRicd> detector_;
+  uint64_t epoch_ = 0;
+  uint64_t rebuilds_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t region_edges_since_rebuild_ = 0;
+  std::shared_ptr<const VerdictSnapshot> last_published_;
+
+  /// Refresh-thread coordination. applied_ counts records folded into
+  /// detector_ state; Drain() waits for applied_ == accepted_.
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> applied_{0};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;     // kicks the refresh thread
+  std::condition_variable applied_cv_;  // signals Drain() waiters
+  std::unique_ptr<ThreadPool> refresh_thread_;
+
+  // Instruments, resolved once (registry lookups take a mutex).
+  obs::Counter* ingest_accepted_;
+  obs::Counter* ingest_rejected_;
+  obs::Counter* batches_counter_;
+  obs::Counter* rebuilds_counter_;
+  obs::Counter* query_counter_;
+  obs::Gauge* queue_depth_gauge_;
+  obs::Gauge* epoch_gauge_;
+};
+
+}  // namespace ricd::serve
+
+#endif  // RICD_SERVE_DETECTION_SERVICE_H_

@@ -1,0 +1,98 @@
+#include "serve/ingest_queue.h"
+
+namespace ricd::serve {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+IngestQueue::IngestQueue(size_t capacity)
+    : cells_(RoundUpPow2(capacity < 2 ? 2 : capacity)) {
+  mask_ = cells_.size() - 1;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+Status IngestQueue::Push(const table::ClickRecord& record) {
+  uint64_t ticket = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[ticket & mask_];
+    const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const int64_t diff =
+        static_cast<int64_t>(seq) - static_cast<int64_t>(ticket);
+    if (diff == 0) {
+      // Cell free for this ticket — try to claim it.
+      if (head_.compare_exchange_weak(ticket, ticket + 1,
+                                      std::memory_order_relaxed)) {
+        // Account BEFORE publishing the cell: the consumer can only observe
+        // a record whose pushed_ increment already happened, so a sampled
+        // popped can never exceed a later-sampled pushed.
+        pushed_.fetch_add(1, std::memory_order_relaxed);
+        cell.record = record;
+        cell.seq.store(ticket + 1, std::memory_order_release);
+        return Status::Ok();
+      }
+      // CAS failure reloaded `ticket`; retry with the fresh value.
+    } else if (diff < 0) {
+      // Cell still holds the record from one lap ago: the queue is full.
+      // Reject with a distinct Status instead of blocking or dropping.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted("ingest queue full");
+    } else {
+      ticket = head_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t IngestQueue::PopBatch(std::vector<table::ClickRecord>* out,
+                             size_t max_records) {
+  size_t taken = 0;
+  while (taken < max_records) {
+    const uint64_t ticket = tail_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[ticket & mask_];
+    const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<int64_t>(seq) - static_cast<int64_t>(ticket + 1) < 0) {
+      break;  // next cell not yet published — queue drained
+    }
+    out->push_back(cell.record);
+    // Account BEFORE freeing the cell: a producer can only reuse a slot
+    // whose popped_ increment already happened, so pushed - popped sampled
+    // on the consumer thread is always bounded by the capacity.
+    popped_.fetch_add(1, std::memory_order_relaxed);
+    // Mark the cell free for the producer one lap later.
+    cell.seq.store(ticket + mask_ + 1, std::memory_order_release);
+    tail_.store(ticket + 1, std::memory_order_relaxed);
+    ++taken;
+  }
+  return taken;
+}
+
+uint64_t IngestQueue::depth() const {
+  // popped first: it only grows, so a later pushed load can only widen the
+  // difference, never drive it negative.
+  const uint64_t popped = popped_.load(std::memory_order_relaxed);
+  const uint64_t pushed = pushed_.load(std::memory_order_relaxed);
+  return pushed - popped;
+}
+
+IngestQueueStats IngestQueue::stats() const {
+  IngestQueueStats s;
+  s.capacity = cells_.size();
+  // popped before pushed (see depth()) keeps popped <= pushed in every
+  // sample; the consumer thread additionally sees depth <= capacity because
+  // its own popped_ is frozen while it samples.
+  s.popped = popped_.load(std::memory_order_relaxed);
+  s.pushed = pushed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.depth = s.pushed - s.popped;
+  return s;
+}
+
+}  // namespace ricd::serve

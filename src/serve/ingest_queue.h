@@ -1,0 +1,75 @@
+#ifndef RICD_SERVE_INGEST_QUEUE_H_
+#define RICD_SERVE_INGEST_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "table/click_record.h"
+
+namespace ricd::serve {
+
+/// Counter sample of one IngestQueue (see IngestQueue::stats()).
+struct IngestQueueStats {
+  uint64_t capacity = 0;
+  uint64_t pushed = 0;    ///< successful Push() calls
+  uint64_t rejected = 0;  ///< Push() calls refused because the queue was full
+  uint64_t popped = 0;    ///< records handed to the consumer
+  uint64_t depth = 0;     ///< pushed - popped at sample time
+};
+
+/// Bounded multi-producer, single-consumer click-event queue with explicit
+/// backpressure: Push() either claims a slot with a bounded number of CAS
+/// attempts or returns ResourceExhausted immediately — it never blocks the
+/// producer (no mutex, no condition variable on the producer path) and
+/// never silently drops a record.
+///
+/// The layout is the classic bounded-array sequence-number queue (Vyukov):
+/// each cell carries a sequence counter that encodes whether it is free for
+/// the producer at ticket t (seq == t) or holds data for the consumer at
+/// ticket t (seq == t + 1). Producers claim tickets by CAS on head_;
+/// the single consumer advances tail_ without contention. Cell payloads are
+/// published with a release store on the cell sequence and consumed after
+/// an acquire load, so records are transferred race-free.
+class IngestQueue {
+ public:
+  /// `capacity` is rounded up to the next power of two (min 2).
+  explicit IngestQueue(size_t capacity);
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  /// Producer API: enqueues one click record, or returns ResourceExhausted
+  /// when the queue is full. Lock-free; callable from any thread.
+  Status Push(const table::ClickRecord& record);
+
+  /// Consumer API (single consumer): pops up to `max_records` records into
+  /// `out` (appended), returning how many were taken. Non-blocking.
+  size_t PopBatch(std::vector<table::ClickRecord>* out, size_t max_records);
+
+  size_t capacity() const { return cells_.size(); }
+
+  /// Approximate depth (exact when quiescent).
+  uint64_t depth() const;
+
+  IngestQueueStats stats() const;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> seq{0};
+    table::ClickRecord record;
+  };
+
+  std::vector<Cell> cells_;
+  uint64_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> head_{0};      // next producer ticket
+  alignas(64) std::atomic<uint64_t> tail_{0};      // next consumer ticket
+  alignas(64) std::atomic<uint64_t> pushed_{0};    // accounting
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> popped_{0};
+};
+
+}  // namespace ricd::serve
+
+#endif  // RICD_SERVE_INGEST_QUEUE_H_

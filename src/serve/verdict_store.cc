@@ -1,0 +1,69 @@
+#include "serve/verdict_store.h"
+
+#include "common/logging.h"
+
+namespace ricd::serve {
+
+namespace {
+
+double RiskOf(const std::vector<int64_t>& ids, const std::vector<double>& risks,
+              int64_t id) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  if (it == ids.end() || *it != id) return 0.0;
+  return risks[static_cast<size_t>(it - ids.begin())];
+}
+
+}  // namespace
+
+double VerdictSnapshot::UserRisk(table::UserId u) const {
+  return RiskOf(flagged_users, user_risks, u);
+}
+
+double VerdictSnapshot::ItemRisk(table::ItemId v) const {
+  return RiskOf(flagged_items, item_risks, v);
+}
+
+VerdictStore::VerdictStore() {
+  auto empty = std::make_shared<const VerdictSnapshot>();
+  slots_[0].owner = empty;
+  slots_[0].ptr.store(empty.get(), std::memory_order_release);
+  version_.store(0, std::memory_order_seq_cst);
+}
+
+VerdictStore::ReadRef VerdictStore::Acquire() const {
+  const size_t shard = ShardIndex();
+  for (;;) {
+    const uint64_t v = version_.load(std::memory_order_seq_cst);
+    Slot& slot = slots_[v & (kRingSlots - 1)];
+    std::atomic<int64_t>& ref = slot.shards[shard].refs;
+    ref.fetch_add(1, std::memory_order_seq_cst);
+    if (version_.load(std::memory_order_seq_cst) == v) {
+      // Validated: any writer recycling this slot must first observe our
+      // reference (its refs==0 wait is ordered after our fetch_add in the
+      // seq_cst total order), so the pointer below stays valid until the
+      // ReadRef releases.
+      return ReadRef(slot.ptr.load(std::memory_order_acquire), &ref);
+    }
+    ref.fetch_sub(1, std::memory_order_seq_cst);  // lost the race; retry
+  }
+}
+
+void VerdictStore::Publish(std::shared_ptr<const VerdictSnapshot> next) {
+  RICD_CHECK(next != nullptr);
+  const std::lock_guard<std::mutex> lock(publish_mu_);
+  const uint64_t v = version_.load(std::memory_order_seq_cst);
+  Slot& slot = slots_[(v + 1) & (kRingSlots - 1)];
+  // The slot being recycled was current kRingSlots publishes ago; by now
+  // only stale pins keep it referenced. Spin (writer-side only — readers
+  // are untouched) until those drain before dropping its owner.
+  while (slot.TotalRefs() != 0) std::this_thread::yield();
+  slot.owner = std::move(next);
+  slot.ptr.store(slot.owner.get(), std::memory_order_release);
+  version_.store(v + 1, std::memory_order_seq_cst);
+}
+
+uint64_t VerdictStore::CurrentEpoch() const {
+  return Acquire()->epoch;
+}
+
+}  // namespace ricd::serve

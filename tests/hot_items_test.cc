@@ -1,0 +1,131 @@
+// Unit tests for the hot/ordinary item split (Section IV-A): the 80%
+// click-mass threshold derivation and the flag computation, with the
+// boundary cases the pipeline depends on — exact-threshold items count as
+// hot, ties share one fate, and degenerate graphs yield threshold 0.
+
+#include "graph/hot_items.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "table/click_table.h"
+
+namespace ricd::graph {
+namespace {
+
+/// One distinct user per row so item click totals equal the per-row clicks.
+BipartiteGraph GraphWithItemTotals(const std::vector<uint32_t>& totals) {
+  table::ClickTable t;
+  for (size_t i = 0; i < totals.size(); ++i) {
+    t.Append(static_cast<table::UserId>(1000 + i),
+             static_cast<table::ItemId>(i), totals[i]);
+  }
+  auto g = GraphBuilder::FromTable(t);
+  EXPECT_TRUE(g.ok()) << g.status();
+  return std::move(g).value();
+}
+
+uint64_t ItemTotal(const BipartiteGraph& g, table::ItemId id) {
+  VertexId v = 0;
+  EXPECT_TRUE(g.LookupItem(id, &v));
+  return g.ItemTotalClicks(v);
+}
+
+TEST(DeriveHotThresholdTest, TakesItemsUntilMassFractionCovered) {
+  // Totals 50, 30, 15, 5 (sum 100): 80% needs 50 + 30 = 80, so the last
+  // item taken has 30 clicks and T_hot == 30.
+  const BipartiteGraph g = GraphWithItemTotals({50, 30, 15, 5});
+  EXPECT_EQ(DeriveHotThreshold(g, 0.8), 30u);
+}
+
+TEST(DeriveHotThresholdTest, ExactBoundaryStopsAtCoveringItem) {
+  // Totals 40, 40, 20 (sum 100): the second item lands exactly on the 80%
+  // target, so accumulation stops there — the 20-click item stays ordinary.
+  const BipartiteGraph g = GraphWithItemTotals({40, 40, 20});
+  EXPECT_EQ(DeriveHotThreshold(g, 0.8), 40u);
+}
+
+TEST(DeriveHotThresholdTest, OneClickShortOfBoundaryTakesNextItem) {
+  // Totals 49, 30, 21 (sum 100): 49 + 30 = 79 < 80, so the 21-click item
+  // is needed and becomes the threshold.
+  const BipartiteGraph g = GraphWithItemTotals({49, 30, 21});
+  EXPECT_EQ(DeriveHotThreshold(g, 0.8), 21u);
+}
+
+TEST(DeriveHotThresholdTest, TiedTotalsShareOneFate) {
+  // Five items of 20 clicks each: 80% of 100 needs four of them, and the
+  // threshold equals the shared total — so ComputeHotFlags marks ALL five
+  // hot (>= comparison), never an arbitrary four.
+  const BipartiteGraph g = GraphWithItemTotals({20, 20, 20, 20, 20});
+  const uint64_t t_hot = DeriveHotThreshold(g, 0.8);
+  EXPECT_EQ(t_hot, 20u);
+  const std::vector<uint8_t> hot = ComputeHotFlags(g, t_hot);
+  EXPECT_EQ(std::accumulate(hot.begin(), hot.end(), 0), 5);
+}
+
+TEST(DeriveHotThresholdTest, FullMassFractionReturnsSmallestTotal) {
+  const BipartiteGraph g = GraphWithItemTotals({7, 3, 1});
+  EXPECT_EQ(DeriveHotThreshold(g, 1.0), 1u);
+}
+
+TEST(DeriveHotThresholdTest, ZeroMassFractionReturnsTopTotal) {
+  // target == 0, so the first (largest) item already covers it.
+  const BipartiteGraph g = GraphWithItemTotals({7, 3, 1});
+  EXPECT_EQ(DeriveHotThreshold(g, 0.0), 7u);
+}
+
+TEST(DeriveHotThresholdTest, EmptyGraphYieldsZero) {
+  const BipartiteGraph g;
+  EXPECT_EQ(DeriveHotThreshold(g, 0.8), 0u);
+  EXPECT_TRUE(ComputeHotFlags(g, 0).empty());
+}
+
+TEST(DeriveHotThresholdTest, SingleItemIsItsOwnThreshold) {
+  const BipartiteGraph g = GraphWithItemTotals({12});
+  EXPECT_EQ(DeriveHotThreshold(g, 0.8), 12u);
+}
+
+TEST(ComputeHotFlagsTest, ThresholdComparisonIsInclusive) {
+  const BipartiteGraph g = GraphWithItemTotals({10, 9, 11});
+  const std::vector<uint8_t> hot = ComputeHotFlags(g, 10);
+  ASSERT_EQ(hot.size(), 3u);
+  // Map external item ids to vertex ids to assert per-item fates.
+  VertexId v = 0;
+  ASSERT_TRUE(g.LookupItem(0, &v));
+  EXPECT_EQ(hot[v], 1) << "exactly T_hot clicks must count as hot";
+  ASSERT_TRUE(g.LookupItem(1, &v));
+  EXPECT_EQ(hot[v], 0);
+  ASSERT_TRUE(g.LookupItem(2, &v));
+  EXPECT_EQ(hot[v], 1);
+}
+
+TEST(ComputeHotFlagsTest, ZeroThresholdMarksEverythingHot) {
+  const BipartiteGraph g = GraphWithItemTotals({1, 2, 3});
+  const std::vector<uint8_t> hot = ComputeHotFlags(g, 0);
+  EXPECT_EQ(std::accumulate(hot.begin(), hot.end(), 0), 3);
+}
+
+TEST(ComputeHotFlagsTest, MultiUserTotalsAggregateBeforeComparing) {
+  // Item 7 gathers 3 + 4 = 7 clicks across two users; item 8 gets 6 from
+  // one user. With T_hot = 7 only the aggregated item is hot.
+  table::ClickTable t;
+  t.Append(1, 7, 3);
+  t.Append(2, 7, 4);
+  t.Append(3, 8, 6);
+  auto g = GraphBuilder::FromTable(t);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(ItemTotal(*g, 7), 7u);
+  const std::vector<uint8_t> hot = ComputeHotFlags(*g, 7);
+  VertexId v = 0;
+  ASSERT_TRUE(g->LookupItem(7, &v));
+  EXPECT_EQ(hot[v], 1);
+  ASSERT_TRUE(g->LookupItem(8, &v));
+  EXPECT_EQ(hot[v], 0);
+}
+
+}  // namespace
+}  // namespace ricd::graph

@@ -43,6 +43,14 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "Ok");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
   EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded), "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(StatusTest, ResourceExhaustedFactoryCarriesCodeAndMessage) {
+  const Status s = Status::ResourceExhausted("queue full");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.ToString(), "ResourceExhausted: queue full");
 }
 
 TEST(StatusTest, CopyAndMovePreserveContents) {

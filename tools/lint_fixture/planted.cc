@@ -18,5 +18,7 @@ int PlantedViolations() {
   std::FILE* f = std::fopen("/dev/null", "rb");
   fread(scratch, 1, sizeof(scratch), f);  // planted: unchecked-io-return
   std::fclose(f);
+  int sock = OpenSocket();
+  close(sock);  // planted: unchecked-io-return (socket flavor)
   return noise + static_cast<int>(scratch[0]);
 }

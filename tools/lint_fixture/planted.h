@@ -15,6 +15,9 @@ struct Status {
 
 Status DoRiskyThing(int attempts);
 
+int OpenSocket();
+int close(int fd);  // shadow of the libc call, for the planted close() below
+
 struct FakeEngine {
   void ParallelFor(unsigned n, void (*fn)(unsigned));
 };

@@ -21,10 +21,12 @@
 //                              whole statement (conservative pattern; the
 //                              compile-time half is [[nodiscard]] +
 //                              -Werror=unused-result)
-//   unchecked-io-return        mmap/munmap/fread/fwrite/pread/pwrite called
-//                              as a whole statement — the return value is
-//                              the only error signal these APIs have
-//                              (MAP_FAILED, short reads/writes)
+//   unchecked-io-return        mmap/munmap/fread/fwrite/pread/pwrite or a
+//                              socket call (accept/send/recv/listen/bind/
+//                              close) called as a whole statement — the
+//                              return value is the only error signal these
+//                              APIs have (MAP_FAILED, short transfers,
+//                              EPIPE)
 //   std-function-hot-loop      engine.ParallelFor(...) in library code —
 //                              one type-erased std::function dispatch per
 //                              element; hot paths use ParallelForChunks
@@ -263,8 +265,10 @@ class Linter {
     static const std::regex kUsingNamespace(R"(\busing\s+namespace\b)");
     // Anchored to the statement start so `ptr = mmap(...)` and
     // `if (fread(...) != n)` never match — only a bare discarded call does.
+    // Socket calls are held to the same rule: a dropped accept() leaks the
+    // connection fd and a dropped send()/recv() hides short transfers.
     static const std::regex kUncheckedIo(
-        R"(^\s*(?:::)?(mmap|munmap|fread|fwrite|pread|pwrite)\s*\()");
+        R"(^\s*(?:::)?(mmap|munmap|fread|fwrite|pread|pwrite|accept|send|recv|listen|bind|close)\s*\()");
     // Member-call spelling only: `WorkerEngine::ParallelFor` itself (the
     // declaration/definition) is not a call site, and ParallelForChunks /
     // ParallelForRanges do not match (no `(` directly after ParallelFor).

@@ -19,6 +19,19 @@
 //                      [--labels=labels.csv]
 //   ricd_tool snapshot load --in=graph.snap [--mmap=true]
 //   ricd_tool snapshot info --in=graph.snap
+//   ricd_tool serve    --in=clicks.csv [--port=0] [--handlers=4]
+//                      [--batch=2048 --drift=8.0 --duration=0]
+//                      [--k1= --k2= --alpha= --t-hot= --t-click=]
+//   ricd_tool client   --port=N --op=ping|user|item|pair|stats|ingest
+//                      [--user=ID] [--item=ID] [--in=clicks.csv]
+//
+// `serve` bootstraps the online detection service on a click table and
+// answers QUERY/INGEST/STATS requests over the length-prefixed TCP
+// protocol of src/serve until --duration seconds elapse (0 = until stdin
+// reaches EOF). --port=0 binds an ephemeral port (printed on stdout).
+// Environment knobs: RICD_SERVE_PORT (default port when --port is absent),
+// RICD_INGEST_BATCH and RICD_REBUILD_DRIFT (defaults for --batch/--drift).
+// `client` speaks one request to a running server and prints the reply.
 //
 // `validate` loads a saved click table, rebuilds the bipartite graph and
 // runs the full structural audit (src/check); it exits non-zero if any
@@ -43,11 +56,14 @@
 // All click CSVs are "user,item,clicks" rows (a header is optional); label
 // files are "kind,id" rows as written by `generate --labels`.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/common_neighbors.h"
@@ -69,6 +85,8 @@
 #include "ricd/framework.h"
 #include "ricd/incremental.h"
 #include "ricd/ui_adapter.h"
+#include "serve/detection_service.h"
+#include "serve/server.h"
 #include "snapshot/snapshot.h"
 #include "table/table_io.h"
 #include "table/table_stats.h"
@@ -80,8 +98,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: ricd_tool "
-      "<generate|stats|detect|i2i|compare|stream|selftest|validate|snapshot> "
-      "[--flags]\n"
+      "<generate|stats|detect|i2i|compare|stream|selftest|validate|snapshot"
+      "|serve|client> [--flags]\n"
       "  generate  synthesize a Taobao-shaped workload with planted attacks\n"
       "  stats     print Table I/II-style statistics of a click CSV\n"
       "  detect    run the RICD framework and emit ranked suspects\n"
@@ -91,6 +109,8 @@ int Usage() {
       "  selftest  generate a small workload and run the full pipeline once\n"
       "  validate  audit a saved click table's graph invariants (src/check)\n"
       "  snapshot  save|load|info for binary graph snapshots (src/snapshot)\n"
+      "  serve     run the online detection service as a TCP server\n"
+      "  client    send one query/ingest/stats request to a running server\n"
       "detect/i2i/compare/validate accept --snapshot=<graph.snap> instead of\n"
       "--in to mmap a saved graph zero-copy instead of rebuilding it;\n"
       "every command accepts --metrics_json=<path> to dump the metrics/span\n"
@@ -675,6 +695,198 @@ int RunSnapshotInfo(const FlagParser& flags) {
   return 0;
 }
 
+/// Default port: --port flag > RICD_SERVE_PORT env > 0 (ephemeral).
+int64_t DefaultServePort() {
+  const char* env = std::getenv("RICD_SERVE_PORT");
+  if (env == nullptr || env[0] == '\0') return 0;
+  const long parsed = std::strtol(env, nullptr, 10);
+  return (parsed > 0 && parsed <= 65535) ? parsed : 0;
+}
+
+int RunServe(const FlagParser& flags) {
+  auto clicks = LoadClicks(flags);
+  if (!clicks.ok()) return Fail(clicks.status());
+  auto params = ParamsFromFlags(flags);
+  if (!params.ok()) return Fail(params.status());
+
+  serve::ServeOptions options = serve::ServeOptions::FromEnv();
+  options.framework.params = *params;
+  const auto port = flags.GetInt("port", DefaultServePort());
+  const auto handlers = flags.GetInt("handlers", 4);
+  const auto batch =
+      flags.GetInt("batch", static_cast<int64_t>(options.ingest_batch));
+  const auto drift = flags.GetDouble("drift", options.rebuild_drift);
+  const auto duration = flags.GetInt("duration", 0);
+  if (!port.ok()) return Fail(port.status());
+  if (!handlers.ok()) return Fail(handlers.status());
+  if (!batch.ok()) return Fail(batch.status());
+  if (!drift.ok()) return Fail(drift.status());
+  if (!duration.ok()) return Fail(duration.status());
+  if (const int rc = RejectUnknown(flags)) return rc;
+  if (*port < 0 || *port > 65535) {
+    return Fail(Status::InvalidArgument("--port must be in [0, 65535]"));
+  }
+  if (*batch <= 0 || *handlers <= 0) {
+    return Fail(Status::InvalidArgument("--batch and --handlers must be > 0"));
+  }
+  options.ingest_batch = static_cast<size_t>(*batch);
+  options.rebuild_drift = *drift;
+
+  serve::DetectionService service(options);
+  const Status started = service.Start(*clicks);
+  if (!started.ok()) return Fail(started);
+  {
+    const auto verdicts = service.Verdicts();
+    std::printf("bootstrapped on %zu rows: %zu flagged users, %zu flagged "
+                "items, %zu blocked pairs\n",
+                clicks->num_rows(), verdicts->flagged_users.size(),
+                verdicts->flagged_items.size(),
+                verdicts->blocked_pairs.size());
+  }
+
+  serve::TcpServer::Options server_options;
+  server_options.port = static_cast<uint16_t>(*port);
+  server_options.handler_threads = static_cast<size_t>(*handlers);
+  serve::TcpServer server(&service, server_options);
+  const Status listening = server.Start();
+  if (!listening.ok()) return Fail(listening);
+  std::printf("serving on 127.0.0.1:%u (batch=%zu drift=%.2f handlers=%lld)\n",
+              server.port(), options.ingest_batch, options.rebuild_drift,
+              static_cast<long long>(*handlers));
+  std::fflush(stdout);
+
+  if (*duration > 0) {
+    std::this_thread::sleep_for(std::chrono::seconds(*duration));
+  } else {
+    // Foreground mode: run until the controlling stdin closes.
+    std::printf("reading stdin; EOF stops the server\n");
+    std::fflush(stdout);
+    while (std::cin.get() != std::char_traits<char>::eof()) {
+    }
+  }
+
+  server.Stop();
+  const Status drained = service.Shutdown();
+  if (!drained.ok()) return Fail(drained);
+  const auto verdicts = service.Verdicts();
+  std::printf("served %llu connections; final epoch %llu: %zu flagged users, "
+              "%zu flagged items, %llu batches, %llu rebuilds\n",
+              static_cast<unsigned long long>(server.connections_served()),
+              static_cast<unsigned long long>(verdicts->epoch),
+              verdicts->flagged_users.size(), verdicts->flagged_items.size(),
+              static_cast<unsigned long long>(verdicts->stats.batches),
+              static_cast<unsigned long long>(verdicts->stats.rebuilds));
+  return 0;
+}
+
+int RunClient(const FlagParser& flags) {
+  const auto port = flags.GetInt("port", DefaultServePort());
+  const auto op = flags.GetString("op", "ping");
+  const auto user = flags.GetInt("user", -1);
+  const auto item = flags.GetInt("item", -1);
+  const auto in = flags.GetString("in", "");  // ingest source
+  if (!port.ok()) return Fail(port.status());
+  if (!op.ok()) return Fail(op.status());
+  if (!user.ok() || !item.ok() || !in.ok()) return 2;
+  if (const int rc = RejectUnknown(flags)) return rc;
+  if (*port <= 0 || *port > 65535) {
+    return Fail(Status::InvalidArgument(
+        "--port=<server port> required (or set RICD_SERVE_PORT)"));
+  }
+
+  serve::TcpClient client;
+  const Status connected = client.Connect(static_cast<uint16_t>(*port));
+  if (!connected.ok()) return Fail(connected);
+
+  const auto print_verdict = [](const char* what, int64_t id,
+                                const serve::VerdictReply& reply) {
+    std::printf("%s %lld: %s (risk %.2f, epoch %llu)\n", what,
+                static_cast<long long>(id),
+                reply.flagged ? "FLAGGED" : "clean", reply.risk,
+                static_cast<unsigned long long>(reply.epoch));
+  };
+
+  if (*op == "ping") {
+    const Status pong = client.Ping();
+    if (!pong.ok()) return Fail(pong);
+    std::printf("pong\n");
+    return 0;
+  }
+  if (*op == "user") {
+    if (*user < 0) return Fail(Status::InvalidArgument("--user=<id> required"));
+    auto reply = client.QueryUser(*user);
+    if (!reply.ok()) return Fail(reply.status());
+    print_verdict("user", *user, *reply);
+    return 0;
+  }
+  if (*op == "item") {
+    if (*item < 0) return Fail(Status::InvalidArgument("--item=<id> required"));
+    auto reply = client.QueryItem(*item);
+    if (!reply.ok()) return Fail(reply.status());
+    print_verdict("item", *item, *reply);
+    return 0;
+  }
+  if (*op == "pair") {
+    if (*user < 0 || *item < 0) {
+      return Fail(Status::InvalidArgument("--user and --item required"));
+    }
+    auto reply = client.QueryPair(*user, *item);
+    if (!reply.ok()) return Fail(reply.status());
+    std::printf("pair (%lld, %lld): %s (epoch %llu)\n",
+                static_cast<long long>(*user), static_cast<long long>(*item),
+                reply->flagged ? "BLOCKED" : "allowed",
+                static_cast<unsigned long long>(reply->epoch));
+    return 0;
+  }
+  if (*op == "stats") {
+    auto reply = client.Stats();
+    if (!reply.ok()) return Fail(reply.status());
+    std::printf("epoch:          %llu\n",
+                static_cast<unsigned long long>(reply->epoch));
+    std::printf("accepted:       %llu\n",
+                static_cast<unsigned long long>(reply->stats.accepted));
+    std::printf("rejected:       %llu\n",
+                static_cast<unsigned long long>(reply->stats.rejected));
+    std::printf("applied:        %llu\n",
+                static_cast<unsigned long long>(reply->stats.applied));
+    std::printf("batches:        %llu\n",
+                static_cast<unsigned long long>(reply->stats.batches));
+    std::printf("rebuilds:       %llu\n",
+                static_cast<unsigned long long>(reply->stats.rebuilds));
+    std::printf("stream edges:   %llu\n",
+                static_cast<unsigned long long>(reply->stats.stream_edges));
+    std::printf("stream clicks:  %llu\n",
+                static_cast<unsigned long long>(reply->stats.stream_clicks));
+    std::printf("flagged users:  %llu\n",
+                static_cast<unsigned long long>(reply->flagged_users));
+    std::printf("flagged items:  %llu\n",
+                static_cast<unsigned long long>(reply->flagged_items));
+    std::printf("blocked pairs:  %llu\n",
+                static_cast<unsigned long long>(reply->blocked_pairs));
+    return 0;
+  }
+  if (*op == "ingest") {
+    if (in->empty()) {
+      return Fail(Status::InvalidArgument("--in=<clicks file> required"));
+    }
+    auto clicks = LoadClicks(flags);
+    if (!clicks.ok()) return Fail(clicks.status());
+    std::vector<table::ClickRecord> records;
+    records.reserve(clicks->num_rows());
+    for (size_t i = 0; i < clicks->num_rows(); ++i) {
+      records.push_back(clicks->row(i));
+    }
+    auto ack = client.Ingest(records);
+    if (!ack.ok()) return Fail(ack.status());
+    std::printf("ingest: %u accepted, %u rejected (epoch %llu)\n",
+                ack->accepted, ack->rejected,
+                static_cast<unsigned long long>(ack->epoch));
+    return ack->rejected == 0 ? 0 : 1;
+  }
+  return Fail(Status::InvalidArgument(
+      "unknown --op '" + *op + "' (ping|user|item|pair|stats|ingest)"));
+}
+
 int RunSnapshot(const std::string& action, const FlagParser& flags) {
   if (action == "save") return RunSnapshotSave(flags);
   if (action == "load") return RunSnapshotLoad(flags);
@@ -738,6 +950,10 @@ int Main(int argc, char** argv) {
     rc = RunSelftest(flags);
   } else if (command == "validate") {
     rc = RunValidate(flags);
+  } else if (command == "serve") {
+    rc = RunServe(flags);
+  } else if (command == "client") {
+    rc = RunClient(flags);
   } else {
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return Usage();
