@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace ricd::check {
@@ -41,8 +42,8 @@ struct CheckCounters {
   static const CheckCounters& Get() {
     static const CheckCounters counters = [] {
       auto& registry = obs::MetricsRegistry::Global();
-      return CheckCounters{registry.GetCounter("check.violations"),
-                           registry.GetCounter("check.validations_run")};
+      return CheckCounters{registry.GetCounter(obs::metric_names::kCheckViolations),
+                           registry.GetCounter(obs::metric_names::kCheckValidationsRun)};
     }();
     return counters;
   }

@@ -4,13 +4,14 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 
 namespace ricd::check {
 namespace {
 
 Status FailServe(const char* tag, std::string detail) {
-  obs::MetricsRegistry::Global().GetCounter("check.violations")->Add(1);
+  obs::MetricsRegistry::Global().GetCounter(obs::metric_names::kCheckViolations)->Add(1);
   return Status(StatusCode::kInternal,
                 StringPrintf("validate.serve: %s: %s", tag, detail.c_str()));
 }
@@ -31,7 +32,7 @@ bool SubsetOf(const std::vector<T>& sub, const std::vector<T>& super) {
 }  // namespace
 
 Status ValidateVerdictSnapshot(const serve::VerdictSnapshot& snapshot) {
-  obs::MetricsRegistry::Global().GetCounter("check.validations_run")->Add(1);
+  obs::MetricsRegistry::Global().GetCounter(obs::metric_names::kCheckValidationsRun)->Add(1);
   if (!SortedUnique(snapshot.flagged_users)) {
     return FailServe("users-unsorted",
                      "flagged_users not sorted ascending / contains "
@@ -84,7 +85,7 @@ Status ValidateVerdictSnapshot(const serve::VerdictSnapshot& snapshot) {
 
 Status ValidateVerdictTransition(const serve::VerdictSnapshot& prev,
                                  const serve::VerdictSnapshot& next) {
-  obs::MetricsRegistry::Global().GetCounter("check.validations_run")->Add(1);
+  obs::MetricsRegistry::Global().GetCounter(obs::metric_names::kCheckValidationsRun)->Add(1);
   if (next.epoch <= prev.epoch) {
     return FailServe("epoch-not-increasing",
                      StringPrintf("epoch %llu -> %llu",
@@ -120,7 +121,7 @@ Status ValidateVerdictTransition(const serve::VerdictSnapshot& prev,
 
 Status ValidateIngestAccounting(const serve::IngestQueueStats& stats,
                                 bool expect_quiescent) {
-  obs::MetricsRegistry::Global().GetCounter("check.validations_run")->Add(1);
+  obs::MetricsRegistry::Global().GetCounter(obs::metric_names::kCheckValidationsRun)->Add(1);
   if (stats.popped > stats.pushed) {
     return FailServe("popped-exceeds-pushed",
                      StringPrintf("popped %llu > pushed %llu",

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "snapshot/format.h"
 
@@ -18,7 +19,7 @@ using snapshot::SectionKind;
 using snapshot::SnapshotHeader;
 
 Status FailSnapshot(const char* tag, std::string detail) {
-  obs::MetricsRegistry::Global().GetCounter("check.violations")->Add(1);
+  obs::MetricsRegistry::Global().GetCounter(obs::metric_names::kCheckViolations)->Add(1);
   return Status(StatusCode::kCorruption,
                 StringPrintf("validate.snapshot: %s: %s", tag, detail.c_str()));
 }

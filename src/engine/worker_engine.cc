@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "obs/metric_names.h"
 
 namespace ricd::engine {
 namespace {
@@ -43,11 +44,11 @@ WorkerEngine::WorkerEngine(size_t num_workers) {
   }
 
   auto& registry = obs::MetricsRegistry::Global();
-  tasks_total_ = registry.GetCounter("engine.pool.tasks_total");
-  queue_wait_hist_ = registry.GetHistogram("engine.pool.queue_wait_seconds");
-  task_run_hist_ = registry.GetHistogram("engine.pool.task_run_seconds");
-  workers_gauge_ = registry.GetGauge("engine.pool.workers");
-  utilization_gauge_ = registry.GetGauge("engine.pool.utilization");
+  tasks_total_ = registry.GetCounter(obs::metric_names::kEnginePoolTasksTotal);
+  queue_wait_hist_ = registry.GetHistogram(obs::metric_names::kEnginePoolQueueWaitSeconds);
+  task_run_hist_ = registry.GetHistogram(obs::metric_names::kEnginePoolTaskRunSeconds);
+  workers_gauge_ = registry.GetGauge(obs::metric_names::kEnginePoolWorkers);
+  utilization_gauge_ = registry.GetGauge(obs::metric_names::kEnginePoolUtilization);
   workers_gauge_->Set(static_cast<double>(num_workers));
   created_at_ = std::chrono::steady_clock::now();
 

@@ -1,5 +1,6 @@
 #include "gen/scenario.h"
 
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -117,8 +118,8 @@ Result<Scenario> MakeScenario(const BackgroundConfig& background_config,
   scenario.organic_clubs = std::move(organic.clubs);
 
   auto& registry = obs::MetricsRegistry::Global();
-  registry.GetCounter("gen.scenario.rows")->Add(scenario.table.num_rows());
-  registry.GetCounter("gen.scenario.injected_groups")
+  registry.GetCounter(obs::metric_names::kGenScenarioRows)->Add(scenario.table.num_rows());
+  registry.GetCounter(obs::metric_names::kGenScenarioInjectedGroups)
       ->Add(scenario.groups.size());
   return scenario;
 }

@@ -1,0 +1,80 @@
+#include "obs/exposition.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ricd::obs {
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  // %.9g keeps microsecond latencies exact without padding counters into
+  // scientific notation — same convention as report.cc.
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  *out += buf;
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  *out += buf;
+}
+
+void AppendQuantileLine(std::string* out, const std::string& name,
+                        const char* quantile, double value) {
+  *out += name;
+  *out += "{quantile=\"";
+  *out += quantile;
+  *out += "\"} ";
+  AppendDouble(out, value);
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "ricd_";
+  out.reserve(name.size() + out.size());
+  for (const char c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9');
+    out.push_back(keep ? c : '_');
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& entry : snapshot.counters) {
+    const std::string name = PrometheusMetricName(entry.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name;
+    out += ' ';
+    AppendU64(&out, entry.value);
+    out += '\n';
+  }
+  for (const auto& entry : snapshot.gauges) {
+    const std::string name = PrometheusMetricName(entry.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name;
+    out += ' ';
+    AppendDouble(&out, entry.value);
+    out += '\n';
+  }
+  for (const auto& entry : snapshot.histograms) {
+    const std::string name = PrometheusMetricName(entry.name);
+    out += "# TYPE " + name + " summary\n";
+    AppendQuantileLine(&out, name, "0.5", entry.hist.P50());
+    AppendQuantileLine(&out, name, "0.95", entry.hist.P95());
+    AppendQuantileLine(&out, name, "0.99", entry.hist.P99());
+    out += name + "_sum ";
+    AppendDouble(&out, entry.hist.sum);
+    out += '\n';
+    out += name + "_count ";
+    AppendU64(&out, entry.hist.count);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ricd::obs

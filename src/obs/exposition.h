@@ -1,0 +1,33 @@
+#ifndef RICD_OBS_EXPOSITION_H_
+#define RICD_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ricd::obs {
+
+/// Renders a metrics snapshot as Prometheus-style text exposition:
+///
+///   # TYPE ricd_serve_queries counter
+///   ricd_serve_queries 1234
+///   # TYPE ricd_serve_refresh_seconds summary
+///   ricd_serve_refresh_seconds{quantile="0.5"} 0.000251
+///   ricd_serve_refresh_seconds{quantile="0.95"} 0.000812
+///   ricd_serve_refresh_seconds{quantile="0.99"} 0.001033
+///   ricd_serve_refresh_seconds_sum 0.412
+///   ricd_serve_refresh_seconds_count 1520
+///
+/// Instrument names have dots replaced by underscores and carry a `ricd_`
+/// prefix so they land in their own namespace when scraped alongside other
+/// jobs. Histograms are exposed as summaries (pre-computed quantiles) —
+/// the fixed bucket layout is an implementation detail we do not promise
+/// to scrape consumers.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+/// `ricd_` + name with dots replaced by underscores.
+std::string PrometheusMetricName(const std::string& name);
+
+}  // namespace ricd::obs
+
+#endif  // RICD_OBS_EXPOSITION_H_

@@ -1,12 +1,17 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace ricd::obs {
 
 double HistogramSnapshot::Quantile(double q) const {
   if (count == 0) return 0.0;
+  if (std::isnan(q)) q = 0.0;
   q = std::min(1.0, std::max(0.0, q));
+  // target rank in [0, count]; q=0 resolves to the lower edge of the first
+  // occupied bucket, q=1 to the upper edge of the last occupied bucket, and
+  // anything in between interpolates linearly inside the covering bucket.
   const double target = q * static_cast<double>(count);
   uint64_t cumulative = 0;
   for (size_t i = 0; i < buckets.size(); ++i) {
@@ -14,13 +19,21 @@ double HistogramSnapshot::Quantile(double q) const {
     if (in_bucket == 0) continue;
     cumulative += in_bucket;
     if (static_cast<double>(cumulative) < target) continue;
-    if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    if (i >= bounds.size()) {
+      // Overflow bucket: no finite upper edge, report the last boundary.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
     const double lower = i == 0 ? 0.0 : bounds[i - 1];
     const double upper = bounds[i];
     const double before = static_cast<double>(cumulative - in_bucket);
-    const double frac = (target - before) / static_cast<double>(in_bucket);
+    double frac = (target - before) / static_cast<double>(in_bucket);
+    // Clamp against float drift (count folded from sharded atomics can
+    // disagree slightly with the bucket sums observed mid-write).
+    frac = std::min(1.0, std::max(0.0, frac));
     return lower + frac * (upper - lower);
   }
+  // count > 0 but all visible buckets were empty: a racy snapshot; fall
+  // back to the largest representable value.
   return bounds.empty() ? 0.0 : bounds.back();
 }
 

@@ -235,6 +235,7 @@ class JsonParser {
     JsonValue v;
     v.type = JsonValue::Type::kNumber;
     v.number_value = value;
+    v.number_token = token;
     return v;
   }
 
@@ -327,6 +328,41 @@ class JsonParser {
 
 Result<JsonValue> JsonValue::Parse(const std::string& text) {
   return JsonParser(text).ParseDocument();
+}
+
+std::string JsonValue::Serialize() const {
+  switch (type) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return bool_value ? "true" : "false";
+    case Type::kNumber:
+      // The source token (when present) preserves integers above 2^53 that
+      // the double field has already rounded.
+      return number_token.empty() ? NumberToJson(number_value) : number_token;
+    case Type::kString:
+      return "\"" + JsonEscape(string_value) + "\"";
+    case Type::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ",";
+        out += items[i].Serialize();
+      }
+      out += "]";
+      return out;
+    }
+    case Type::kObject: {
+      std::string out = "{";
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"" + JsonEscape(members[i].first) + "\":";
+        out += members[i].second.Serialize();
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "null";
 }
 
 const JsonValue* JsonValue::Find(const std::string& key) const {

@@ -64,12 +64,23 @@ class JsonValue {
   Type type = Type::kNull;
   bool bool_value = false;
   double number_value = 0.0;
+  /// The exact source token a number was parsed from. Serialize() re-emits
+  /// this verbatim, so write→parse→rewrite is byte-stable even for uint64
+  /// counters above 2^53, which number_value (a double) cannot represent
+  /// exactly. Empty for numbers built programmatically.
+  std::string number_token;
   std::string string_value;
   std::vector<JsonValue> items;  // arrays
   std::vector<std::pair<std::string, JsonValue>> members;  // objects
 
   /// Parses one complete JSON document (trailing garbage is an error).
   static Result<JsonValue> Parse(const std::string& text);
+
+  /// Compact serialization (no whitespace), members and items in stored
+  /// order, numbers emitted from number_token when present. For documents
+  /// produced by MetricsReportJson, Parse followed by Serialize returns
+  /// the input bytes unchanged.
+  std::string Serialize() const;
 
   /// Object member lookup; nullptr when absent or not an object.
   const JsonValue* Find(const std::string& key) const;

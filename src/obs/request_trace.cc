@@ -1,0 +1,77 @@
+#include "obs/request_trace.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "obs/flight_recorder.h"
+
+namespace ricd::obs {
+namespace {
+
+constexpr uint64_t kDefaultSampleEvery = 64;
+constexpr uint64_t kUnset = ~uint64_t{0};
+
+std::atomic<uint64_t>& SampleEveryCell() noexcept {
+  static std::atomic<uint64_t> cell{kUnset};
+  return cell;
+}
+
+uint64_t ReadSampleEnv() noexcept {
+  const char* raw = std::getenv("RICD_TRACE_SAMPLE");
+  if (raw == nullptr || raw[0] == '\0') return kDefaultSampleEvery;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return kDefaultSampleEvery;
+  return static_cast<uint64_t>(parsed);
+}
+
+}  // namespace
+
+uint64_t TraceSampleEvery() noexcept {
+  uint64_t every = SampleEveryCell().load(std::memory_order_relaxed);
+  if (every == kUnset) {
+    every = ReadSampleEnv();
+    // First resolver wins; races just re-read the same env value.
+    SampleEveryCell().store(every, std::memory_order_relaxed);
+  }
+  return every;
+}
+
+void SetTraceSampleEvery(uint64_t every) noexcept {
+  SampleEveryCell().store(every == kUnset ? kUnset - 1 : every,
+                          std::memory_order_relaxed);
+}
+
+bool ShouldTraceRequest(uint64_t request_id) noexcept {
+  const uint64_t every = TraceSampleEvery();
+  if (every == 0) return false;
+  return request_id % every == 0;
+}
+
+void RequestTrace::AddPhase(const char* name, double seconds) noexcept {
+  if (!sampled_ || phase_count_ >= kMaxPhases) return;
+  phases_[phase_count_].name = name;
+  phases_[phase_count_].seconds = seconds;
+  ++phase_count_;
+}
+
+double RequestTrace::total_seconds() const noexcept {
+  double total = 0.0;
+  for (size_t i = 0; i < phase_count_; ++i) total += phases_[i].seconds;
+  return total;
+}
+
+void RequestTrace::Finish() noexcept {
+  if (!sampled_ || finished_ || phase_count_ == 0) return;
+  finished_ = true;
+  size_t slowest = 0;
+  for (size_t i = 1; i < phase_count_; ++i) {
+    if (phases_[i].seconds > phases_[slowest].seconds) slowest = i;
+  }
+  const uint64_t total_micros =
+      static_cast<uint64_t>(total_seconds() * 1e6);
+  FlightRecorder::Global().Record(FlightEventKind::kRequestTrace, request_id_,
+                                  total_micros, phases_[slowest].name);
+}
+
+}  // namespace ricd::obs

@@ -1,0 +1,70 @@
+#ifndef RICD_OBS_REQUEST_TRACE_H_
+#define RICD_OBS_REQUEST_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ricd::obs {
+
+/// Deterministic request sampling: request `id` is traced iff
+/// `id % SampleEvery() == 0`. Keyed by the server-assigned request id, so
+/// replaying the same request stream samples the same requests — which is
+/// what makes trace diffs between runs meaningful.
+///
+/// The rate comes from RICD_TRACE_SAMPLE (default 64; 0 disables tracing),
+/// read once and cached; tests and benches override with SetSampleEvery().
+uint64_t TraceSampleEvery() noexcept;
+void SetTraceSampleEvery(uint64_t every) noexcept;
+bool ShouldTraceRequest(uint64_t request_id) noexcept;
+
+/// A sampled request's structured trace: a fixed-capacity list of named
+/// phases with durations. Phases are recorded only when the request was
+/// selected by the sampler, so the unsampled hot path pays exactly one
+/// branch. Finish() emits the trace into the flight recorder as a
+/// kRequestTrace event (one per trace, detail = slowest phase), keeping
+/// the recorder the single post-mortem surface.
+///
+/// Not thread-safe; a trace belongs to the handler thread of one request.
+class RequestTrace {
+ public:
+  static constexpr size_t kMaxPhases = 8;
+
+  RequestTrace(uint64_t request_id, bool sampled) noexcept
+      : request_id_(request_id), sampled_(sampled) {}
+  RequestTrace(const RequestTrace&) = delete;
+  RequestTrace& operator=(const RequestTrace&) = delete;
+
+  bool sampled() const noexcept { return sampled_; }
+  uint64_t request_id() const noexcept { return request_id_; }
+
+  /// Records a completed phase. `name` must be a string literal (stored by
+  /// pointer). Phases beyond kMaxPhases are dropped.
+  void AddPhase(const char* name, double seconds) noexcept;
+
+  size_t phase_count() const noexcept { return phase_count_; }
+  const char* phase_name(size_t i) const noexcept { return phases_[i].name; }
+  double phase_seconds(size_t i) const noexcept {
+    return phases_[i].seconds;
+  }
+  double total_seconds() const noexcept;
+
+  /// Emits the trace as a flight-recorder event. No-op when unsampled or
+  /// empty. Idempotent per trace.
+  void Finish() noexcept;
+
+ private:
+  struct Phase {
+    const char* name = nullptr;
+    double seconds = 0.0;
+  };
+
+  uint64_t request_id_;
+  bool sampled_;
+  bool finished_ = false;
+  size_t phase_count_ = 0;
+  Phase phases_[kMaxPhases];
+};
+
+}  // namespace ricd::obs
+
+#endif  // RICD_OBS_REQUEST_TRACE_H_

@@ -1,3 +1,4 @@
+#include "obs/metric_names.h"
 #include "ricd/extension_biclique.h"
 
 #include <algorithm>
@@ -38,16 +39,16 @@ struct ExtractionCounters {
     static const ExtractionCounters counters = [] {
       auto& registry = obs::MetricsRegistry::Global();
       return ExtractionCounters{
-          registry.GetCounter("ricd.extraction.users_pruned_core"),
-          registry.GetCounter("ricd.extraction.items_pruned_core"),
-          registry.GetCounter("ricd.extraction.users_pruned_square"),
-          registry.GetCounter("ricd.extraction.items_pruned_square"),
-          registry.GetCounter("ricd.extraction.candidate_groups"),
-          registry.GetCounter("ricd.extraction.sweeps"),
-          registry.GetCounter("ricd.extraction.rounds"),
-          registry.GetCounter("ricd.extraction.round_rechecks"),
-          registry.GetCounter("ricd.extraction.core_levels"),
-          registry.GetCounter("ricd.extraction.scratch_reuses")};
+          registry.GetCounter(obs::metric_names::kRicdExtractionUsersPrunedCore),
+          registry.GetCounter(obs::metric_names::kRicdExtractionItemsPrunedCore),
+          registry.GetCounter(obs::metric_names::kRicdExtractionUsersPrunedSquare),
+          registry.GetCounter(obs::metric_names::kRicdExtractionItemsPrunedSquare),
+          registry.GetCounter(obs::metric_names::kRicdExtractionCandidateGroups),
+          registry.GetCounter(obs::metric_names::kRicdExtractionSweeps),
+          registry.GetCounter(obs::metric_names::kRicdExtractionRounds),
+          registry.GetCounter(obs::metric_names::kRicdExtractionRoundRechecks),
+          registry.GetCounter(obs::metric_names::kRicdExtractionCoreLevels),
+          registry.GetCounter(obs::metric_names::kRicdExtractionScratchReuses)};
     }();
     return counters;
   }

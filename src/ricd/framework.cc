@@ -1,3 +1,4 @@
+#include "obs/metric_names.h"
 #include "ricd/framework.h"
 
 #include <algorithm>
@@ -62,11 +63,11 @@ Result<FrameworkResult> RicdFramework::RunOnGraph(
   RICD_TRACE_SPAN("ricd.framework.run");
   static auto& registry = obs::MetricsRegistry::Global();
   static obs::Counter* feedback_rounds =
-      registry.GetCounter("ricd.feedback.rounds_total");
+      registry.GetCounter(obs::metric_names::kRicdFeedbackRoundsTotal);
   static obs::Gauge* round_groups =
-      registry.GetGauge("ricd.feedback.last_groups_survived");
+      registry.GetGauge(obs::metric_names::kRicdFeedbackLastGroupsSurvived);
   static obs::Gauge* round_nodes =
-      registry.GetGauge("ricd.feedback.last_nodes_flagged");
+      registry.GetGauge(obs::metric_names::kRicdFeedbackLastNodesFlagged);
 
   FrameworkResult result;
   RicdParams params = options_.params;

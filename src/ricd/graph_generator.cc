@@ -1,3 +1,4 @@
+#include "obs/metric_names.h"
 #include "ricd/graph_generator.h"
 
 #include <unordered_set>
@@ -67,8 +68,8 @@ Result<graph::BipartiteGraph> GenerateGraph(const table::ClickTable& table,
     return Status::NotFound("no seed resolved to a known node");
   }
   auto& registry = obs::MetricsRegistry::Global();
-  registry.GetCounter("ricd.generation.seed_kept_users")->Add(keep_users.size());
-  registry.GetCounter("ricd.generation.seed_kept_items")->Add(keep_items.size());
+  registry.GetCounter(obs::metric_names::kRicdGenerationSeedKeptUsers)->Add(keep_users.size());
+  registry.GetCounter(obs::metric_names::kRicdGenerationSeedKeptItems)->Add(keep_items.size());
 
   // Induce the click rows on (kept user, kept item) pairs.
   table::ClickTable induced;

@@ -1,3 +1,4 @@
+#include "obs/metric_names.h"
 #include "ricd/identification.h"
 
 #include <algorithm>
@@ -61,9 +62,9 @@ RankedOutput RankByRisk(const graph::BipartiteGraph& graph,
 
   static auto& registry = obs::MetricsRegistry::Global();
   static obs::Counter* flagged_users =
-      registry.GetCounter("ricd.identification.flagged_users");
+      registry.GetCounter(obs::metric_names::kRicdIdentificationFlaggedUsers);
   static obs::Counter* flagged_items =
-      registry.GetCounter("ricd.identification.flagged_items");
+      registry.GetCounter(obs::metric_names::kRicdIdentificationFlaggedItems);
   flagged_users->Add(out.users.size());
   flagged_items->Add(out.items.size());
   return out;

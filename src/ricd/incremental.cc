@@ -6,6 +6,7 @@
 #include "check/validate.h"
 #include "graph/graph_builder.h"
 #include "graph/hot_items.h"
+#include "obs/trace.h"
 #include "ricd/graph_generator.h"
 
 namespace ricd::core {
@@ -146,6 +147,9 @@ void IncrementalRicd::MergeRanked(const RankedOutput& ranked,
 }
 
 Status IncrementalRicd::Bootstrap(const table::ClickTable& initial) {
+  // Child span of serve.bootstrap / serve.rebuild when called from the
+  // service; a root span in offline runs.
+  RICD_TRACE_SPAN("ricd.incremental.bootstrap");
   user_adj_.clear();
   item_users_.clear();
   num_edges_ = 0;
@@ -178,12 +182,19 @@ Result<IncrementalUpdate> IncrementalRicd::Ingest(const table::ClickTable& batch
 
   std::unordered_set<table::UserId> touched_users;
   std::unordered_set<table::ItemId> touched_items;
-  FoldBatch(batch, &touched_users, &touched_items);
+  {
+    RICD_TRACE_SPAN("ricd.incremental.fold");
+    FoldBatch(batch, &touched_users, &touched_items);
+  }
 
-  const table::ClickTable region =
-      RegionTable(touched_users, touched_items, &update);
+  table::ClickTable region;
+  {
+    RICD_TRACE_SPAN("ricd.incremental.region");
+    region = RegionTable(touched_users, touched_items, &update);
+  }
   if (region.empty()) return update;
 
+  RICD_TRACE_SPAN("ricd.incremental.detect");
   RICD_ASSIGN_OR_RETURN(graph::BipartiteGraph graph,
                         graph::GraphBuilder::FromTable(region));
   if (check::ValidationEnabled()) {

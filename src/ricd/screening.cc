@@ -1,3 +1,4 @@
+#include "obs/metric_names.h"
 #include "ricd/screening.h"
 
 #include <algorithm>
@@ -113,13 +114,13 @@ void GroupScreener::Screen(std::vector<graph::Group>& groups, ScreeningMode mode
   }
 
   static auto& registry = obs::MetricsRegistry::Global();
-  static obs::Counter* groups_in = registry.GetCounter("ricd.screening.groups_in");
+  static obs::Counter* groups_in = registry.GetCounter(obs::metric_names::kRicdScreeningGroupsIn);
   static obs::Counter* groups_out =
-      registry.GetCounter("ricd.screening.groups_survived");
+      registry.GetCounter(obs::metric_names::kRicdScreeningGroupsSurvived);
   static obs::Counter* users_removed =
-      registry.GetCounter("ricd.screening.users_removed");
+      registry.GetCounter(obs::metric_names::kRicdScreeningUsersRemoved);
   static obs::Counter* items_removed =
-      registry.GetCounter("ricd.screening.items_removed");
+      registry.GetCounter(obs::metric_names::kRicdScreeningItemsRemoved);
   groups_in->Add(groups.size());
   groups_out->Add(kept.size());
   users_removed->Add(local.users_removed);

@@ -11,6 +11,8 @@
 #include "check/validate_serve.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/flight_recorder.h"
+#include "obs/metric_names.h"
 #include "obs/trace.h"
 
 namespace ricd::serve {
@@ -49,14 +51,19 @@ ServeOptions ServeOptions::FromEnv() {
 DetectionService::DetectionService(ServeOptions options)
     : options_(std::move(options)),
       queue_(options_.queue_capacity) {
+  namespace names = obs::metric_names;
   auto& registry = obs::MetricsRegistry::Global();
-  ingest_accepted_ = registry.GetCounter("serve.ingest.accepted");
-  ingest_rejected_ = registry.GetCounter("serve.ingest.rejected");
-  batches_counter_ = registry.GetCounter("serve.ingest.batches");
-  rebuilds_counter_ = registry.GetCounter("serve.rebuilds");
-  query_counter_ = registry.GetCounter("serve.queries");
-  queue_depth_gauge_ = registry.GetGauge("serve.queue.depth");
-  epoch_gauge_ = registry.GetGauge("serve.epoch");
+  ingest_accepted_ = registry.GetCounter(names::kServeIngestAccepted);
+  ingest_rejected_ = registry.GetCounter(names::kServeIngestRejected);
+  batches_counter_ = registry.GetCounter(names::kServeIngestBatches);
+  rebuilds_counter_ = registry.GetCounter(names::kServeRebuilds);
+  query_counter_ = registry.GetCounter(names::kServeQueries);
+  queue_depth_gauge_ = registry.GetGauge(names::kServeQueueDepth);
+  epoch_gauge_ = registry.GetGauge(names::kServeEpoch);
+  queue_wait_hist_ = registry.GetHistogram(names::kServeQueueWaitSeconds);
+  drain_batch_hist_ = registry.GetHistogram(names::kServeDrainBatchSeconds);
+  refresh_hist_ = registry.GetHistogram(names::kServeRefreshSeconds);
+  publish_hist_ = registry.GetHistogram(names::kServePublishSeconds);
 }
 
 DetectionService::~DetectionService() { (void)Shutdown(); }
@@ -85,6 +92,9 @@ Status DetectionService::IngestClick(const table::ClickRecord& record) {
   Status status = queue_.Push(record);
   if (!status.ok()) {
     ingest_rejected_->Add(1);
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventKind::kBackpressure, queue_.capacity(),
+        queue_.stats().rejected, "queue_full");
     return status;
   }
   ingest_accepted_->Add(1);
@@ -116,6 +126,8 @@ bool DetectionService::IsBlockedPair(table::UserId u, table::ItemId v) const {
 void DetectionService::RefreshLoop() {
   std::vector<table::ClickRecord> pending;
   pending.reserve(options_.ingest_batch);
+  std::vector<double> queue_waits;
+  queue_waits.reserve(options_.ingest_batch);
   const auto poll_interval = std::chrono::milliseconds(
       options_.max_batch_delay_ms == 0 ? 10 : options_.max_batch_delay_ms);
   while (true) {
@@ -130,7 +142,13 @@ void DetectionService::RefreshLoop() {
     }
     const bool stopping = stop_.load(std::memory_order_acquire);
     pending.clear();
-    queue_.PopBatch(&pending, options_.ingest_batch);
+    queue_waits.clear();
+    {
+      RICD_TRACE_SPAN("serve.drain_batch");
+      ScopedTimer<obs::Histogram> drain_timer(drain_batch_hist_);
+      queue_.PopBatch(&pending, options_.ingest_batch, &queue_waits);
+    }
+    for (const double wait : queue_waits) queue_wait_hist_->Observe(wait);
     queue_depth_gauge_->Set(static_cast<double>(queue_.depth()));
     if (check::ValidationEnabled()) {
       // Audited here — on the single consumer thread — because that is the
@@ -170,8 +188,7 @@ void DetectionService::RefreshLoop() {
 
 Status DetectionService::ApplyBatchLocked(const table::ClickTable& batch) {
   RICD_TRACE_SPAN("serve.refresh");
-  ScopedTimer<obs::Histogram> timer(
-      obs::MetricsRegistry::Global().GetHistogram("serve.refresh.seconds"));
+  ScopedTimer<obs::Histogram> timer(refresh_hist_);
   RICD_ASSIGN_OR_RETURN(core::IncrementalUpdate update,
                         detector_->Ingest(batch));
   ++batches_;
@@ -181,6 +198,9 @@ Status DetectionService::ApplyBatchLocked(const table::ClickTable& batch) {
   if (options_.rebuild_drift > 0 && standing > 0 &&
       static_cast<double>(region_edges_since_rebuild_) >
           options_.rebuild_drift * static_cast<double>(standing)) {
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventKind::kDriftTrigger, region_edges_since_rebuild_,
+        static_cast<uint64_t>(options_.rebuild_drift * 1000.0), "drift");
     return RebuildLocked();
   }
   return PublishLocked(BuildSnapshotLocked());
@@ -199,6 +219,9 @@ Status DetectionService::RebuildLocked() {
   ++rebuilds_;
   rebuilds_counter_->Add(1);
   region_edges_since_rebuild_ = 0;
+  obs::FlightRecorder::Global().Record(obs::FlightEventKind::kRebuild,
+                                       epoch_ + 1, detector_->num_edges(),
+                                       "rebuild");
   return PublishLocked(BuildSnapshotLocked());
 }
 
@@ -250,16 +273,27 @@ std::shared_ptr<const VerdictSnapshot> DetectionService::BuildSnapshotLocked() {
 
 Status DetectionService::PublishLocked(
     std::shared_ptr<const VerdictSnapshot> next) {
+  RICD_TRACE_SPAN("serve.publish");
+  ScopedTimer<obs::Histogram> timer(publish_hist_);
   if (check::ValidationEnabled()) {
-    RICD_RETURN_IF_ERROR(check::ValidateVerdictSnapshot(*next));
-    if (last_published_ != nullptr) {
-      RICD_RETURN_IF_ERROR(
-          check::ValidateVerdictTransition(*last_published_, *next));
+    Status valid = check::ValidateVerdictSnapshot(*next);
+    if (valid.ok() && last_published_ != nullptr) {
+      valid = check::ValidateVerdictTransition(*last_published_, *next);
+    }
+    if (!valid.ok()) {
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventKind::kValidatorViolation, next->epoch, 0,
+          "verdict_validator");
+      return valid;
     }
   }
-  epoch_gauge_->Set(static_cast<double>(next->epoch));
+  const uint64_t epoch = next->epoch;
+  const uint64_t flagged_users = next->flagged_users.size();
+  epoch_gauge_->Set(static_cast<double>(epoch));
   last_published_ = next;
   store_.Publish(std::move(next));
+  obs::FlightRecorder::Global().Record(obs::FlightEventKind::kPublish, epoch,
+                                       flagged_users, "publish");
   return Status::Ok();
 }
 
@@ -296,6 +330,9 @@ Status DetectionService::Shutdown() {
   refresh_thread_->Wait();
   refresh_thread_.reset();
   queue_depth_gauge_->Set(static_cast<double>(queue_.depth()));
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventKind::kShutdown, store_.Acquire()->epoch,
+      applied_.load(std::memory_order_acquire), "shutdown");
   if (check::ValidationEnabled()) {
     RICD_RETURN_IF_ERROR(check::ValidateIngestAccounting(
         queue_.stats(), /*expect_quiescent=*/true));

@@ -189,6 +189,10 @@ class DetectionService {
   obs::Counter* query_counter_;
   obs::Gauge* queue_depth_gauge_;
   obs::Gauge* epoch_gauge_;
+  obs::Histogram* queue_wait_hist_;
+  obs::Histogram* drain_batch_hist_;
+  obs::Histogram* refresh_hist_;
+  obs::Histogram* publish_hist_;
 };
 
 }  // namespace ricd::serve

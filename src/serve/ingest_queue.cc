@@ -1,5 +1,7 @@
 #include "serve/ingest_queue.h"
 
+#include <chrono>
+
 namespace ricd::serve {
 
 namespace {
@@ -8,6 +10,13 @@ size_t RoundUpPow2(size_t n) {
   size_t p = 2;
   while (p < n) p <<= 1;
   return p;
+}
+
+uint64_t SteadyMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -36,6 +45,7 @@ Status IngestQueue::Push(const table::ClickRecord& record) {
         // popped can never exceed a later-sampled pushed.
         pushed_.fetch_add(1, std::memory_order_relaxed);
         cell.record = record;
+        cell.enqueue_micros = SteadyMicros();
         cell.seq.store(ticket + 1, std::memory_order_release);
         return Status::Ok();
       }
@@ -53,7 +63,16 @@ Status IngestQueue::Push(const table::ClickRecord& record) {
 
 size_t IngestQueue::PopBatch(std::vector<table::ClickRecord>* out,
                              size_t max_records) {
+  return PopBatch(out, max_records, nullptr);
+}
+
+size_t IngestQueue::PopBatch(std::vector<table::ClickRecord>* out,
+                             size_t max_records,
+                             std::vector<double>* wait_seconds) {
   size_t taken = 0;
+  // One clock read per batch: a microsecond-accurate per-record wait is not
+  // worth max_records clock syscalls on the drain path.
+  const uint64_t now_micros = wait_seconds != nullptr ? SteadyMicros() : 0;
   while (taken < max_records) {
     const uint64_t ticket = tail_.load(std::memory_order_relaxed);
     Cell& cell = cells_[ticket & mask_];
@@ -62,6 +81,12 @@ size_t IngestQueue::PopBatch(std::vector<table::ClickRecord>* out,
       break;  // next cell not yet published — queue drained
     }
     out->push_back(cell.record);
+    if (wait_seconds != nullptr) {
+      const uint64_t waited = now_micros > cell.enqueue_micros
+                                  ? now_micros - cell.enqueue_micros
+                                  : 0;
+      wait_seconds->push_back(static_cast<double>(waited) * 1e-6);
+    }
     // Account BEFORE freeing the cell: a producer can only reuse a slot
     // whose popped_ increment already happened, so pushed - popped sampled
     // on the consumer thread is always bounded by the capacity.

@@ -48,6 +48,15 @@ class IngestQueue {
   /// `out` (appended), returning how many were taken. Non-blocking.
   size_t PopBatch(std::vector<table::ClickRecord>* out, size_t max_records);
 
+  /// As above, but additionally appends each record's queue-wait time in
+  /// seconds (time between Push() claiming the slot and this pop) to
+  /// `wait_seconds`. The timestamp rides in the cell under the same
+  /// release/acquire seq protocol as the payload, so the queue stays free
+  /// of any obs-layer dependency — the service owns turning waits into
+  /// histogram observations.
+  size_t PopBatch(std::vector<table::ClickRecord>* out, size_t max_records,
+                  std::vector<double>* wait_seconds);
+
   size_t capacity() const { return cells_.size(); }
 
   /// Approximate depth (exact when quiescent).
@@ -59,6 +68,10 @@ class IngestQueue {
   struct alignas(64) Cell {
     std::atomic<uint64_t> seq{0};
     table::ClickRecord record;
+    // Steady-clock micros at Push() time. Plain (non-atomic) is fine: it is
+    // written before the seq release-store and read after the matching
+    // acquire load, exactly like `record`.
+    uint64_t enqueue_micros = 0;
   };
 
   std::vector<Cell> cells_;

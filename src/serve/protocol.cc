@@ -98,6 +98,9 @@ std::string PayloadReader::Rest() {
 std::string EncodePing() { return PayloadWriter(OpCode::kPing).Frame(); }
 std::string EncodePong() { return PayloadWriter(OpCode::kPong).Frame(); }
 std::string EncodeStats() { return PayloadWriter(OpCode::kStats).Frame(); }
+std::string EncodeMetricsRequest() {
+  return PayloadWriter(OpCode::kMetrics).Frame();
+}
 
 std::string EncodeQueryUser(table::UserId user) {
   PayloadWriter w(OpCode::kQueryUser);
@@ -159,6 +162,21 @@ std::string EncodeStatsReply(const StatsReply& reply) {
   w.PutU64(reply.flagged_users);
   w.PutU64(reply.flagged_items);
   w.PutU64(reply.blocked_pairs);
+  // v2 tail. v1 decoders stop at blocked_pairs and ignore trailing bytes,
+  // so appending here is wire-compatible in both directions.
+  w.PutU8(StatsReply::kVersion);
+  w.PutDouble(reply.ingest_p50);
+  w.PutDouble(reply.ingest_p95);
+  w.PutDouble(reply.ingest_p99);
+  w.PutDouble(reply.query_p50);
+  w.PutDouble(reply.query_p95);
+  w.PutDouble(reply.query_p99);
+  return w.Frame();
+}
+
+std::string EncodeMetricsReply(const std::string& text) {
+  PayloadWriter w(OpCode::kMetricsReply);
+  w.PutBytes(text);
   return w.Frame();
 }
 
@@ -218,7 +236,37 @@ Result<StatsReply> DecodeStatsReply(const std::string& payload) {
   RICD_ASSIGN_OR_RETURN(reply.flagged_users, r.GetU64());
   RICD_ASSIGN_OR_RETURN(reply.flagged_items, r.GetU64());
   RICD_ASSIGN_OR_RETURN(reply.blocked_pairs, r.GetU64());
+  if (r.remaining() == 0) {
+    // v1 peer: no quantile tail.
+    reply.version = 1;
+    return reply;
+  }
+  RICD_ASSIGN_OR_RETURN(reply.version, r.GetU8());
+  if (reply.version < StatsReply::kVersion) {
+    return Status::InvalidArgument(
+        StringPrintf("protocol: stats tail version %u below %u yet present",
+                     static_cast<unsigned>(reply.version),
+                     static_cast<unsigned>(StatsReply::kVersion)));
+  }
+  RICD_ASSIGN_OR_RETURN(reply.ingest_p50, r.GetDouble());
+  RICD_ASSIGN_OR_RETURN(reply.ingest_p95, r.GetDouble());
+  RICD_ASSIGN_OR_RETURN(reply.ingest_p99, r.GetDouble());
+  RICD_ASSIGN_OR_RETURN(reply.query_p50, r.GetDouble());
+  RICD_ASSIGN_OR_RETURN(reply.query_p95, r.GetDouble());
+  RICD_ASSIGN_OR_RETURN(reply.query_p99, r.GetDouble());
+  // Trailing bytes beyond the v2 tail belong to future versions; ignore
+  // them, mirroring the v1 decoder's behavior toward our own tail.
   return reply;
+}
+
+Result<std::string> DecodeMetricsReply(const std::string& payload) {
+  PayloadReader r(payload);
+  RICD_ASSIGN_OR_RETURN(const uint8_t op, r.GetU8());
+  if (op == static_cast<uint8_t>(OpCode::kError)) return DecodeError(payload);
+  if (op != static_cast<uint8_t>(OpCode::kMetricsReply)) {
+    return WrongOp("kMetricsReply", op);
+  }
+  return r.Rest();
 }
 
 Result<std::vector<table::ClickRecord>> DecodeIngest(

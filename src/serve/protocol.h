@@ -28,6 +28,7 @@ enum class OpCode : uint8_t {
   kIngest = 5,      ///< + n * (int64 user, int64 item, uint32 clicks)
                     ///<   -> kIngestAck
   kStats = 6,       ///< -> kStatsReply
+  kMetrics = 7,     ///< -> kMetricsReply (live text exposition)
 
   // Responses.
   kPong = 64,
@@ -35,6 +36,9 @@ enum class OpCode : uint8_t {
   kIngestAck = 66,  ///< + uint32 accepted, uint32 rejected, uint64 epoch
   kStatsReply = 67, ///< + uint64 epoch + ServeStats fields + uint64 flagged
                     ///<   users + uint64 flagged items + uint64 blocked pairs
+                    ///<   (+ v2 tail: uint8 version, 6 doubles of serve-path
+                    ///<   quantiles — see StatsReply)
+  kMetricsReply = 68, ///< rest = Prometheus-style exposition text bytes
   kError = 127,     ///< + uint8 status code, rest = message bytes
 };
 
@@ -97,12 +101,31 @@ struct IngestAck {
   uint64_t epoch = 0;
 };
 
+/// STATS reply. The wire layout is versioned by a trailing tail rather
+/// than a leading byte so that v1 decoders — which read the fixed v1
+/// fields and ignore trailing bytes — keep working against v2 servers,
+/// and a v2 decoder recognises a v1 server by the absent tail.
 struct StatsReply {
+  static constexpr uint8_t kVersion = 2;
+
   uint64_t epoch = 0;
   ServeStats stats;
   uint64_t flagged_users = 0;
   uint64_t flagged_items = 0;
   uint64_t blocked_pairs = 0;
+
+  /// Wire version this reply was decoded from (1 when the v2 tail was
+  /// absent; the quantile fields are then zero).
+  uint8_t version = kVersion;
+
+  // v2 tail: serve-path latency quantiles in seconds, taken from the
+  // server's request histograms at reply time.
+  double ingest_p50 = 0.0;
+  double ingest_p95 = 0.0;
+  double ingest_p99 = 0.0;
+  double query_p50 = 0.0;
+  double query_p95 = 0.0;
+  double query_p99 = 0.0;
 };
 
 /// Frame builders for every message the server and client exchange.
@@ -112,10 +135,12 @@ std::string EncodeQueryItem(table::ItemId item);
 std::string EncodeQueryPair(table::UserId user, table::ItemId item);
 std::string EncodeIngest(const std::vector<table::ClickRecord>& records);
 std::string EncodeStats();
+std::string EncodeMetricsRequest();
 std::string EncodePong();
 std::string EncodeVerdict(const VerdictReply& reply);
 std::string EncodeIngestAck(const IngestAck& ack);
 std::string EncodeStatsReply(const StatsReply& reply);
+std::string EncodeMetricsReply(const std::string& text);
 std::string EncodeError(const Status& status);
 
 /// Payload decoders (payload = frame minus the length prefix). Each checks
@@ -123,6 +148,7 @@ std::string EncodeError(const Status& status);
 Result<VerdictReply> DecodeVerdict(const std::string& payload);
 Result<IngestAck> DecodeIngestAck(const std::string& payload);
 Result<StatsReply> DecodeStatsReply(const std::string& payload);
+Result<std::string> DecodeMetricsReply(const std::string& payload);
 Result<std::vector<table::ClickRecord>> DecodeIngest(
     const std::string& payload);
 

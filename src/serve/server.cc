@@ -14,6 +14,9 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/metric_names.h"
 
 namespace ricd::serve {
 namespace {
@@ -89,10 +92,15 @@ Status ReadFrame(int fd, std::string* payload) {
 
 TcpServer::TcpServer(DetectionService* service, Options options)
     : service_(service), options_(options) {
+  namespace names = obs::metric_names;
   auto& registry = obs::MetricsRegistry::Global();
-  requests_counter_ = registry.GetCounter("serve.server.requests");
-  protocol_errors_counter_ = registry.GetCounter("serve.server.protocol_errors");
-  request_latency_ = registry.GetHistogram("serve.server.request_seconds");
+  requests_counter_ = registry.GetCounter(names::kServeServerRequests);
+  protocol_errors_counter_ =
+      registry.GetCounter(names::kServeServerProtocolErrors);
+  trace_sampled_counter_ = registry.GetCounter(names::kServeTraceSampled);
+  request_latency_ = registry.GetHistogram(names::kServeServerRequestSeconds);
+  query_latency_ = registry.GetHistogram(names::kServeRequestQuerySeconds);
+  ingest_latency_ = registry.GetHistogram(names::kServeRequestIngestSeconds);
 }
 
 TcpServer::~TcpServer() { Stop(); }
@@ -206,8 +214,6 @@ void TcpServer::HandleConnection(int fd) {
       }
       break;
     }
-    requests_counter_->Add(1);
-    ScopedTimer<obs::Histogram> timer(request_latency_);
     const std::string response = HandleRequest(payload);
     if (!WriteAll(fd, response).ok()) break;
   }
@@ -215,6 +221,39 @@ void TcpServer::HandleConnection(int fd) {
 }
 
 std::string TcpServer::HandleRequest(const std::string& payload) {
+  // Request ids are assigned here (not per connection) so deterministic
+  // 1-in-N sampling covers the whole server uniformly regardless of how
+  // requests spread over connections.
+  // Latency histograms (and phase timers) are fed only by the sampled
+  // requests: per-request clock reads and bucket updates on every call
+  // would cost more than the serve path itself at in-process rates, while
+  // a deterministic 1-in-N sample estimates the same distribution. The
+  // request count is exact — request_ids_ counts everything and is folded
+  // into the serve.server.requests counter on STATS/METRICS reads.
+  const uint64_t request_id =
+      request_ids_.fetch_add(1, std::memory_order_relaxed);
+  obs::RequestTrace trace(request_id, obs::ShouldTraceRequest(request_id));
+  if (!trace.sampled()) return DispatchRequest(payload, &trace);
+
+  trace_sampled_counter_->Add(1);
+  WallTimer timer;
+  std::string response = DispatchRequest(payload, &trace);
+  request_latency_->Observe(timer.ElapsedSeconds());
+  trace.Finish();
+  return response;
+}
+
+void TcpServer::SyncRequestCounter() {
+  // exchange() hands each caller a disjoint [synced, ids) range, so
+  // concurrent STATS/METRICS requests never double-count.
+  const uint64_t ids = request_ids_.load(std::memory_order_relaxed);
+  const uint64_t synced =
+      requests_synced_.exchange(ids, std::memory_order_relaxed);
+  if (ids > synced) requests_counter_->Add(ids - synced);
+}
+
+std::string TcpServer::DispatchRequest(const std::string& payload,
+                                       obs::RequestTrace* trace) {
   PayloadReader reader(payload);
   const Result<uint8_t> op = reader.GetU8();
   if (!op.ok()) {
@@ -227,21 +266,33 @@ std::string TcpServer::HandleRequest(const std::string& payload) {
     case OpCode::kQueryUser: {
       const Result<int64_t> user = reader.GetI64();
       if (!user.ok()) break;
+      WallTimer query_timer;
       const VerdictStore::ReadRef snap = service_->Verdicts();
       VerdictReply reply;
       reply.flagged = snap->FlaggedUser(user.value());
       reply.risk = snap->UserRisk(user.value());
       reply.epoch = snap->epoch;
+      if (trace->sampled()) {
+        const double seconds = query_timer.ElapsedSeconds();
+        query_latency_->Observe(seconds);
+        trace->AddPhase("query_user", seconds);
+      }
       return EncodeVerdict(reply);
     }
     case OpCode::kQueryItem: {
       const Result<int64_t> item = reader.GetI64();
       if (!item.ok()) break;
+      WallTimer query_timer;
       const VerdictStore::ReadRef snap = service_->Verdicts();
       VerdictReply reply;
       reply.flagged = snap->FlaggedItem(item.value());
       reply.risk = snap->ItemRisk(item.value());
       reply.epoch = snap->epoch;
+      if (trace->sampled()) {
+        const double seconds = query_timer.ElapsedSeconds();
+        query_latency_->Observe(seconds);
+        trace->AddPhase("query_item", seconds);
+      }
       return EncodeVerdict(reply);
     }
     case OpCode::kQueryPair: {
@@ -249,20 +300,31 @@ std::string TcpServer::HandleRequest(const std::string& payload) {
       if (!user.ok()) break;
       const Result<int64_t> item = reader.GetI64();
       if (!item.ok()) break;
+      WallTimer query_timer;
       const VerdictStore::ReadRef snap = service_->Verdicts();
       VerdictReply reply;
       reply.flagged = snap->BlockedPair(user.value(), item.value());
       reply.risk = reply.flagged ? snap->UserRisk(user.value()) : 0.0;
       reply.epoch = snap->epoch;
+      if (trace->sampled()) {
+        const double seconds = query_timer.ElapsedSeconds();
+        query_latency_->Observe(seconds);
+        trace->AddPhase("query_pair", seconds);
+      }
       return EncodeVerdict(reply);
     }
     case OpCode::kIngest: {
+      WallTimer decode_timer;
       const Result<std::vector<table::ClickRecord>> records =
           DecodeIngest(payload);
       if (!records.ok()) {
         protocol_errors_counter_->Add(1);
         return EncodeError(records.status());
       }
+      if (trace->sampled()) {
+        trace->AddPhase("decode", decode_timer.ElapsedSeconds());
+      }
+      WallTimer enqueue_timer;
       IngestAck ack;
       for (const table::ClickRecord& r : records.value()) {
         const Status pushed = service_->IngestClick(r);
@@ -276,9 +338,15 @@ std::string TcpServer::HandleRequest(const std::string& payload) {
         }
       }
       ack.epoch = service_->Verdicts()->epoch;
+      if (trace->sampled()) {
+        trace->AddPhase("enqueue", enqueue_timer.ElapsedSeconds());
+        // decode_timer spans decode + enqueue: the whole ingest handling.
+        ingest_latency_->Observe(decode_timer.ElapsedSeconds());
+      }
       return EncodeIngestAck(ack);
     }
     case OpCode::kStats: {
+      SyncRequestCounter();
       const VerdictStore::ReadRef snap = service_->Verdicts();
       StatsReply reply;
       reply.epoch = snap->epoch;
@@ -286,7 +354,25 @@ std::string TcpServer::HandleRequest(const std::string& payload) {
       reply.flagged_users = snap->flagged_users.size();
       reply.flagged_items = snap->flagged_items.size();
       reply.blocked_pairs = snap->blocked_pairs.size();
+      // v2 tail: serve-path latency quantiles from the live histograms.
+      const obs::HistogramSnapshot ingest_hist = ingest_latency_->Snapshot();
+      const obs::HistogramSnapshot query_hist = query_latency_->Snapshot();
+      reply.ingest_p50 = ingest_hist.P50();
+      reply.ingest_p95 = ingest_hist.P95();
+      reply.ingest_p99 = ingest_hist.P99();
+      reply.query_p50 = query_hist.P50();
+      reply.query_p95 = query_hist.P95();
+      reply.query_p99 = query_hist.P99();
       return EncodeStatsReply(reply);
+    }
+    case OpCode::kMetrics: {
+      SyncRequestCounter();
+      std::string text = obs::RenderPrometheusText(
+          obs::MetricsRegistry::Global().Snapshot());
+      // Newest flight events ride along as comment lines, so one METRICS
+      // round-trip is a full "what is this server doing" picture.
+      text += obs::FlightRecorder::Global().DumpText();
+      return EncodeMetricsReply(text);
     }
     default:
       protocol_errors_counter_->Add(1);
@@ -373,6 +459,12 @@ Result<IngestAck> TcpClient::Ingest(
 Result<StatsReply> TcpClient::Stats() {
   RICD_ASSIGN_OR_RETURN(const std::string payload, RoundTrip(EncodeStats()));
   return DecodeStatsReply(payload);
+}
+
+Result<std::string> TcpClient::Metrics() {
+  RICD_ASSIGN_OR_RETURN(const std::string payload,
+                        RoundTrip(EncodeMetricsRequest()));
+  return DecodeMetricsReply(payload);
 }
 
 }  // namespace ricd::serve

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "obs/request_trace.h"
 #include "serve/detection_service.h"
 #include "serve/protocol.h"
 
@@ -56,12 +57,32 @@ class TcpServer {
     return connections_.load(std::memory_order_relaxed);
   }
 
+  /// Serves one request payload, returning the response frame. This is the
+  /// full per-request path — request-id assignment, deterministic trace
+  /// sampling, latency histograms, protocol dispatch — independent of the
+  /// socket transport. Public so the obs-overhead benchmark can drive it
+  /// in-process and measure exactly what a connection handler pays.
+  /// Thread-safe.
+  ///
+  /// Telemetry cost model: unsampled requests (the 1-1/N majority) pay one
+  /// id fetch_add and one sampling branch; clock reads, latency histogram
+  /// updates and phase records happen only on sampled requests, whose
+  /// observations estimate the full latency distribution.
+  std::string HandleRequest(const std::string& payload);
+
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
 
-  /// Dispatches one decoded request payload, returning the response frame.
-  std::string HandleRequest(const std::string& payload);
+  /// Protocol dispatch for one request, recording per-opcode phases into
+  /// `trace` when it is sampled.
+  std::string DispatchRequest(const std::string& payload,
+                              obs::RequestTrace* trace);
+
+  /// Folds requests handled since the last call into the exact
+  /// serve.server.requests counter (called on STATS/METRICS reads; the hot
+  /// path only bumps request_ids_).
+  void SyncRequestCounter();
 
   DetectionService* service_;
   Options options_;
@@ -69,12 +90,17 @@ class TcpServer {
   int listen_fd_ = -1;
   std::atomic<bool> stop_{true};
   std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> request_ids_{0};
+  std::atomic<uint64_t> requests_synced_{0};
   std::unique_ptr<ThreadPool> acceptor_;
   std::unique_ptr<ThreadPool> handlers_;
 
   obs::Counter* requests_counter_;
   obs::Counter* protocol_errors_counter_;
+  obs::Counter* trace_sampled_counter_;
   obs::Histogram* request_latency_;
+  obs::Histogram* query_latency_;
+  obs::Histogram* ingest_latency_;
 };
 
 /// Minimal blocking client for the protocol — used by `ricd_tool client`,
@@ -98,6 +124,11 @@ class TcpClient {
   Result<VerdictReply> QueryPair(table::UserId user, table::ItemId item);
   Result<IngestAck> Ingest(const std::vector<table::ClickRecord>& records);
   Result<StatsReply> Stats();
+
+  /// Live text exposition of the server's metrics (METRICS verb); the
+  /// returned string is the Prometheus-style body plus `# flight ...`
+  /// comment lines for the newest flight-recorder events.
+  Result<std::string> Metrics();
 
  private:
   /// One request frame out, one response payload back.

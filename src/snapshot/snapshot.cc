@@ -1,3 +1,4 @@
+#include "obs/metric_names.h"
 #include "snapshot/snapshot.h"
 
 #include <fcntl.h>
@@ -32,11 +33,11 @@ struct SnapshotCounters {
   static const SnapshotCounters& Get() {
     static const SnapshotCounters counters = [] {
       auto& registry = obs::MetricsRegistry::Global();
-      return SnapshotCounters{registry.GetCounter("snapshot.saves"),
-                              registry.GetCounter("snapshot.loads"),
-                              registry.GetCounter("snapshot.bytes_written"),
-                              registry.GetCounter("snapshot.bytes_read"),
-                              registry.GetCounter("snapshot.bytes_mapped")};
+      return SnapshotCounters{registry.GetCounter(obs::metric_names::kSnapshotSaves),
+                              registry.GetCounter(obs::metric_names::kSnapshotLoads),
+                              registry.GetCounter(obs::metric_names::kSnapshotBytesWritten),
+                              registry.GetCounter(obs::metric_names::kSnapshotBytesRead),
+                              registry.GetCounter(obs::metric_names::kSnapshotBytesMapped)};
     }();
     return counters;
   }

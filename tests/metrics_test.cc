@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -95,6 +96,43 @@ TEST(HistogramTest, EmptyQuantileIsZero) {
   Histogram* hist = registry.GetHistogram("test.empty", {1.0});
   EXPECT_DOUBLE_EQ(hist->Snapshot().Quantile(0.5), 0.0);
   EXPECT_DOUBLE_EQ(hist->Snapshot().Mean(), 0.0);
+}
+
+TEST(HistogramTest, QuantileEdgesOfSingleOccupiedBucket) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.edges", {1.0, 2.0, 4.0, 8.0});
+  // All mass in the (2, 4] bucket.
+  for (int i = 0; i < 10; ++i) hist->Observe(3.0);
+  const HistogramSnapshot snap = hist->Snapshot();
+  // q=0 is the lower edge of the first occupied bucket, q=1 the upper edge
+  // of the last occupied one; in between interpolates inside the bucket.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 3.0);
+  // Out-of-range and NaN q clamp instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(snap.Quantile(-3.0), 2.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(7.0), 4.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(std::nan("")), 2.0);
+}
+
+TEST(HistogramTest, QuantileFirstBucketInterpolatesFromZero) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.first", {1.0, 2.0});
+  hist->Observe(0.5);
+  hist->Observe(1.5);
+  const HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 2.0);
+}
+
+TEST(HistogramTest, QuantileWithNoBoundsIsZero) {
+  MetricsRegistry registry;
+  Histogram* hist =
+      registry.GetHistogram("test.boundless", std::vector<double>{});
+  hist->Observe(5.0);  // the only bucket is the overflow bucket
+  const HistogramSnapshot snap = hist->Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
 }
 
 TEST(HistogramTest, DefaultBoundsCoverMicrosecondsToMinutes) {

@@ -1,0 +1,92 @@
+// JSON report round-trip coverage (src/obs/report.cc): documents produced
+// by MetricsReportJson must survive write -> Parse -> Serialize with the
+// exact same bytes, including uint64 counters above 2^53 that a double
+// cannot represent.
+#include "obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ricd::obs {
+namespace {
+
+/// Parse + Serialize must reproduce `json` byte for byte.
+void ExpectByteStable(const std::string& json) {
+  const Result<JsonValue> parsed = JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Serialize(), json);
+}
+
+TEST(ReportRoundTripTest, GlobalReportIsByteStable) {
+  MetricsRegistry registry;
+  registry.GetCounter("roundtrip.counter")->Add(12345);
+  registry.GetGauge("roundtrip.gauge")->Set(0.25);
+  registry.GetHistogram("roundtrip.hist")->Observe(0.002);
+
+  WorkloadScale workload;
+  workload.scale = "tiny";
+  workload.seed = 42;
+  workload.users = 1000;
+  workload.items = 200;
+  workload.edges = 8000;
+  workload.clicks = 20000;
+
+  const std::string report = MetricsReportJson(
+      "report_test", workload, registry.Snapshot(), {});
+  ExpectByteStable(report);
+}
+
+TEST(ReportRoundTripTest, ReportWithSpansIsByteStable) {
+  MetricsRegistry registry;
+  std::vector<SpanRegistry::NodeSnapshot> spans;
+  spans.push_back({"outer", "outer", 0, 3, 0.125});
+  spans.push_back({"outer/inner", "inner", 1, 2, 0.0625});
+  const std::string report = MetricsReportJson(
+      "report_test", WorkloadScale{}, registry.Snapshot(), spans);
+  ExpectByteStable(report);
+}
+
+TEST(ReportRoundTripTest, Int64BoundaryCountersAreByteStable) {
+  // 2^53 + 1 and UINT64_MAX are not representable as doubles; the parser
+  // must carry the source token through so Serialize is lossless.
+  const std::string json =
+      "{\"counters\":{\"big\":9007199254740993,"
+      "\"max\":18446744073709551615,\"small\":-7}}";
+  ExpectByteStable(json);
+
+  const Result<JsonValue> parsed = JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* max = counters->Find("max");
+  ASSERT_NE(max, nullptr);
+  EXPECT_EQ(max->number_token, "18446744073709551615");
+}
+
+TEST(ReportRoundTripTest, EscapedStringsAndNestingAreByteStable) {
+  ExpectByteStable(
+      "{\"source\":\"ricd_tool \\\"serve\\\"\",\"list\":[1,2.5,1e-06,true,"
+      "false,null],\"nested\":{\"empty_obj\":{},\"empty_arr\":[]}}");
+}
+
+TEST(ReportRoundTripTest, ProgrammaticNumbersSerializeFromValue) {
+  // Values built in code (empty number_token) fall back to the numeric
+  // formatter instead of emitting nothing.
+  JsonValue v;
+  v.type = JsonValue::Type::kNumber;
+  v.number_value = 0.5;
+  EXPECT_EQ(v.Serialize(), "0.5");
+}
+
+TEST(ReportRoundTripTest, ParseRejectsTrailingGarbage) {
+  EXPECT_FALSE(JsonValue::Parse("{} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+}
+
+}  // namespace
+}  // namespace ricd::obs

@@ -17,8 +17,12 @@
 
 #include "common/thread_pool.h"
 #include "gen/scenario.h"
+#include "obs/flight_recorder.h"
+#include "obs/request_trace.h"
 #include "serve/detection_service.h"
 #include "serve/ingest_queue.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "serve/verdict_store.h"
 #include "table/click_table.h"
 
@@ -178,6 +182,107 @@ TEST(ServeStressTest, VerdictStorePublishAcquireChurn) {
 
   EXPECT_EQ(store.CurrentEpoch(), kPublishes);
   EXPECT_EQ(store.PublishCount(), kPublishes);
+}
+
+// Telemetry-enabled serve sweep: request handlers racing the flight
+// recorder's readers and the lazy request-counter reconciliation. Workers
+// drive TcpServer::HandleRequest in-process (queries + ingest batches) with
+// an aggressive 1-in-4 sample rate while one thread continuously dumps the
+// flight recorder and another polls STATS/METRICS — the reads that fold
+// request_ids_ into the exact counter. TSan sweeps every ordering; the
+// visible invariants are that replies stay decodable and dumped events are
+// never torn (valid kind, monotonic seq).
+TEST(ServeStressTest, TelemetryEnabledHandlersRaceRecorderReaders) {
+  const uint64_t saved_sample = obs::TraceSampleEvery();
+  obs::SetTraceSampleEvery(4);
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  recorder.set_enabled(true);
+
+  auto scenario = gen::MakeScenario(gen::ScenarioScale::kTiny, 42);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  const table::ClickTable& rows = scenario->table;
+
+  ServeOptions options;
+  options.framework = TinyFrameworkOptions();
+  options.ingest_batch = 256;
+  options.max_batch_delay_ms = 2;
+  DetectionService service(options);
+  ASSERT_TRUE(service.Start(rows).ok());
+  TcpServer server(&service, TcpServer::Options{0, 2});
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kWorkers = 4;
+  constexpr size_t kRequestsPerWorker = 3000;
+  std::atomic<bool> stop{false};
+
+  ThreadPool workers(kWorkers);
+  for (size_t w = 0; w < kWorkers; ++w) {
+    workers.Submit([&, w] {
+      for (size_t i = 0; i < kRequestsPerWorker; ++i) {
+        const size_t r = (w * 7919 + i * 31) % rows.num_rows();
+        std::string request;
+        if (i % 16 == 15) {
+          request = EncodeIngest({rows.row(r)});
+        } else if (i % 2 == 0) {
+          request = EncodeQueryUser(rows.user(r));
+        } else {
+          request = EncodeQueryPair(rows.user(r), rows.item(r));
+        }
+        // HandleRequest takes the bare payload; replies come back framed.
+        const std::string reply = server.HandleRequest(request.substr(4));
+        ASSERT_GT(reply.size(), 4u);
+        ASSERT_NE(static_cast<uint8_t>(reply[4]),
+                  static_cast<uint8_t>(OpCode::kError));
+      }
+    });
+  }
+
+  std::thread dumper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      uint64_t last_seq = 0;
+      bool first = true;
+      for (const obs::FlightEvent& ev : recorder.Dump()) {
+        ASSERT_LE(static_cast<uint32_t>(ev.kind), 7u);
+        if (!first) {
+          ASSERT_GT(ev.seq, last_seq);
+        }
+        first = false;
+        last_seq = ev.seq;
+      }
+      (void)recorder.DumpText();
+    }
+  });
+  std::thread poller([&] {
+    const std::string stats_req = EncodeStats().substr(4);
+    const std::string metrics_req = EncodeMetricsRequest().substr(4);
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto stats =
+          DecodeStatsReply(server.HandleRequest(stats_req).substr(4));
+      ASSERT_TRUE(stats.ok()) << stats.status();
+      const auto metrics =
+          DecodeMetricsReply(server.HandleRequest(metrics_req).substr(4));
+      ASSERT_TRUE(metrics.ok()) << metrics.status();
+      std::this_thread::yield();
+    }
+  });
+
+  workers.Wait();
+  stop.store(true, std::memory_order_release);
+  dumper.join();
+  poller.join();
+
+  // One final STATS folds the remaining request ids into the exact counter;
+  // sampled traces must have reached the recorder.
+  const auto stats = DecodeStatsReply(
+      server.HandleRequest(EncodeStats().substr(4)).substr(4));
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->query_p50, 0.0);
+  EXPECT_GT(recorder.total_recorded(), 0u);
+
+  server.Stop();
+  ASSERT_TRUE(service.Drain().ok());
+  ASSERT_TRUE(service.Shutdown().ok());
+  obs::SetTraceSampleEvery(saved_sample);
 }
 
 }  // namespace

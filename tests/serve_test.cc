@@ -14,6 +14,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -22,6 +24,8 @@
 
 #include "common/thread_pool.h"
 #include "gen/scenario.h"
+#include "obs/flight_recorder.h"
+#include "obs/request_trace.h"
 #include "graph/graph_builder.h"
 #include "i2i/recommender.h"
 #include "ricd/incremental.h"
@@ -123,6 +127,50 @@ TEST(ProtocolTest, StatsReplyRoundTrip) {
   EXPECT_EQ(decoded->flagged_users, 10u);
   EXPECT_EQ(decoded->flagged_items, 11u);
   EXPECT_EQ(decoded->blocked_pairs, 12u);
+}
+
+TEST(ProtocolTest, StatsReplyV2TailCarriesQuantiles) {
+  StatsReply reply;
+  reply.epoch = 5;
+  reply.ingest_p50 = 0.001;
+  reply.ingest_p95 = 0.002;
+  reply.ingest_p99 = 0.004;
+  reply.query_p50 = 0.0005;
+  reply.query_p95 = 0.0015;
+  reply.query_p99 = 0.0025;
+  const auto decoded = DecodeStatsReply(Payload(EncodeStatsReply(reply)));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->version, StatsReply::kVersion);
+  EXPECT_EQ(decoded->ingest_p50, 0.001);
+  EXPECT_EQ(decoded->ingest_p95, 0.002);
+  EXPECT_EQ(decoded->ingest_p99, 0.004);
+  EXPECT_EQ(decoded->query_p50, 0.0005);
+  EXPECT_EQ(decoded->query_p95, 0.0015);
+  EXPECT_EQ(decoded->query_p99, 0.0025);
+}
+
+TEST(ProtocolTest, StatsReplyWithoutTailDecodesAsV1) {
+  StatsReply reply;
+  reply.epoch = 9;
+  reply.flagged_users = 3;
+  std::string payload = Payload(EncodeStatsReply(reply));
+  // A v1 server stops after blocked_pairs: opcode byte + 12 uint64 fields.
+  payload.resize(1 + 12 * 8);
+  const auto decoded = DecodeStatsReply(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->version, 1u);
+  EXPECT_EQ(decoded->epoch, 9u);
+  EXPECT_EQ(decoded->flagged_users, 3u);
+  EXPECT_EQ(decoded->query_p99, 0.0);
+}
+
+TEST(ProtocolTest, StatsReplyStaleTailVersionIsRejected) {
+  std::string payload = Payload(EncodeStatsReply(StatsReply{}));
+  // A tail that claims version 1 contradicts itself (v1 has no tail).
+  payload[1 + 12 * 8] = 1;
+  const auto decoded = DecodeStatsReply(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(ProtocolTest, IngestBatchRoundTrip) {
@@ -622,6 +670,65 @@ TEST(TcpServerTest, EndToEndQueryIngestStats) {
   server.Stop();
   EXPECT_GE(server.connections_served(), 2u);
   ASSERT_TRUE(service.Shutdown().ok());
+}
+
+// METRICS end to end: with every request sampled, the exposition must show
+// non-zero serve-path histograms, the STATS v2 tail must carry non-zero
+// query quantiles, and sampled traces must land in the flight recorder
+// section of the exposition text.
+TEST(TcpServerTest, MetricsExpositionShowsServeActivity) {
+  const uint64_t saved_sample = obs::TraceSampleEvery();
+  obs::SetTraceSampleEvery(1);
+  obs::FlightRecorder::Global().set_enabled(true);
+
+  auto scenario = gen::MakeScenario(gen::ScenarioScale::kTiny, 42);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  DetectionService service(TinyServeOptions());
+  ASSERT_TRUE(service.Start(scenario->table).ok());
+  TcpServer server(&service, TcpServer::Options{0, 2});
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  for (int i = 0; i < 8; ++i) {
+    const auto verdict = client.QueryUser(scenario->table.user(
+        static_cast<size_t>(i) % scenario->table.num_rows()));
+    ASSERT_TRUE(verdict.ok()) << verdict.status();
+  }
+
+  const auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  const std::string& text = *metrics;
+  // Request counter reconciled at read time: present and non-zero.
+  const std::string counter_line = "\nricd_serve_server_requests ";
+  const size_t counter_at = text.find(counter_line);
+  ASSERT_NE(counter_at, std::string::npos) << text;
+  EXPECT_GT(std::strtoull(text.c_str() + counter_at + counter_line.size(),
+                          nullptr, 10),
+            0u);
+  // Sampled latency histograms carry observations.
+  const std::string hist_count = "ricd_serve_server_request_seconds_count ";
+  const size_t hist_at = text.find(hist_count);
+  ASSERT_NE(hist_at, std::string::npos) << text;
+  EXPECT_GT(std::strtoull(text.c_str() + hist_at + hist_count.size(),
+                          nullptr, 10),
+            0u);
+  EXPECT_NE(text.find("ricd_serve_request_query_seconds"), std::string::npos);
+  // Sampled request traces surface in the flight-recorder section.
+  EXPECT_NE(text.find("# flight"), std::string::npos);
+  EXPECT_NE(text.find("request_trace"), std::string::npos);
+
+  // The STATS v2 tail reports the same histograms as quantiles.
+  const auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->version, StatsReply::kVersion);
+  EXPECT_GT(stats->query_p50, 0.0);
+  EXPECT_GE(stats->query_p99, stats->query_p50);
+
+  client.Disconnect();
+  server.Stop();
+  ASSERT_TRUE(service.Shutdown().ok());
+  obs::SetTraceSampleEvery(saved_sample);
 }
 
 TEST(TcpServerTest, UnknownOpcodeAndOversizedFrameAreRejected) {

@@ -81,9 +81,10 @@ case ",$ONLY," in *,tsan,*)
   # Deterministic concurrency workloads (race_test exists for this leg;
   # parallel_pruning_test runs the round/frontier pruning differential at
   # 1-8 workers; serve_stress_test sweeps the lock-free verdict-snapshot
-  # swap and the bounded ingest queue), plus the snapshot corruption suite
-  # so it sees all three sanitizers.
-  run_config tsan "thread" -R "race_test|thread_pool_test|metrics_test|trace_test|snapshot_fuzz_test|parallel_pruning_test|serve_test|serve_stress_test"
+  # swap, the bounded ingest queue, and the telemetry-enabled serve path;
+  # flight_recorder_test hammers the seqlock-per-slot event ring), plus
+  # the snapshot corruption suite so it sees all three sanitizers.
+  run_config tsan "thread" -R "race_test|thread_pool_test|metrics_test|trace_test|flight_recorder_test|snapshot_fuzz_test|parallel_pruning_test|serve_test|serve_stress_test"
 esac
 
 if [ "$RUN_TIDY" -eq 1 ]; then

@@ -14,6 +14,8 @@ int PlantedViolations() {
   DoRiskyThing(noise);  // planted: discarded-status
   FakeEngine eng;
   eng.ParallelFor(8, nullptr);  // planted: std-function-hot-loop
+  FakeRegistry registry;
+  int* series = registry.GetCounter("my.adhoc.metric");  // planted: metric-name-literal
   char scratch[8];
   std::FILE* f = std::fopen("/dev/null", "rb");
   fread(scratch, 1, sizeof(scratch), f);  // planted: unchecked-io-return

@@ -22,4 +22,8 @@ struct FakeEngine {
   void ParallelFor(unsigned n, void (*fn)(unsigned));
 };
 
+struct FakeRegistry {
+  int* GetCounter(const char* name);
+};
+
 #endif  // WRONG_GUARD_NAME_H

@@ -32,6 +32,12 @@
 //                              element; hot paths use ParallelForChunks
 //                              (functor inlined per worker range). Tests
 //                              and benches may keep the convenience form.
+//   metric-name-literal        GetCounter("...")/GetGauge("...")/
+//                              GetHistogram("...") with an inline string in
+//                              library code — a typo'd dotted name silently
+//                              creates a dead series; route the name through
+//                              src/obs/metric_names.h. Tests, benches and
+//                              tools may keep throwaway literal names.
 //
 // The allowlist file holds `path:rule` lines (path relative to the root,
 // `*` as the rule wildcard); `#` starts a comment. Exit status: 0 when
@@ -273,6 +279,12 @@ class Linter {
     // declaration/definition) is not a call site, and ParallelForChunks /
     // ParallelForRanges do not match (no `(` directly after ParallelFor).
     static const std::regex kPerElementLoop(R"((\.|->)\s*ParallelFor\s*\()");
+    // Matches against stripped lines, where string contents are removed but
+    // the quotes are kept — so `GetCounter("serve.queries")` arrives as
+    // `GetCounter("")` and the opening quote is still there to anchor on.
+    // Multi-line calls escape this (conservative, like discarded-status).
+    static const std::regex kMetricNameLiteral(
+        R"(\bGet(Counter|Gauge|Histogram)\s*\(\s*")");
 
     // Tracks whether the current line starts a fresh statement: the previous
     // code line ended in `;`/`{`/`}` (or was a preprocessor line / blank).
@@ -307,6 +319,11 @@ class Linter {
         Report(file, line_no, "std-function-hot-loop",
                "per-element ParallelFor in library code — use "
                "ParallelForChunks (no std::function dispatch per element)");
+      }
+      if (in_library && std::regex_search(line, kMetricNameLiteral)) {
+        Report(file, line_no, "metric-name-literal",
+               "ad-hoc metric name literal — use a constant from "
+               "src/obs/metric_names.h (typos create dead series)");
       }
       if (is_header && std::regex_search(line, kUsingNamespace)) {
         Report(file, line_no, "no-using-namespace-in-header",

@@ -24,6 +24,7 @@
 //                      [--k1= --k2= --alpha= --t-hot= --t-click=]
 //   ricd_tool client   --port=N --op=ping|user|item|pair|stats|ingest
 //                      [--user=ID] [--item=ID] [--in=clicks.csv]
+//   ricd_tool monitor  --port=N [--watch] [--interval=2] [--count=0]
 //
 // `serve` bootstraps the online detection service on a click table and
 // answers QUERY/INGEST/STATS requests over the length-prefixed TCP
@@ -32,6 +33,9 @@
 // Environment knobs: RICD_SERVE_PORT (default port when --port is absent),
 // RICD_INGEST_BATCH and RICD_REBUILD_DRIFT (defaults for --batch/--drift).
 // `client` speaks one request to a running server and prints the reply.
+// `monitor` pulls the METRICS exposition (Prometheus-style text plus the
+// most recent flight-recorder events) from a running server; --watch
+// re-polls every --interval seconds until interrupted, or --count polls.
 //
 // `validate` loads a saved click table, rebuilds the bipartite graph and
 // runs the full structural audit (src/check); it exits non-zero if any
@@ -79,6 +83,7 @@
 #include "gen/scenario.h"
 #include "graph/graph_builder.h"
 #include "i2i/i2i_score.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -99,7 +104,7 @@ int Usage() {
       stderr,
       "usage: ricd_tool "
       "<generate|stats|detect|i2i|compare|stream|selftest|validate|snapshot"
-      "|serve|client> [--flags]\n"
+      "|serve|client|monitor> [--flags]\n"
       "  generate  synthesize a Taobao-shaped workload with planted attacks\n"
       "  stats     print Table I/II-style statistics of a click CSV\n"
       "  detect    run the RICD framework and emit ranked suspects\n"
@@ -111,6 +116,7 @@ int Usage() {
       "  snapshot  save|load|info for binary graph snapshots (src/snapshot)\n"
       "  serve     run the online detection service as a TCP server\n"
       "  client    send one query/ingest/stats request to a running server\n"
+      "  monitor   print a server's live metrics exposition (--watch polls)\n"
       "detect/i2i/compare/validate accept --snapshot=<graph.snap> instead of\n"
       "--in to mmap a saved graph zero-copy instead of rebuilding it;\n"
       "every command accepts --metrics_json=<path> to dump the metrics/span\n"
@@ -732,6 +738,10 @@ int RunServe(const FlagParser& flags) {
   options.ingest_batch = static_cast<size_t>(*batch);
   options.rebuild_drift = *drift;
 
+  // A crashing server dumps its flight-recorder tail to stderr, so the
+  // last publishes/rebuilds/rejections before the fault are never lost.
+  obs::InstallCrashDump();
+
   serve::DetectionService service(options);
   const Status started = service.Start(*clicks);
   if (!started.ok()) return Fail(started);
@@ -887,6 +897,45 @@ int RunClient(const FlagParser& flags) {
       "unknown --op '" + *op + "' (ping|user|item|pair|stats|ingest)"));
 }
 
+/// The `monitor` subcommand: one-shot (default) or periodic pull of the
+/// METRICS exposition from a running server. Each poll opens a fresh
+/// connection so a restarted server picks up transparently under --watch.
+int RunMonitor(const FlagParser& flags) {
+  const auto port = flags.GetInt("port", DefaultServePort());
+  const auto watch = flags.GetBool("watch", false);
+  const auto interval = flags.GetDouble("interval", 2.0);
+  const auto count = flags.GetInt("count", 0);
+  if (!port.ok()) return Fail(port.status());
+  if (!watch.ok()) return Fail(watch.status());
+  if (!interval.ok()) return Fail(interval.status());
+  if (!count.ok()) return Fail(count.status());
+  if (const int rc = RejectUnknown(flags)) return rc;
+  if (*port <= 0 || *port > 65535) {
+    return Fail(Status::InvalidArgument(
+        "--port=<server port> required (or set RICD_SERVE_PORT)"));
+  }
+  if (*interval <= 0.0) {
+    return Fail(Status::InvalidArgument("--interval must be > 0"));
+  }
+  const int64_t polls = *count > 0 ? *count : (*watch ? -1 : 1);
+
+  for (int64_t i = 0; polls < 0 || i < polls; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(*interval));
+    }
+    serve::TcpClient client;
+    const Status connected = client.Connect(static_cast<uint16_t>(*port));
+    if (!connected.ok()) return Fail(connected);
+    auto text = client.Metrics();
+    if (!text.ok()) return Fail(text.status());
+    if (i > 0) std::printf("\n");
+    std::printf("%s", text->c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int RunSnapshot(const std::string& action, const FlagParser& flags) {
   if (action == "save") return RunSnapshotSave(flags);
   if (action == "load") return RunSnapshotLoad(flags);
@@ -954,6 +1003,8 @@ int Main(int argc, char** argv) {
     rc = RunServe(flags);
   } else if (command == "client") {
     rc = RunClient(flags);
+  } else if (command == "monitor") {
+    rc = RunMonitor(flags);
   } else {
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return Usage();

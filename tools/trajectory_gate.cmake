@@ -1,0 +1,34 @@
+# Driver for the opt-in bench_trajectory_full_gate ctest: run the suite
+# into a scratch directory, then compare every produced BENCH_*.json
+# against the committed baseline of the same name. Invoked as
+#   cmake -DTRAJECTORY=... -DBENCH_DIR=... -DSOURCE_DIR=... -DWORK_DIR=...
+#         -P trajectory_gate.cmake
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${TRAJECTORY}" run "--bin-dir=${BENCH_DIR}" "--out-dir=${WORK_DIR}"
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "bench_trajectory run failed (rc=${run_rc})")
+endif()
+
+file(GLOB produced "${WORK_DIR}/BENCH_*.json")
+if(produced STREQUAL "")
+  message(FATAL_ERROR "bench_trajectory run produced no BENCH_*.json")
+endif()
+
+foreach(current ${produced})
+  get_filename_component(name "${current}" NAME)
+  set(baseline "${SOURCE_DIR}/${name}")
+  if(NOT EXISTS "${baseline}")
+    message(STATUS "no committed baseline for ${name}; skipping compare")
+    continue()
+  endif()
+  execute_process(
+    COMMAND "${TRAJECTORY}" compare "--baseline=${baseline}"
+            "--current=${current}"
+    RESULT_VARIABLE compare_rc)
+  if(NOT compare_rc EQUAL 0)
+    message(FATAL_ERROR "perf regression against ${name} (rc=${compare_rc})")
+  endif()
+endforeach()
