@@ -147,16 +147,16 @@ Status ValidateCsrSide(const graph::BipartiteGraph& g, Side side) {
 }  // namespace
 
 bool ValidationEnabled() {
-  int state = g_validation_state.load(std::memory_order_relaxed);
+  int state = g_validation_state.load(std::memory_order_relaxed);  // order: env-derived tri-state cache; racers compute the same value
   if (state < 0) {
     state = ResolveValidationDefault();
-    g_validation_state.store(state, std::memory_order_relaxed);
+    g_validation_state.store(state, std::memory_order_relaxed);  // order: idempotent publish of the same env-derived value
   }
   return state != 0;
 }
 
 void SetValidationEnabled(bool enabled) {
-  g_validation_state.store(enabled ? 1 : 0, std::memory_order_relaxed);
+  g_validation_state.store(enabled ? 1 : 0, std::memory_order_relaxed);  // order: advisory toggle; callers flip it between runs, not mid-run
 }
 
 Status ValidateBipartiteGraph(const graph::BipartiteGraph& g) {

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace ricd {
 namespace {
@@ -11,8 +12,8 @@ namespace {
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
 
 // Serializes whole lines so concurrent workers do not interleave output.
-std::mutex& LogMutex() {
-  static std::mutex* mu = new std::mutex;
+Mutex& LogMutex() {
+  static Mutex* mu = new Mutex;
   return *mu;
 }
 
@@ -55,7 +56,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 LogMessage::~LogMessage() {
   stream_ << "\n";
   {
-    std::lock_guard<std::mutex> lock(LogMutex());
+    MutexLock lock(LogMutex());
     std::fputs(stream_.str().c_str(), stderr);
     std::fflush(stderr);
   }

@@ -1,0 +1,110 @@
+#ifndef RICD_COMMON_THREAD_ANNOTATIONS_H_
+#define RICD_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis annotations plus the Mutex/MutexLock shim the
+// whole repo locks through. Under clang with -Wthread-safety (CMake option
+// RICD_THREAD_SAFETY, auto-on for clang builds; check.sh's `annotate` leg)
+// every RICD_GUARDED_BY field access and RICD_REQUIRES call is checked at
+// compile time; under any other compiler every macro expands to nothing and
+// Mutex is an ordinary std::mutex wrapper. The runtime half of the story is
+// the TSan leg — annotations catch lock-discipline mistakes, TSan catches
+// the atomics protocols annotations cannot express.
+//
+// Conventions (DESIGN.md §12):
+//  * every non-atomic mutable member of a mutex-owning class is either
+//    RICD_GUARDED_BY(mu_) or carries a `// unguarded: <reason>` tag that
+//    ricd_lint's guarded-field rule checks;
+//  * private *Locked() helpers take RICD_REQUIRES(mu_), public entry points
+//    that lock internally take RICD_EXCLUDES(mu_);
+//  * no naked .lock()/.unlock() outside this header (ricd_lint: bare-lock).
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define RICD_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef RICD_THREAD_ANNOTATION__
+#define RICD_THREAD_ANNOTATION__(x)  // no-op off clang
+#endif
+
+#define RICD_CAPABILITY(x) RICD_THREAD_ANNOTATION__(capability(x))
+#define RICD_SCOPED_CAPABILITY RICD_THREAD_ANNOTATION__(scoped_lockable)
+#define RICD_GUARDED_BY(x) RICD_THREAD_ANNOTATION__(guarded_by(x))
+#define RICD_PT_GUARDED_BY(x) RICD_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define RICD_ACQUIRE(...) \
+  RICD_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define RICD_RELEASE(...) \
+  RICD_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RICD_TRY_ACQUIRE(...) \
+  RICD_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define RICD_REQUIRES(...) \
+  RICD_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define RICD_REQUIRES_SHARED(...) \
+  RICD_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define RICD_EXCLUDES(...) RICD_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define RICD_ACQUIRED_BEFORE(...) \
+  RICD_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define RICD_ACQUIRED_AFTER(...) \
+  RICD_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define RICD_ASSERT_CAPABILITY(x) \
+  RICD_THREAD_ANNOTATION__(assert_capability(x))
+#define RICD_RETURN_CAPABILITY(x) RICD_THREAD_ANNOTATION__(lock_returned(x))
+#define RICD_NO_THREAD_SAFETY_ANALYSIS \
+  RICD_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace ricd {
+
+/// std::mutex wrapped as a named capability so clang's analysis can track
+/// it (the standard library's own mutex carries no annotations). Lock
+/// through MutexLock; Lock()/Unlock() exist for the RAII helper and the
+/// rare hand-over-hand pattern, and are the one sanctioned home of the
+/// underlying .lock()/.unlock() calls.
+class RICD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() RICD_ACQUIRE() { mu_.lock(); }
+  void Unlock() RICD_RELEASE() { mu_.unlock(); }
+  bool TryLock() RICD_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis this thread holds the capability without taking it.
+  /// Use inside condition-variable wait predicates, which clang analyzes as
+  /// separate (lock-free) functions even though the wait re-acquires the
+  /// mutex before evaluating them.
+  void AssertHeld() const RICD_ASSERT_CAPABILITY(this) {}
+
+  /// The wrapped mutex, for std::condition_variable via MutexLock::native().
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex, replacing std::lock_guard/std::unique_lock
+/// everywhere in the repo. Holds a std::unique_lock so condition variables
+/// can wait on it: `cv.wait(lock.native(), pred)`.
+class RICD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RICD_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() RICD_RELEASE() {}  // lock_'s own destructor unlocks
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// For std::condition_variable::wait / wait_for only. The wait releases
+  /// and re-acquires the mutex internally; from the analysis's point of
+  /// view the capability is held throughout, which is sound because the
+  /// predicate runs under the lock (assert with Mutex::AssertHeld there).
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace ricd
+
+#endif  // RICD_COMMON_THREAD_ANNOTATIONS_H_

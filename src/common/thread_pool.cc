@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(size_t num_threads, TaskObserver task_observer)
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
   task_available_.notify_all();
@@ -26,7 +26,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push_back({std::move(task), std::chrono::steady_clock::now()});
     ++in_flight_;
   }
@@ -34,17 +34,22 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  all_done_.wait(lock.native(), [this] {
+    mu_.AssertHeld();  // wait predicates run under the re-acquired lock
+    return in_flight_ == 0;
+  });
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     QueuedTask task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock,
-                           [this] { return shutting_down_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      task_available_.wait(lock.native(), [this] {
+        mu_.AssertHeld();
+        return shutting_down_ || !tasks_.empty();
+      });
       if (tasks_.empty()) {
         if (shutting_down_) return;
         continue;
@@ -63,7 +68,7 @@ void ThreadPool::WorkerLoop() {
       task.fn();
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }

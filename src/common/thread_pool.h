@@ -6,9 +6,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace ricd {
 
@@ -35,10 +36,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) RICD_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished executing.
-  void Wait();
+  void Wait() RICD_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
@@ -48,16 +49,17 @@ class ThreadPool {
     std::chrono::steady_clock::time_point enqueued_at;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() RICD_EXCLUDES(mu_);
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
-  std::deque<QueuedTask> tasks_;
-  size_t in_flight_ = 0;  // queued + currently running
-  bool shutting_down_ = false;
-  TaskObserver task_observer_;  // may be empty; immutable after construction
-  std::vector<std::thread> threads_;
+  std::deque<QueuedTask> tasks_ RICD_GUARDED_BY(mu_);
+  size_t in_flight_ RICD_GUARDED_BY(mu_) = 0;  // queued + currently running
+  bool shutting_down_ RICD_GUARDED_BY(mu_) = false;
+  const TaskObserver task_observer_;  // may be empty; immutable after ctor
+  std::vector<std::thread> threads_;  // unguarded: written only in the ctor,
+                                      // joined only in the dtor
 };
 
 }  // namespace ricd

@@ -37,18 +37,21 @@ size_t WorkersFromEnv() {
 
 }  // namespace
 
-WorkerEngine::WorkerEngine(size_t num_workers) {
+WorkerEngine::WorkerEngine(size_t num_workers)
+    : tasks_total_(obs::MetricsRegistry::Global().GetCounter(
+          obs::metric_names::kEnginePoolTasksTotal)),
+      queue_wait_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          obs::metric_names::kEnginePoolQueueWaitSeconds)),
+      task_run_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          obs::metric_names::kEnginePoolTaskRunSeconds)),
+      workers_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          obs::metric_names::kEnginePoolWorkers)),
+      utilization_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          obs::metric_names::kEnginePoolUtilization)) {
   if (num_workers == 0) {
     num_workers = std::thread::hardware_concurrency();
     if (num_workers == 0) num_workers = 1;
   }
-
-  auto& registry = obs::MetricsRegistry::Global();
-  tasks_total_ = registry.GetCounter(obs::metric_names::kEnginePoolTasksTotal);
-  queue_wait_hist_ = registry.GetHistogram(obs::metric_names::kEnginePoolQueueWaitSeconds);
-  task_run_hist_ = registry.GetHistogram(obs::metric_names::kEnginePoolTaskRunSeconds);
-  workers_gauge_ = registry.GetGauge(obs::metric_names::kEnginePoolWorkers);
-  utilization_gauge_ = registry.GetGauge(obs::metric_names::kEnginePoolUtilization);
   workers_gauge_->Set(static_cast<double>(num_workers));
   created_at_ = std::chrono::steady_clock::now();
 
@@ -61,7 +64,7 @@ WorkerEngine::WorkerEngine(size_t num_workers) {
         queue_wait_hist_->Observe(queue_wait_s);
         task_run_hist_->Observe(run_s);
         busy_nanos_.fetch_add(static_cast<uint64_t>(run_s * 1e9),
-                              std::memory_order_relaxed);
+                              std::memory_order_relaxed);  // order: monotonic busy-time accumulator; gauge readers tolerate lag
       });
 }
 
@@ -71,7 +74,7 @@ void WorkerEngine::UpdateUtilization() const {
                             .count();
   if (wall_s <= 0.0) return;
   const double busy_s =
-      static_cast<double>(busy_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+      static_cast<double>(busy_nanos_.load(std::memory_order_relaxed)) * 1e-9;  // order: sampled utilization read; exactness not required
   utilization_gauge_->Set(busy_s /
                           (wall_s * static_cast<double>(num_workers())));
 }
@@ -84,7 +87,7 @@ void WorkerEngine::RecordInlineTask(
   tasks_total_->Add(1);
   task_run_hist_->Observe(run_s);
   busy_nanos_.fetch_add(static_cast<uint64_t>(run_s * 1e9),
-                        std::memory_order_relaxed);
+                        std::memory_order_relaxed);  // order: monotonic busy-time accumulator; gauge readers tolerate lag
   UpdateUtilization();
 }
 

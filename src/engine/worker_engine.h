@@ -105,11 +105,11 @@ class WorkerEngine {
   /// Refreshes engine.pool.utilization from the busy-time accumulator.
   void UpdateUtilization() const;
 
-  obs::Counter* tasks_total_ = nullptr;
-  obs::Histogram* queue_wait_hist_ = nullptr;
-  obs::Histogram* task_run_hist_ = nullptr;
-  obs::Gauge* workers_gauge_ = nullptr;
-  obs::Gauge* utilization_gauge_ = nullptr;
+  obs::Counter* const tasks_total_;
+  obs::Histogram* const queue_wait_hist_;
+  obs::Histogram* const task_run_hist_;
+  obs::Gauge* const workers_gauge_;
+  obs::Gauge* const utilization_gauge_;
   mutable std::atomic<uint64_t> busy_nanos_{0};
   std::chrono::steady_clock::time_point created_at_;
   std::unique_ptr<ThreadPool> pool_;

@@ -82,7 +82,7 @@ uint32_t MutableView::DecrementDegreeAtomic(Side side, VertexId v) {
   // crossing is how the parallel CorePruning claims a vertex for the next
   // frontier exactly once.
   return std::atomic_ref<uint32_t>(degree[v]).fetch_sub(
-      1, std::memory_order_relaxed);
+      1, std::memory_order_relaxed);  // order: per-vertex counter; the unique min crossing is the only signal
 }
 
 std::vector<VertexId> MutableView::ActiveNeighbors(Side side, VertexId v) const {

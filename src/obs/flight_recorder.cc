@@ -90,16 +90,20 @@ uint64_t FlightRecorder::NowMicros() const noexcept {
 
 void FlightRecorder::Record(FlightEventKind kind, uint64_t a, uint64_t b,
                             const char* detail) noexcept {
-  if (!enabled_.load(std::memory_order_relaxed)) return;
-  const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  if (!enabled_.load(std::memory_order_relaxed)) return;  // order: advisory flag; a racing toggle may record or skip one event
+  const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);  // order: ticket allocation only; slot hand-off syncs via marker acq/rel
   Slot& slot = slots_[ticket & mask_];
   // Mark busy so a concurrent reader drops this slot instead of reporting
   // a mix of the old and new event.
-  slot.marker.store(kBusy, std::memory_order_relaxed);
-  slot.timestamp_micros.store(NowMicros(), std::memory_order_relaxed);
-  slot.kind.store(static_cast<uint32_t>(kind), std::memory_order_relaxed);
-  slot.a.store(a, std::memory_order_relaxed);
-  slot.b.store(b, std::memory_order_relaxed);
+  slot.marker.store(kBusy, std::memory_order_relaxed);  // order: fence below orders this before the payload stores
+  // Without this fence the relaxed kBusy store could become visible after
+  // the payload stores, and a reader copying a torn payload would pass its
+  // unchanged-marker re-check.
+  std::atomic_thread_fence(std::memory_order_release);  // order: pins kBusy before every payload store
+  slot.timestamp_micros.store(NowMicros(), std::memory_order_relaxed);  // order: payload; fenced after kBusy, released by the marker publish
+  slot.kind.store(static_cast<uint32_t>(kind), std::memory_order_relaxed);  // order: payload; see timestamp_micros above
+  slot.a.store(a, std::memory_order_relaxed);  // order: payload; see timestamp_micros above
+  slot.b.store(b, std::memory_order_relaxed);  // order: payload; see timestamp_micros above
   uint64_t words[3] = {0, 0, 0};
   if (detail != nullptr) {
     char packed[24] = {};
@@ -107,7 +111,7 @@ void FlightRecorder::Record(FlightEventKind kind, uint64_t a, uint64_t b,
     std::memcpy(words, packed, sizeof(packed));
   }
   for (size_t i = 0; i < 3; ++i) {
-    slot.detail_words[i].store(words[i], std::memory_order_relaxed);
+    slot.detail_words[i].store(words[i], std::memory_order_relaxed);  // order: payload; see timestamp_micros above
   }
   // Publish: readers acquire-load the marker before copying the payload.
   slot.marker.store(ticket + 1, std::memory_order_release);
@@ -119,22 +123,22 @@ bool FlightRecorder::ReadSlot(const Slot& slot, FlightEvent* out) const
   if (before == kEmpty || before == kBusy) return false;
   FlightEvent ev;
   ev.seq = before - 1;
-  ev.timestamp_micros = slot.timestamp_micros.load(std::memory_order_relaxed);
+  ev.timestamp_micros = slot.timestamp_micros.load(std::memory_order_relaxed);  // order: seqlock payload read; fence + marker re-check validate it
   ev.kind = static_cast<FlightEventKind>(
-      slot.kind.load(std::memory_order_relaxed));
-  ev.a = slot.a.load(std::memory_order_relaxed);
-  ev.b = slot.b.load(std::memory_order_relaxed);
+      slot.kind.load(std::memory_order_relaxed));  // order: seqlock payload read; see timestamp load above
+  ev.a = slot.a.load(std::memory_order_relaxed);  // order: seqlock payload read; see timestamp load above
+  ev.b = slot.b.load(std::memory_order_relaxed);  // order: seqlock payload read; see timestamp load above
   uint64_t words[3];
   for (size_t i = 0; i < 3; ++i) {
-    words[i] = slot.detail_words[i].load(std::memory_order_relaxed);
+    words[i] = slot.detail_words[i].load(std::memory_order_relaxed);  // order: seqlock payload read; see timestamp load above
   }
   std::memcpy(ev.detail, words, sizeof(words));
   ev.detail[sizeof(ev.detail) - 1] = '\0';
   // Acquire again so the payload loads cannot be reordered past the
   // re-check; an unchanged marker means no writer touched the slot while
   // we copied.
-  std::atomic_thread_fence(std::memory_order_acquire);
-  if (slot.marker.load(std::memory_order_relaxed) != before) return false;
+  std::atomic_thread_fence(std::memory_order_acquire);  // order: orders the payload loads before the marker re-check below
+  if (slot.marker.load(std::memory_order_relaxed) != before) return false;  // order: the acquire fence above upgrades this re-check
   *out = ev;
   return true;
 }

@@ -82,15 +82,15 @@ class FlightRecorder {
   void DumpToFd(int fd) const noexcept;
 
   void set_enabled(bool enabled) noexcept {
-    enabled_.store(enabled, std::memory_order_relaxed);
+    enabled_.store(enabled, std::memory_order_relaxed);  // order: advisory on/off flag; stale reads only delay the toggle
   }
   bool enabled() const noexcept {
-    return enabled_.load(std::memory_order_relaxed);
+    return enabled_.load(std::memory_order_relaxed);  // order: advisory flag read; exactness not required
   }
 
   /// Total events ever recorded (including overwritten ones).
   uint64_t total_recorded() const noexcept {
-    return head_.load(std::memory_order_relaxed);
+    return head_.load(std::memory_order_relaxed);  // order: monotonic stat; readers tolerate a slightly stale count
   }
 
   size_t capacity() const noexcept { return slots_.size(); }

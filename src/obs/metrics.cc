@@ -62,13 +62,13 @@ Histogram::Histogram(std::vector<double> bounds,
 }
 
 void Histogram::Observe(double value) noexcept {
-  if (!enabled_->load(std::memory_order_relaxed)) return;
+  if (!enabled_->load(std::memory_order_relaxed)) return;  // order: advisory enable flag; stale reads only delay the toggle
   const size_t bucket = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), value) -
       bounds_.begin());
   Shard& shard = shards_[internal::ShardIndex()];
-  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
-  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);  // order: sharded histogram bucket; snapshot folds tolerate lag
+  shard.sum.fetch_add(value, std::memory_order_relaxed);  // order: sharded histogram sum; snapshot folds tolerate lag
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
@@ -77,9 +77,9 @@ HistogramSnapshot Histogram::Snapshot() const {
   snap.buckets.assign(bounds_.size() + 1, 0);
   for (const auto& shard : shards_) {
     for (size_t i = 0; i < shard.counts.size(); ++i) {
-      snap.buckets[i] += shard.counts[i].load(std::memory_order_relaxed);
+      snap.buckets[i] += shard.counts[i].load(std::memory_order_relaxed);  // order: sharded stat fold; concurrent observes may or may not land
     }
-    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);  // order: sharded stat fold; concurrent observes may or may not land
   }
   for (const uint64_t b : snap.buckets) snap.count += b;
   return snap;
@@ -87,8 +87,8 @@ HistogramSnapshot Histogram::Snapshot() const {
 
 void Histogram::Reset() noexcept {
   for (auto& shard : shards_) {
-    for (auto& c : shard.counts) c.store(0, std::memory_order_relaxed);
-    shard.sum.store(0.0, std::memory_order_relaxed);
+    for (auto& c : shard.counts) c.store(0, std::memory_order_relaxed);  // order: stat reset; callers quiesce writers between runs
+    shard.sum.store(0.0, std::memory_order_relaxed);  // order: stat reset; callers quiesce writers between runs
   }
 }
 
@@ -100,14 +100,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>(&enabled_);
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>(&enabled_);
   return slot.get();
@@ -119,7 +119,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) {
     slot = std::make_unique<Histogram>(std::move(bounds), &enabled_);
@@ -128,7 +128,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -146,7 +146,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();

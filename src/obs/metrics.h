@@ -7,10 +7,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace ricd::obs {
 
@@ -40,23 +41,23 @@ class Counter {
   explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
 
   void Add(uint64_t delta = 1) noexcept {
-    if (!enabled_->load(std::memory_order_relaxed)) return;
+    if (!enabled_->load(std::memory_order_relaxed)) return;  // order: advisory enable flag; stale reads only delay the toggle
     shards_[internal::ShardIndex()].value.fetch_add(delta,
-                                                    std::memory_order_relaxed);
+                                                    std::memory_order_relaxed);  // order: sharded stat counter; folds tolerate in-flight adds
   }
 
   /// Folds all shards. Concurrent Add() calls may or may not be visible.
   uint64_t Value() const noexcept {
     uint64_t total = 0;
     for (const auto& shard : shards_) {
-      total += shard.value.load(std::memory_order_relaxed);
+      total += shard.value.load(std::memory_order_relaxed);  // order: sharded stat fold; concurrent adds may or may not land
     }
     return total;
   }
 
   void Reset() noexcept {
     for (auto& shard : shards_) {
-      shard.value.store(0, std::memory_order_relaxed);
+      shard.value.store(0, std::memory_order_relaxed);  // order: stat reset; callers quiesce writers between runs
     }
   }
 
@@ -74,15 +75,15 @@ class Gauge {
   explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
 
   void Set(double value) noexcept {
-    if (!enabled_->load(std::memory_order_relaxed)) return;
-    value_.store(value, std::memory_order_relaxed);
+    if (!enabled_->load(std::memory_order_relaxed)) return;  // order: advisory enable flag; stale reads only delay the toggle
+    value_.store(value, std::memory_order_relaxed);  // order: last-writer-wins gauge; no data published through it
   }
 
   double Value() const noexcept {
-    return value_.load(std::memory_order_relaxed);
+    return value_.load(std::memory_order_relaxed);  // order: sampled gauge read; exactness not required
   }
 
-  void Reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+  void Reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }  // order: stat reset; callers quiesce writers between runs
 
  private:
   std::atomic<double> value_{0.0};
@@ -170,30 +171,32 @@ class MetricsRegistry {
 
   /// Find-or-create by name. For histograms the first registration fixes
   /// the bucket boundaries; later callers get the existing instrument.
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
-  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+  Counter* GetCounter(const std::string& name) RICD_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) RICD_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) RICD_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds)
+      RICD_EXCLUDES(mu_);
 
   /// When disabled, every Add/Set/Observe on instruments of this registry
   /// becomes a single relaxed load (used by the overhead benchmarks and to
   /// silence instrumentation entirely).
   void set_enabled(bool enabled) {
-    enabled_.store(enabled, std::memory_order_relaxed);
+    enabled_.store(enabled, std::memory_order_relaxed);  // order: advisory enable flag; instruments re-read it on every op
   }
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }  // order: advisory flag read; exactness not required
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const RICD_EXCLUDES(mu_);
 
   /// Zeroes every instrument but keeps registrations (and pointers) valid.
-  void Reset();
+  void Reset() RICD_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::atomic<bool> enabled_{true};
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ RICD_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ RICD_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      RICD_GUARDED_BY(mu_);
 };
 
 }  // namespace ricd::obs

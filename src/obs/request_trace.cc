@@ -28,18 +28,18 @@ uint64_t ReadSampleEnv() noexcept {
 }  // namespace
 
 uint64_t TraceSampleEvery() noexcept {
-  uint64_t every = SampleEveryCell().load(std::memory_order_relaxed);
+  uint64_t every = SampleEveryCell().load(std::memory_order_relaxed);  // order: env-derived constant cache; every racer computes the same value
   if (every == kUnset) {
     every = ReadSampleEnv();
     // First resolver wins; races just re-read the same env value.
-    SampleEveryCell().store(every, std::memory_order_relaxed);
+    SampleEveryCell().store(every, std::memory_order_relaxed);  // order: idempotent publish of the same env-derived value
   }
   return every;
 }
 
 void SetTraceSampleEvery(uint64_t every) noexcept {
   SampleEveryCell().store(every == kUnset ? kUnset - 1 : every,
-                          std::memory_order_relaxed);
+                          std::memory_order_relaxed);  // order: test-only override; callers set it before serving traffic
 }
 
 bool ShouldTraceRequest(uint64_t request_id) noexcept {

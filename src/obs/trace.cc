@@ -37,7 +37,7 @@ SpanRegistry& SpanRegistry::Global() {
 }
 
 SpanRegistry::Node* SpanRegistry::Enter(const char* name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   Node* parent = tls_span_stack.empty() ? &root_ : tls_span_stack.back();
   auto& slot = parent->children[name];
   if (slot == nullptr) {
@@ -52,7 +52,7 @@ SpanRegistry::Node* SpanRegistry::Enter(const char* name) {
 
 void SpanRegistry::Exit(Node* node, double elapsed_seconds) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     node->count += 1;
     node->total_seconds += elapsed_seconds;
     if (!tls_span_stack.empty() && tls_span_stack.back() == node) {
@@ -63,14 +63,14 @@ void SpanRegistry::Exit(Node* node, double elapsed_seconds) {
 }
 
 std::vector<SpanRegistry::NodeSnapshot> SpanRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<NodeSnapshot> out;
   FlattenInto(root_, "", out);
   return out;
 }
 
 void SpanRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   // Nodes owned by root_ with open ScopedSpans would dangle if freed;
   // Reset is documented for use between runs, when no span is open.
   root_.children.clear();

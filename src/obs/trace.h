@@ -5,10 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace ricd::obs {
@@ -51,11 +51,11 @@ class SpanRegistry {
   static SpanRegistry& Global();
 
   /// Flattens the tree in pre-order (children sorted by name).
-  std::vector<NodeSnapshot> Snapshot() const;
+  std::vector<NodeSnapshot> Snapshot() const RICD_EXCLUDES(mu_);
 
   /// Drops all recorded spans. Active spans keep recording into their
   /// (detached) nodes; callers reset between runs, not mid-run.
-  void Reset();
+  void Reset() RICD_EXCLUDES(mu_);
 
   /// Human-readable indented dump: one line per node with count, total and
   /// mean milliseconds.
@@ -66,12 +66,12 @@ class SpanRegistry {
 
   /// Opens a span: finds/creates the child of this thread's innermost open
   /// span (or of the root) and pushes it on the thread-local stack.
-  Node* Enter(const char* name);
+  Node* Enter(const char* name) RICD_EXCLUDES(mu_);
   /// Closes a span opened by Enter on the same thread.
-  void Exit(Node* node, double elapsed_seconds);
+  void Exit(Node* node, double elapsed_seconds) RICD_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  Node root_;
+  mutable Mutex mu_;
+  Node root_ RICD_GUARDED_BY(mu_);
 };
 
 /// RAII span timer. Use through RICD_TRACE_SPAN; nesting follows scope:

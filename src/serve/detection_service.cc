@@ -50,26 +50,34 @@ ServeOptions ServeOptions::FromEnv() {
 
 DetectionService::DetectionService(ServeOptions options)
     : options_(std::move(options)),
-      queue_(options_.queue_capacity) {
-  namespace names = obs::metric_names;
-  auto& registry = obs::MetricsRegistry::Global();
-  ingest_accepted_ = registry.GetCounter(names::kServeIngestAccepted);
-  ingest_rejected_ = registry.GetCounter(names::kServeIngestRejected);
-  batches_counter_ = registry.GetCounter(names::kServeIngestBatches);
-  rebuilds_counter_ = registry.GetCounter(names::kServeRebuilds);
-  query_counter_ = registry.GetCounter(names::kServeQueries);
-  queue_depth_gauge_ = registry.GetGauge(names::kServeQueueDepth);
-  epoch_gauge_ = registry.GetGauge(names::kServeEpoch);
-  queue_wait_hist_ = registry.GetHistogram(names::kServeQueueWaitSeconds);
-  drain_batch_hist_ = registry.GetHistogram(names::kServeDrainBatchSeconds);
-  refresh_hist_ = registry.GetHistogram(names::kServeRefreshSeconds);
-  publish_hist_ = registry.GetHistogram(names::kServePublishSeconds);
-}
+      queue_(options_.queue_capacity),
+      ingest_accepted_(obs::MetricsRegistry::Global().GetCounter(
+          obs::metric_names::kServeIngestAccepted)),
+      ingest_rejected_(obs::MetricsRegistry::Global().GetCounter(
+          obs::metric_names::kServeIngestRejected)),
+      batches_counter_(obs::MetricsRegistry::Global().GetCounter(
+          obs::metric_names::kServeIngestBatches)),
+      rebuilds_counter_(obs::MetricsRegistry::Global().GetCounter(
+          obs::metric_names::kServeRebuilds)),
+      query_counter_(obs::MetricsRegistry::Global().GetCounter(
+          obs::metric_names::kServeQueries)),
+      queue_depth_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          obs::metric_names::kServeQueueDepth)),
+      epoch_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          obs::metric_names::kServeEpoch)),
+      queue_wait_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          obs::metric_names::kServeQueueWaitSeconds)),
+      drain_batch_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          obs::metric_names::kServeDrainBatchSeconds)),
+      refresh_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          obs::metric_names::kServeRefreshSeconds)),
+      publish_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          obs::metric_names::kServePublishSeconds)) {}
 
 DetectionService::~DetectionService() { (void)Shutdown(); }
 
 Status DetectionService::Start(const table::ClickTable& initial) {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   if (detector_ != nullptr) {
     return Status::FailedPrecondition("DetectionService already started");
   }
@@ -132,8 +140,8 @@ void DetectionService::RefreshLoop() {
       options_.max_batch_delay_ms == 0 ? 10 : options_.max_batch_delay_ms);
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(wake_mu_);
-      wake_cv_.wait_for(lock, poll_interval, [this] {
+      MutexLock lock(wake_mu_);
+      wake_cv_.wait_for(lock.native(), poll_interval, [this] {
         if (stop_.load(std::memory_order_acquire)) return true;
         const uint64_t accepted = accepted_.load(std::memory_order_acquire);
         const uint64_t applied = applied_.load(std::memory_order_acquire);
@@ -166,7 +174,7 @@ void DetectionService::RefreshLoop() {
       for (const table::ClickRecord& r : pending) batch.Append(r);
       Status status;
       {
-        std::lock_guard<std::mutex> lock(state_mu_);
+        MutexLock lock(state_mu_);
         status = ApplyBatchLocked(batch);
       }
       if (status.ok()) {
@@ -303,8 +311,8 @@ Status DetectionService::Drain() {
   }
   const uint64_t target = accepted_.load(std::memory_order_acquire);
   wake_cv_.notify_one();
-  std::unique_lock<std::mutex> lock(wake_mu_);
-  applied_cv_.wait(lock, [this, target] {
+  MutexLock lock(wake_mu_);
+  applied_cv_.wait(lock.native(), [this, target] {
     return applied_.load(std::memory_order_acquire) >= target ||
            !running_.load(std::memory_order_acquire);
   });
@@ -312,7 +320,7 @@ Status DetectionService::Drain() {
 }
 
 Status DetectionService::ForceRebuild() {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   if (detector_ == nullptr) {
     return Status::FailedPrecondition("DetectionService not started");
   }

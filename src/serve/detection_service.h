@@ -5,10 +5,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "i2i/recommender.h"
 #include "obs/metrics.h"
@@ -75,7 +75,7 @@ class DetectionService {
   /// Bootstraps detection on `initial` (one full-graph pass), publishes the
   /// first snapshot and starts the refresh thread. Must be called once,
   /// before any ingest.
-  Status Start(const table::ClickTable& initial);
+  Status Start(const table::ClickTable& initial) RICD_EXCLUDES(state_mu_);
 
   /// Producer API: enqueues one click event. Returns ResourceExhausted when
   /// the queue is full (explicit backpressure — the caller decides whether
@@ -106,12 +106,12 @@ class DetectionService {
 
   /// Blocks until every record accepted so far has been applied and its
   /// snapshot published. Only meaningful while no producer keeps pushing.
-  Status Drain();
+  Status Drain() RICD_EXCLUDES(wake_mu_);
 
   /// Escalates immediately: full pipeline re-run over the materialized
   /// standing table (fresh hot-threshold derivation, verdicts replaced
   /// wholesale), then publishes. Runs on the caller's thread.
-  Status ForceRebuild();
+  Status ForceRebuild() RICD_EXCLUDES(state_mu_);
 
   /// Graceful shutdown: stop accepting ingests, drain the queue, apply the
   /// final batch, stop the refresh thread. Idempotent.
@@ -137,62 +137,68 @@ class DetectionService {
     const VerdictStore* store_;
   };
 
-  void RefreshLoop();
+  void RefreshLoop() RICD_EXCLUDES(state_mu_, wake_mu_);
 
   /// Runs incremental detection over `batch` and publishes the resulting
   /// snapshot; escalates to RebuildLocked when drift crosses the threshold.
-  /// Caller holds state_mu_.
-  Status ApplyBatchLocked(const table::ClickTable& batch);
+  Status ApplyBatchLocked(const table::ClickTable& batch)
+      RICD_REQUIRES(state_mu_);
 
-  /// Full pipeline re-run + publish. Caller holds state_mu_.
-  Status RebuildLocked();
+  /// Full pipeline re-run + publish.
+  Status RebuildLocked() RICD_REQUIRES(state_mu_);
 
-  /// Builds a snapshot from the current detector state. Caller holds
-  /// state_mu_.
-  std::shared_ptr<const VerdictSnapshot> BuildSnapshotLocked();
+  /// Builds a snapshot from the current detector state.
+  std::shared_ptr<const VerdictSnapshot> BuildSnapshotLocked()
+      RICD_REQUIRES(state_mu_);
 
-  /// Publishes `next`, running the serve validators when enabled. Caller
-  /// holds state_mu_.
-  Status PublishLocked(std::shared_ptr<const VerdictSnapshot> next);
+  /// Publishes `next`, running the serve validators when enabled.
+  Status PublishLocked(std::shared_ptr<const VerdictSnapshot> next)
+      RICD_REQUIRES(state_mu_);
 
-  ServeOptions options_;
-  IngestQueue queue_;
-  VerdictStore store_;
-  VerdictFilter filter_{&store_};
+  const ServeOptions options_;
+  IngestQueue queue_;    // unguarded: internally synchronized (lock-free MPSC)
+  VerdictStore store_;   // unguarded: internally synchronized (RCU snapshots)
+  VerdictFilter filter_{&store_};  // unguarded: stateless view over store_
 
   /// Guards detector_ and all snapshot construction/publication. Never
   /// touched by IngestClick or the query API.
-  std::mutex state_mu_;
-  std::unique_ptr<core::IncrementalRicd> detector_;
-  uint64_t epoch_ = 0;
-  uint64_t rebuilds_ = 0;
-  uint64_t batches_ = 0;
-  uint64_t region_edges_since_rebuild_ = 0;
-  std::shared_ptr<const VerdictSnapshot> last_published_;
+  Mutex state_mu_;
+  std::unique_ptr<core::IncrementalRicd> detector_ RICD_GUARDED_BY(state_mu_);
+  uint64_t epoch_ RICD_GUARDED_BY(state_mu_) = 0;
+  uint64_t rebuilds_ RICD_GUARDED_BY(state_mu_) = 0;
+  uint64_t batches_ RICD_GUARDED_BY(state_mu_) = 0;
+  uint64_t region_edges_since_rebuild_ RICD_GUARDED_BY(state_mu_) = 0;
+  std::shared_ptr<const VerdictSnapshot> last_published_
+      RICD_GUARDED_BY(state_mu_);
 
   /// Refresh-thread coordination. applied_ counts records folded into
-  /// detector_ state; Drain() waits for applied_ == accepted_.
+  /// detector_ state; Drain() waits for applied_ == accepted_. wake_mu_
+  /// guards no data — it exists so wake_cv_/applied_cv_ waits have a mutex;
+  /// the predicates read only the atomics below.
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> applied_{0};
-  std::mutex wake_mu_;
+  Mutex wake_mu_ RICD_ACQUIRED_AFTER(state_mu_);
   std::condition_variable wake_cv_;     // kicks the refresh thread
   std::condition_variable applied_cv_;  // signals Drain() waiters
-  std::unique_ptr<ThreadPool> refresh_thread_;
+  std::unique_ptr<ThreadPool> refresh_thread_;  // unguarded: created in
+                                                // Start, reset in Shutdown
+                                                // (already serialized)
 
-  // Instruments, resolved once (registry lookups take a mutex).
-  obs::Counter* ingest_accepted_;
-  obs::Counter* ingest_rejected_;
-  obs::Counter* batches_counter_;
-  obs::Counter* rebuilds_counter_;
-  obs::Counter* query_counter_;
-  obs::Gauge* queue_depth_gauge_;
-  obs::Gauge* epoch_gauge_;
-  obs::Histogram* queue_wait_hist_;
-  obs::Histogram* drain_batch_hist_;
-  obs::Histogram* refresh_hist_;
-  obs::Histogram* publish_hist_;
+  // Instruments, resolved once in the constructor (registry lookups take a
+  // mutex) and immutable afterwards.
+  obs::Counter* const ingest_accepted_;
+  obs::Counter* const ingest_rejected_;
+  obs::Counter* const batches_counter_;
+  obs::Counter* const rebuilds_counter_;
+  obs::Counter* const query_counter_;
+  obs::Gauge* const queue_depth_gauge_;
+  obs::Gauge* const epoch_gauge_;
+  obs::Histogram* const queue_wait_hist_;
+  obs::Histogram* const drain_batch_hist_;
+  obs::Histogram* const refresh_hist_;
+  obs::Histogram* const publish_hist_;
 };
 
 }  // namespace ricd::serve

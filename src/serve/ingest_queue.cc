@@ -25,12 +25,12 @@ IngestQueue::IngestQueue(size_t capacity)
     : cells_(RoundUpPow2(capacity < 2 ? 2 : capacity)) {
   mask_ = cells_.size() - 1;
   for (size_t i = 0; i < cells_.size(); ++i) {
-    cells_[i].seq.store(i, std::memory_order_relaxed);
+    cells_[i].seq.store(i, std::memory_order_relaxed);  // order: ctor init; publication happens-before any producer/consumer use
   }
 }
 
 Status IngestQueue::Push(const table::ClickRecord& record) {
-  uint64_t ticket = head_.load(std::memory_order_relaxed);
+  uint64_t ticket = head_.load(std::memory_order_relaxed);  // order: optimistic ticket read; cell.seq acquire validates the claim
   for (;;) {
     Cell& cell = cells_[ticket & mask_];
     const uint64_t seq = cell.seq.load(std::memory_order_acquire);
@@ -39,11 +39,11 @@ Status IngestQueue::Push(const table::ClickRecord& record) {
     if (diff == 0) {
       // Cell free for this ticket — try to claim it.
       if (head_.compare_exchange_weak(ticket, ticket + 1,
-                                      std::memory_order_relaxed)) {
+                                      std::memory_order_relaxed)) {  // order: ticket claim only; record hand-off syncs via cell.seq acq/rel
         // Account BEFORE publishing the cell: the consumer can only observe
         // a record whose pushed_ increment already happened, so a sampled
         // popped can never exceed a later-sampled pushed.
-        pushed_.fetch_add(1, std::memory_order_relaxed);
+        pushed_.fetch_add(1, std::memory_order_relaxed);  // order: monotonic stat counter; readers tolerate lag (see comment above)
         cell.record = record;
         cell.enqueue_micros = SteadyMicros();
         cell.seq.store(ticket + 1, std::memory_order_release);
@@ -53,10 +53,10 @@ Status IngestQueue::Push(const table::ClickRecord& record) {
     } else if (diff < 0) {
       // Cell still holds the record from one lap ago: the queue is full.
       // Reject with a distinct Status instead of blocking or dropping.
-      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_.fetch_add(1, std::memory_order_relaxed);  // order: monotonic stat counter; no data is published through it
       return Status::ResourceExhausted("ingest queue full");
     } else {
-      ticket = head_.load(std::memory_order_relaxed);
+      ticket = head_.load(std::memory_order_relaxed);  // order: retry hint only; next cell.seq acquire re-validates
     }
   }
 }
@@ -74,7 +74,7 @@ size_t IngestQueue::PopBatch(std::vector<table::ClickRecord>* out,
   // worth max_records clock syscalls on the drain path.
   const uint64_t now_micros = wait_seconds != nullptr ? SteadyMicros() : 0;
   while (taken < max_records) {
-    const uint64_t ticket = tail_.load(std::memory_order_relaxed);
+    const uint64_t ticket = tail_.load(std::memory_order_relaxed);  // order: tail_ is consumer-owned; no other thread writes it
     Cell& cell = cells_[ticket & mask_];
     const uint64_t seq = cell.seq.load(std::memory_order_acquire);
     if (static_cast<int64_t>(seq) - static_cast<int64_t>(ticket + 1) < 0) {
@@ -90,10 +90,10 @@ size_t IngestQueue::PopBatch(std::vector<table::ClickRecord>* out,
     // Account BEFORE freeing the cell: a producer can only reuse a slot
     // whose popped_ increment already happened, so pushed - popped sampled
     // on the consumer thread is always bounded by the capacity.
-    popped_.fetch_add(1, std::memory_order_relaxed);
+    popped_.fetch_add(1, std::memory_order_relaxed);  // order: monotonic stat counter; bounded by the cell.seq release below
     // Mark the cell free for the producer one lap later.
     cell.seq.store(ticket + mask_ + 1, std::memory_order_release);
-    tail_.store(ticket + 1, std::memory_order_relaxed);
+    tail_.store(ticket + 1, std::memory_order_relaxed);  // order: tail_ is consumer-owned; producers never read it
     ++taken;
   }
   return taken;
@@ -102,8 +102,8 @@ size_t IngestQueue::PopBatch(std::vector<table::ClickRecord>* out,
 uint64_t IngestQueue::depth() const {
   // popped first: it only grows, so a later pushed load can only widen the
   // difference, never drive it negative.
-  const uint64_t popped = popped_.load(std::memory_order_relaxed);
-  const uint64_t pushed = pushed_.load(std::memory_order_relaxed);
+  const uint64_t popped = popped_.load(std::memory_order_relaxed);  // order: sampled stat; popped-before-pushed keeps the difference >= 0
+  const uint64_t pushed = pushed_.load(std::memory_order_relaxed);  // order: sampled stat; see popped_ load above
   return pushed - popped;
 }
 
@@ -113,9 +113,9 @@ IngestQueueStats IngestQueue::stats() const {
   // popped before pushed (see depth()) keeps popped <= pushed in every
   // sample; the consumer thread additionally sees depth <= capacity because
   // its own popped_ is frozen while it samples.
-  s.popped = popped_.load(std::memory_order_relaxed);
-  s.pushed = pushed_.load(std::memory_order_relaxed);
-  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.popped = popped_.load(std::memory_order_relaxed);  // order: sampled stat; popped-before-pushed keeps popped <= pushed
+  s.pushed = pushed_.load(std::memory_order_relaxed);  // order: sampled stat; see popped_ load above
+  s.rejected = rejected_.load(std::memory_order_relaxed);  // order: sampled stat; exactness not required
   s.depth = s.pushed - s.popped;
   return s;
 }

@@ -91,17 +91,20 @@ Status ReadFrame(int fd, std::string* payload) {
 }
 
 TcpServer::TcpServer(DetectionService* service, Options options)
-    : service_(service), options_(options) {
-  namespace names = obs::metric_names;
-  auto& registry = obs::MetricsRegistry::Global();
-  requests_counter_ = registry.GetCounter(names::kServeServerRequests);
-  protocol_errors_counter_ =
-      registry.GetCounter(names::kServeServerProtocolErrors);
-  trace_sampled_counter_ = registry.GetCounter(names::kServeTraceSampled);
-  request_latency_ = registry.GetHistogram(names::kServeServerRequestSeconds);
-  query_latency_ = registry.GetHistogram(names::kServeRequestQuerySeconds);
-  ingest_latency_ = registry.GetHistogram(names::kServeRequestIngestSeconds);
-}
+    : service_(service),
+      options_(options),
+      requests_counter_(obs::MetricsRegistry::Global().GetCounter(
+          obs::metric_names::kServeServerRequests)),
+      protocol_errors_counter_(obs::MetricsRegistry::Global().GetCounter(
+          obs::metric_names::kServeServerProtocolErrors)),
+      trace_sampled_counter_(obs::MetricsRegistry::Global().GetCounter(
+          obs::metric_names::kServeTraceSampled)),
+      request_latency_(obs::MetricsRegistry::Global().GetHistogram(
+          obs::metric_names::kServeServerRequestSeconds)),
+      query_latency_(obs::MetricsRegistry::Global().GetHistogram(
+          obs::metric_names::kServeRequestQuerySeconds)),
+      ingest_latency_(obs::MetricsRegistry::Global().GetHistogram(
+          obs::metric_names::kServeRequestIngestSeconds)) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -181,7 +184,7 @@ void TcpServer::AcceptLoop() {
       RICD_LOG(ERROR) << "serve accept: " << std::strerror(errno);
       return;
     }
-    connections_.fetch_add(1, std::memory_order_relaxed);
+    connections_.fetch_add(1, std::memory_order_relaxed);  // order: monotonic stat counter; no data published through it
     handlers_->Submit([this, conn] { HandleConnection(conn); });
   }
 }
@@ -231,7 +234,7 @@ std::string TcpServer::HandleRequest(const std::string& payload) {
   // request count is exact — request_ids_ counts everything and is folded
   // into the serve.server.requests counter on STATS/METRICS reads.
   const uint64_t request_id =
-      request_ids_.fetch_add(1, std::memory_order_relaxed);
+      request_ids_.fetch_add(1, std::memory_order_relaxed);  // order: id allocation only; uniqueness is all dispatch needs
   obs::RequestTrace trace(request_id, obs::ShouldTraceRequest(request_id));
   if (!trace.sampled()) return DispatchRequest(payload, &trace);
 
@@ -246,9 +249,9 @@ std::string TcpServer::HandleRequest(const std::string& payload) {
 void TcpServer::SyncRequestCounter() {
   // exchange() hands each caller a disjoint [synced, ids) range, so
   // concurrent STATS/METRICS requests never double-count.
-  const uint64_t ids = request_ids_.load(std::memory_order_relaxed);
+  const uint64_t ids = request_ids_.load(std::memory_order_relaxed);  // order: monotonic id watermark; exchange below takes a disjoint range
   const uint64_t synced =
-      requests_synced_.exchange(ids, std::memory_order_relaxed);
+      requests_synced_.exchange(ids, std::memory_order_relaxed);  // order: counter fold bookkeeping; ranges are disjoint per exchange
   if (ids > synced) requests_counter_->Add(ids - synced);
 }
 

@@ -54,7 +54,7 @@ class TcpServer {
   uint16_t port() const { return port_; }
 
   uint64_t connections_served() const {
-    return connections_.load(std::memory_order_relaxed);
+    return connections_.load(std::memory_order_relaxed);  // order: monotonic stat read; exactness not required
   }
 
   /// Serves one request payload, returning the response frame. This is the
@@ -84,8 +84,8 @@ class TcpServer {
   /// path only bumps request_ids_).
   void SyncRequestCounter();
 
-  DetectionService* service_;
-  Options options_;
+  DetectionService* const service_;
+  const Options options_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;
   std::atomic<bool> stop_{true};
@@ -95,12 +95,12 @@ class TcpServer {
   std::unique_ptr<ThreadPool> acceptor_;
   std::unique_ptr<ThreadPool> handlers_;
 
-  obs::Counter* requests_counter_;
-  obs::Counter* protocol_errors_counter_;
-  obs::Counter* trace_sampled_counter_;
-  obs::Histogram* request_latency_;
-  obs::Histogram* query_latency_;
-  obs::Histogram* ingest_latency_;
+  obs::Counter* const requests_counter_;
+  obs::Counter* const protocol_errors_counter_;
+  obs::Counter* const trace_sampled_counter_;
+  obs::Histogram* const request_latency_;
+  obs::Histogram* const query_latency_;
+  obs::Histogram* const ingest_latency_;
 };
 
 /// Minimal blocking client for the protocol — used by `ricd_tool client`,

@@ -50,7 +50,7 @@ VerdictStore::ReadRef VerdictStore::Acquire() const {
 
 void VerdictStore::Publish(std::shared_ptr<const VerdictSnapshot> next) {
   RICD_CHECK(next != nullptr);
-  const std::lock_guard<std::mutex> lock(publish_mu_);
+  const MutexLock lock(publish_mu_);
   const uint64_t v = version_.load(std::memory_order_seq_cst);
   Slot& slot = slots_[(v + 1) & (kRingSlots - 1)];
   // The slot being recycled was current kRingSlots publishes ago; by now

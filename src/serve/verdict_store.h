@@ -6,11 +6,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "table/click_record.h"
 
 namespace ricd::serve {
@@ -143,7 +143,8 @@ class VerdictStore {
   /// Publishes `next` as the new current snapshot. Serialized internally
   /// (any thread may publish); may spin waiting for stale readers of the
   /// slot being recycled, but never blocks readers.
-  void Publish(std::shared_ptr<const VerdictSnapshot> next);
+  void Publish(std::shared_ptr<const VerdictSnapshot> next)
+      RICD_EXCLUDES(publish_mu_);
 
   /// Epoch of the currently published snapshot.
   uint64_t CurrentEpoch() const;
@@ -158,7 +159,9 @@ class VerdictStore {
     std::atomic<int64_t> refs{0};
   };
   struct Slot {
-    std::shared_ptr<const VerdictSnapshot> owner;  // writer-side only
+    // Guarded by the outer VerdictStore's publish_mu_ (clang's analysis
+    // cannot name an enclosing-class member from a nested struct).
+    std::shared_ptr<const VerdictSnapshot> owner;
     std::atomic<const VerdictSnapshot*> ptr{nullptr};
     std::array<RefShard, kRefShards> shards{};
 
@@ -178,11 +181,13 @@ class VerdictStore {
     return index;
   }
 
+  // unguarded: per-slot atomics carry their own protocol (seq_cst proof
+  // above); Slot::owner is publish_mu_-guarded, documented on the field.
   mutable std::array<Slot, kRingSlots> slots_;
   /// Version v lives in slot (v & (kRingSlots - 1)); readers validate
   /// against this after announcing their reference.
   std::atomic<uint64_t> version_{0};
-  std::mutex publish_mu_;  // writer-side serialization only
+  Mutex publish_mu_;  // writer-side serialization only
 };
 
 }  // namespace ricd::serve

@@ -1,0 +1,24 @@
+// Planted atomic-order-justify violations: a relaxed RMW, a relaxed load
+// spelled with the C++20 scoped enumerator, and a standalone fence — all
+// missing the required same-line `// order: <reason>` tag.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<unsigned long> g_hits{0};
+std::atomic<bool> g_ready{false};
+
+void Touch() {
+  g_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Ready() {
+  return g_ready.load(std::memory_order::relaxed);
+}
+
+void Publish() {
+  std::atomic_thread_fence(std::memory_order_release);
+  g_ready.store(true, std::memory_order_release);
+}
+
+}  // namespace fixture

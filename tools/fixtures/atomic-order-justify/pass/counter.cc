@@ -1,0 +1,24 @@
+// The same sites as fail/counter.cc with every relaxation justified by a
+// same-line `// order: <reason>` tag; acquire/release/seq_cst sites need no
+// tag (they are the default the rule pushes toward).
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<unsigned long> g_hits{0};
+std::atomic<bool> g_ready{false};
+
+void Touch() {
+  g_hits.fetch_add(1, std::memory_order_relaxed);  // order: statistic only, read after join
+}
+
+bool Ready() {
+  return g_ready.load(std::memory_order::relaxed);  // order: polled flag, re-checked under acquire before use
+}
+
+void Publish() {
+  std::atomic_thread_fence(std::memory_order_release);  // order: pins payload stores before the flag store below
+  g_ready.store(true, std::memory_order_release);
+}
+
+}  // namespace fixture

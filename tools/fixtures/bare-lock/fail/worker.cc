@@ -1,0 +1,27 @@
+// Planted bare-lock violations: naked .lock()/.unlock()/.try_lock() calls.
+// An early return between lock() and unlock() leaks the mutex — exactly the
+// bug class the RAII rule exists to prevent.
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Worker {
+ public:
+  bool Step(bool urgent) {
+    if (urgent && !mu_.try_lock()) {
+      return false;
+    }
+    if (!urgent) {
+      mu_.lock();
+    }
+    ++steps_;
+    mu_.unlock();
+    return true;
+  }
+
+ private:
+  ricd::Mutex mu_;
+  long steps_ RICD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

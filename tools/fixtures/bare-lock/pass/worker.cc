@@ -1,0 +1,24 @@
+// RAII locking: ricd::MutexLock scopes the critical section, so every exit
+// path (including the early return) releases the mutex. A local named
+// `lock` is fine — the rule only flags member calls `.lock()` / `->lock()`.
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Worker {
+ public:
+  bool Step(bool urgent) {
+    const ricd::MutexLock lock(mu_);
+    if (urgent && steps_ > 100) {
+      return false;
+    }
+    ++steps_;
+    return true;
+  }
+
+ private:
+  ricd::Mutex mu_;
+  long steps_ RICD_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

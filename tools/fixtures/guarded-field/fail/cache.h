@@ -1,0 +1,25 @@
+// Planted guarded-field violations: a Mutex-owning class whose mutable
+// members carry neither RICD_GUARDED_BY nor an `// unguarded: <reason>` tag.
+#ifndef RICD_CACHE_H_
+#define RICD_CACHE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Cache {
+ public:
+  void Put(int key);
+
+ private:
+  ricd::Mutex mu_;
+  std::vector<int> entries_;
+  std::size_t evictions_;
+};
+
+}  // namespace fixture
+
+#endif  // RICD_CACHE_H_

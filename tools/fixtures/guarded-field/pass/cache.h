@@ -1,0 +1,34 @@
+// Every escape hatch the guarded-field rule honors: RICD_GUARDED_BY,
+// immutable (const/static/constexpr), self-synchronizing types (atomics,
+// condition variables, the mutex itself), and an explicit
+// `// unguarded: <reason>` tag for members with an out-of-band protocol.
+#ifndef RICD_CACHE_H_
+#define RICD_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Cache {
+ public:
+  void Put(int key);
+
+ private:
+  ricd::Mutex mu_;
+  std::condition_variable cv_;
+  std::vector<int> entries_ RICD_GUARDED_BY(mu_);
+  std::size_t evictions_ RICD_GUARDED_BY(mu_);
+  std::atomic<std::size_t> hits_{0};
+  const std::size_t capacity_ = 64;
+  static constexpr std::size_t kShards = 4;
+  std::size_t epoch_;  // unguarded: written only in the ctor, read-only after
+};
+
+}  // namespace fixture
+
+#endif  // RICD_CACHE_H_

@@ -1,0 +1,16 @@
+// Half of a planted two-header include cycle: event.h -> sink.h -> event.h.
+#ifndef RICD_EVENT_H_
+#define RICD_EVENT_H_
+
+#include "sink.h"
+
+namespace fixture {
+
+struct Event {
+  int kind = 0;
+  Sink* origin = nullptr;
+};
+
+}  // namespace fixture
+
+#endif  // RICD_EVENT_H_

@@ -1,0 +1,15 @@
+// The other half of the planted cycle: sink.h includes event.h back.
+#ifndef RICD_SINK_H_
+#define RICD_SINK_H_
+
+#include "event.h"
+
+namespace fixture {
+
+struct Sink {
+  void Consume(const Event& e);
+};
+
+}  // namespace fixture
+
+#endif  // RICD_SINK_H_

@@ -1,0 +1,17 @@
+// Acyclic layering: event.h depends on sink.h only through a forward
+// declaration, so the include edge points one way.
+#ifndef RICD_EVENT_H_
+#define RICD_EVENT_H_
+
+namespace fixture {
+
+struct Sink;
+
+struct Event {
+  int kind = 0;
+  Sink* origin = nullptr;
+};
+
+}  // namespace fixture
+
+#endif  // RICD_EVENT_H_

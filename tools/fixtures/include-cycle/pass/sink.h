@@ -1,0 +1,15 @@
+// sink.h -> event.h with no back edge: the dependency graph is a DAG.
+#ifndef RICD_SINK_H_
+#define RICD_SINK_H_
+
+#include "event.h"
+
+namespace fixture {
+
+struct Sink {
+  void Consume(const Event& e);
+};
+
+}  // namespace fixture
+
+#endif  // RICD_SINK_H_

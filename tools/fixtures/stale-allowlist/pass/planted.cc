@@ -1,0 +1,11 @@
+// A live no-rand violation: the allowlist entry for this file earns its
+// keep by suppressing it, so stale-allowlist stays quiet.
+#include <cstdlib>
+
+namespace fixture {
+
+int Roll() {
+  return std::rand() % 6;
+}
+
+}  // namespace fixture
