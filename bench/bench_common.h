@@ -16,6 +16,8 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "ricd/params.h"
+#include "scenario/materialize.h"
+#include "scenario/registry.h"
 #include "snapshot/snapshot.h"
 #include "table/table_io.h"
 
@@ -80,7 +82,29 @@ struct BenchWorkload {
   graph::BipartiteGraph graph;
   gen::ScenarioScale scale = gen::ScenarioScale::kTiny;
   uint64_t seed = 0;
+  /// The registry spec the workload was assembled from ("baseline" unless
+  /// RICD_SCENARIO selected a different preset or spec file).
+  scenario::ScenarioSpec spec;
 };
+
+/// Resolves the scenario spec for a bench run: RICD_SCENARIO=<name|file>
+/// picks any registry preset or JSON spec file; the default is the
+/// `baseline` preset — the legacy scale-calibrated workload, bit-identical
+/// to what the benches generated before the registry existed. The bench's
+/// scale/seed (themselves RICD_SCALE/RICD_SEED-controlled) always win over
+/// the spec's own.
+inline scenario::ScenarioSpec SpecFromEnv(gen::ScenarioScale scale,
+                                          uint64_t seed) {
+  const char* env = std::getenv("RICD_SCENARIO");
+  if (env == nullptr || env[0] == '\0') {
+    return scenario::BaselineSpec(scale, seed);
+  }
+  auto spec = scenario::LoadScenario(env);
+  RICD_CHECK(spec.ok()) << spec.status();
+  spec->scale = scale;
+  spec->seed = seed;
+  return std::move(spec).value();
+}
 
 /// Scale descriptors of a workload for the machine-readable bench record.
 inline obs::WorkloadScale DescribeWorkload(const BenchWorkload& workload) {
@@ -106,13 +130,17 @@ inline void PrintWorkloadLine(const BenchWorkload& w) {
       w.scenario.labels.abnormal_items.size(), w.scenario.groups.size());
 }
 
-inline BenchWorkload GenerateWorkload(gen::ScenarioScale scale, uint64_t seed) {
-  auto scenario = gen::MakeScenario(scale, seed);
+inline BenchWorkload GenerateWorkload(const scenario::ScenarioSpec& spec) {
+  auto scenario = scenario::Materialize(spec);
   RICD_CHECK(scenario.ok()) << scenario.status();
   auto graph = graph::GraphBuilder::FromTable(scenario->table);
   RICD_CHECK(graph.ok()) << graph.status();
   return BenchWorkload{std::move(scenario).value(), std::move(graph).value(),
-                       scale, seed};
+                       spec.scale, spec.seed, spec};
+}
+
+inline BenchWorkload GenerateWorkload(gen::ScenarioScale scale, uint64_t seed) {
+  return GenerateWorkload(SpecFromEnv(scale, seed));
 }
 
 /// RICD_SNAPSHOT=<prefix> routes workload setup through the binary snapshot
@@ -126,10 +154,18 @@ inline BenchWorkload GenerateWorkload(gen::ScenarioScale scale, uint64_t seed) {
 inline BenchWorkload MakeWorkloadCached(const std::string& prefix,
                                         gen::ScenarioScale scale,
                                         uint64_t seed) {
-  char suffix[64];
-  std::snprintf(suffix, sizeof(suffix), ".%s.%llu.snap",
-                gen::ScenarioScaleName(scale),
-                static_cast<unsigned long long>(seed));
+  const scenario::ScenarioSpec spec = SpecFromEnv(scale, seed);
+  char suffix[128];
+  if (spec.name == "baseline") {
+    // Keep the pre-registry cache key so existing snapshot caches stay hot.
+    std::snprintf(suffix, sizeof(suffix), ".%s.%llu.snap",
+                  gen::ScenarioScaleName(scale),
+                  static_cast<unsigned long long>(seed));
+  } else {
+    std::snprintf(suffix, sizeof(suffix), ".%s.%s.%llu.snap",
+                  spec.name.c_str(), gen::ScenarioScaleName(scale),
+                  static_cast<unsigned long long>(seed));
+  }
   const std::string snap_path = prefix + suffix;
   const std::string table_path = snap_path + ".tbl";
 
@@ -137,7 +173,7 @@ inline BenchWorkload MakeWorkloadCached(const std::string& prefix,
   if (!view.ok()) {
     std::printf("[snapshot] cache miss for %s (%s); generating\n",
                 snap_path.c_str(), view.status().ToString().c_str());
-    BenchWorkload fresh = GenerateWorkload(scale, seed);
+    BenchWorkload fresh = GenerateWorkload(spec);
     const Status saved = snapshot::SaveSnapshot(fresh.graph, snap_path,
                                                 &fresh.scenario.labels);
     RICD_CHECK(saved.ok()) << saved;
@@ -159,6 +195,7 @@ inline BenchWorkload MakeWorkloadCached(const std::string& prefix,
   BenchWorkload cached;
   cached.scale = scale;
   cached.seed = seed;
+  cached.spec = spec;
   cached.scenario.labels = view->Labels();
   auto table = table::ReadBinary(table_path);
   if (table.ok()) {

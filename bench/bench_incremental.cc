@@ -35,7 +35,8 @@ int Run() {
   attack.cautious_fraction = 0.0;
   attack.structure_evading_fraction = 0.0;
   attack.budget_evading_fraction = 0.0;
-  auto injection = gen::InjectAttacks(attack, workload.scenario.table, rng);
+  auto injection =
+      ricd::scenario::InjectCampaign(attack, workload.scenario.table, rng);
   RICD_CHECK(injection.ok()) << injection.status();
 
   // Split the campaign into 6 "days" (workers activate over time).

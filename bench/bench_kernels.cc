@@ -33,7 +33,8 @@ const gen::Scenario& CachedScenario(gen::ScenarioScale scale) {
   static auto* cache = new std::map<int, std::unique_ptr<gen::Scenario>>;
   auto& slot = (*cache)[static_cast<int>(scale)];
   if (slot == nullptr) {
-    auto scenario = gen::MakeScenario(scale, 42);
+    auto scenario =
+        ricd::scenario::Materialize(ricd::scenario::BaselineSpec(scale, 42));
     RICD_CHECK(scenario.ok());
     slot = std::make_unique<gen::Scenario>(std::move(scenario).value());
   }

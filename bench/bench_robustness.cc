@@ -59,7 +59,12 @@ int Run() {
   std::vector<std::string> method_order;
 
   for (const uint64_t seed : seeds) {
+    // Each seed re-materializes the registry spec (RICD_SCENARIO selects
+    // the preset; default is the calibrated `baseline` campaign).
     const auto workload = MakeWorkload(scale, seed);
+    if (seed == seeds.front()) {
+      std::printf("scenario preset: %s\n\n", workload.spec.name.c_str());
+    }
 
     std::vector<std::unique_ptr<baselines::Detector>> detectors;
     {

@@ -47,7 +47,8 @@ int Run() {
               "ricd(s)", "lpa+ui(s)");
 
   for (const auto scale : scales) {
-    auto scenario = gen::MakeScenario(scale, 42);
+    auto scenario =
+        ricd::scenario::Materialize(ricd::scenario::BaselineSpec(scale, 42));
     RICD_CHECK(scenario.ok()) << scenario.status();
 
     Result<graph::BipartiteGraph> graph = Status::Internal("not run");

@@ -93,6 +93,15 @@ int Run() {
 
   const table::ClickTable& rows = workload.scenario.table;
   RICD_CHECK(rows.num_rows() > 0);
+  // Clients replay rows in the scenario's arrival order, so presets with
+  // flash-sale or burst arrival exercise the serve path with the traffic
+  // shape they advertise (RICD_SCENARIO selects the preset).
+  const std::vector<uint32_t> arrival =
+      ricd::scenario::ArrivalOrder(workload.spec, rows);
+  std::printf("scenario '%s': arrival pattern %s over %zu rows\n",
+              workload.spec.name.c_str(),
+              ricd::scenario::ArrivalPatternName(workload.spec.arrival),
+              rows.num_rows());
   std::atomic<uint64_t> completed{0};
   std::atomic<uint64_t> ingest_rejected{0};
   std::atomic<uint64_t> failures{0};
@@ -110,8 +119,9 @@ int Run() {
           return;
         }
         for (size_t i = 0; i < kRequestsPerClient; ++i) {
-          // Deterministic per-client walk over the workload rows.
-          const size_t r = (c * 7919 + i * 31) % rows.num_rows();
+          // Deterministic per-client walk over the arrival schedule.
+          const size_t r =
+              arrival[(c * 7919 + i * 31) % rows.num_rows()];
           WallTimer timer;
           if (i % kIngestEvery == kIngestEvery - 1) {
             std::vector<table::ClickRecord> batch;

@@ -38,7 +38,8 @@ int Run() {
   // --- cold path: generate -> CSV round trip -> build ------------------
   gen::Scenario scenario;
   const double gen_s = TimedStage("bench.snapshot.generate", [&] {
-    auto made = gen::MakeScenario(scale, seed);
+    auto made =
+        ricd::scenario::Materialize(ricd::scenario::BaselineSpec(scale, seed));
     RICD_CHECK(made.ok()) << made.status();
     scenario = std::move(made).value();
   });

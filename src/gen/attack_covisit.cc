@@ -1,0 +1,171 @@
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gen/attack_strategy.h"
+#include "i2i/i2i_score.h"
+
+namespace ricd::gen {
+namespace {
+
+/// Random-walk co-visit poisoning (Fang et al., arXiv:1809.04127), mapped
+/// onto the paper's I2I model: the attacker wants target items recommended
+/// from hot anchor items, so fake accounts plant (anchor, target) co-click
+/// pairs. Anchor choice is the optimization: per Eq. 2 the post-attack
+/// I2I-score of the target under anchor `a` is
+///
+///   S = (C_target + C') / (C_other(a) + C_target + C)
+///
+/// so for a fixed budget the best anchors are the ones with the smallest
+/// conditional click mass C_other(a) that are still hot enough to matter.
+/// We rank the hottest items by the closed-form optimum (Eq. 3,
+/// i2i::OptimalAttackScore) and spend the budget star-shaped: each fake
+/// account links one anchor pair to ONE target with budget-2 clicks. The
+/// resulting structure has no (k1, k2) biclique at all — it probes the
+/// detector's structural blind spot rather than its thresholds.
+class CovisitPoison final : public AttackStrategy {
+ public:
+  const char* name() const override { return "covisit_poison"; }
+  const char* description() const override {
+    return "co-visit graph poisoning vs the I2I scorer (Fang et al.)";
+  }
+
+  Result<InjectionResult> Inject(const AttackKnobs& knobs,
+                                 const table::ClickTable& background,
+                                 Rng& rng) const override {
+    RICD_RETURN_IF_ERROR(ValidateAttackKnobs(knobs));
+    if (knobs.budget == 0) return InjectionResult{};
+    if (background.empty()) {
+      return Status::FailedPrecondition("background table is empty");
+    }
+
+    // Conditional click mass per candidate anchor: C_other(a) =
+    // sum over users u that clicked a of (total clicks of u - clicks(u, a)),
+    // which equals the Eq. 1 denominator the I2I scorer computes from the
+    // graph — derived here by two columnar scans instead of a graph build.
+    std::unordered_map<table::UserId, uint64_t> user_total;
+    table::UserId max_user = 0;
+    for (size_t i = 0; i < background.num_rows(); ++i) {
+      user_total[background.user(i)] += background.clicks(i);
+      max_user = std::max(max_user, background.user(i));
+    }
+    if (max_user >= knobs.worker_id_base) {
+      return Status::InvalidArgument(
+          "worker_id_base collides with background user ids");
+    }
+
+    auto item_totals = background.TotalClicksByItem();
+    std::sort(item_totals.begin(), item_totals.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    const size_t pool_size =
+        std::min<size_t>(item_totals.size(),
+                         std::max<size_t>(64, 4ull * knobs.groups));
+    std::unordered_map<table::ItemId, uint64_t> base_other;
+    base_other.reserve(pool_size);
+    for (size_t i = 0; i < pool_size; ++i) {
+      base_other.emplace(item_totals[i].first, 0);
+    }
+    for (size_t i = 0; i < background.num_rows(); ++i) {
+      auto it = base_other.find(background.item(i));
+      if (it == base_other.end()) continue;
+      it->second += user_total[background.user(i)] - background.clicks(i);
+    }
+
+    // Rank anchors by achievable post-attack I2I score (base_target = 1:
+    // the link the fake account itself establishes). Ties by ascending id
+    // keep the plan deterministic.
+    struct Anchor {
+      table::ItemId item;
+      double gain;
+    };
+    std::vector<Anchor> anchors;
+    anchors.reserve(pool_size);
+    for (size_t i = 0; i < pool_size; ++i) {
+      const table::ItemId item = item_totals[i].first;
+      anchors.push_back(
+          {item, i2i::OptimalAttackScore(base_other[item], 1, knobs.budget)});
+    }
+    std::sort(anchors.begin(), anchors.end(), [](const Anchor& a, const Anchor& b) {
+      if (a.gain != b.gain) return a.gain > b.gain;
+      return a.item < b.item;
+    });
+
+    const auto camouflage_pool = [&] {
+      std::unordered_set<table::ItemId> seen;
+      for (size_t i = 0; i < background.num_rows(); ++i) {
+        seen.insert(background.item(i));
+      }
+      std::vector<table::ItemId> out(seen.begin(), seen.end());
+      std::sort(out.begin(), out.end());
+      return out;
+    }();
+    if (camouflage_pool.back() >= knobs.target_id_base) {
+      return Status::InvalidArgument(
+          "target_id_base collides with background item ids");
+    }
+
+    const uint32_t camo_items = static_cast<uint32_t>(
+        knobs.camouflage_rate * 6.0 + 0.5);
+    const auto target_clicks = static_cast<table::ClickCount>(
+        std::max<uint32_t>(1, knobs.budget - 2));
+
+    InjectionResult result;
+    table::UserId next_worker = knobs.worker_id_base;
+    table::ItemId next_target = knobs.target_id_base;
+    for (uint32_t g = 0; g < knobs.groups; ++g) {
+      InjectedGroup group;
+      // Two anchors per crew, walked down the ranked list so crews do not
+      // all pile onto one item (which would itself be a detectable signal).
+      group.hot_items.push_back(anchors[(2 * g) % anchors.size()].item);
+      group.hot_items.push_back(anchors[(2 * g + 1) % anchors.size()].item);
+      std::sort(group.hot_items.begin(), group.hot_items.end());
+      for (uint32_t t = 0; t < knobs.targets_per_group; ++t) {
+        group.targets.push_back(next_target++);
+      }
+      for (uint32_t w = 0; w < knobs.group_size; ++w) {
+        group.workers.push_back(next_worker++);
+      }
+
+      for (uint32_t w = 0; w < knobs.group_size; ++w) {
+        const table::UserId worker = group.workers[w];
+        // Eq. 3: two clicks establish the hot-target link, the rest of the
+        // budget goes to the single assigned target (C' = C = budget - 2).
+        for (const table::ItemId anchor : group.hot_items) {
+          result.attack_clicks.Append(worker, anchor, 1);
+        }
+        const table::ItemId target =
+            group.targets[w % group.targets.size()];
+        result.attack_clicks.Append(worker, target, target_clicks);
+        for (uint32_t c = 0; c < camo_items; ++c) {
+          const table::ItemId item =
+              camouflage_pool[rng.Uniform(camouflage_pool.size())];
+          result.attack_clicks.Append(
+              worker, item,
+              static_cast<table::ClickCount>(rng.UniformInt(1, 2)));
+        }
+      }
+
+      for (const auto u : group.workers) result.labels.abnormal_users.insert(u);
+      for (const auto t : group.targets) result.labels.abnormal_items.insert(t);
+      result.groups.push_back(std::move(group));
+      result.group_styles.push_back(CrewStyle::kStructureEvading);
+    }
+
+    result.attack_clicks.ConsolidateDuplicates();
+    return result;
+  }
+};
+
+}  // namespace
+
+const AttackStrategy& CovisitPoisonStrategy() {
+  static const CovisitPoison strategy;
+  return strategy;
+}
+
+}  // namespace ricd::gen

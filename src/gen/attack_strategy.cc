@@ -1,0 +1,117 @@
+#include "gen/attack_strategy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace ricd::gen {
+
+Status ValidateAttackKnobs(const AttackKnobs& knobs) {
+  if (knobs.camouflage_rate < 0.0 || knobs.camouflage_rate > 1.0) {
+    return Status::InvalidArgument(
+        StringPrintf("camouflage_rate must be in [0, 1], got %g",
+                     knobs.camouflage_rate));
+  }
+  if (knobs.groups == 0 || knobs.group_size == 0 ||
+      knobs.targets_per_group == 0) {
+    return Status::InvalidArgument("attack knob counts must be > 0");
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+uint32_t ScaledClicks(uint32_t reference, double factor) {
+  return std::max<uint32_t>(
+      1, static_cast<uint32_t>(static_cast<double>(reference) * factor + 0.5));
+}
+
+/// The paper's own campaign behind the uniform knob surface: knobs map onto
+/// AttackConfig fields, everything not knob-controlled keeps the calibrated
+/// AttackConfig defaults (crew-style mix, jitters, organic curiosity).
+class DerivedRic final : public AttackStrategy {
+ public:
+  const char* name() const override { return "derived_ric"; }
+  const char* description() const override {
+    return "paper's Ride-Item's-Coattails crews (blatant/evading mix)";
+  }
+
+  Result<InjectionResult> Inject(const AttackKnobs& knobs,
+                                 const table::ClickTable& background,
+                                 Rng& rng) const override {
+    RICD_RETURN_IF_ERROR(ValidateAttackKnobs(knobs));
+    if (knobs.budget == 0) return InjectionResult{};
+
+    AttackConfig config;
+    config.num_groups = knobs.groups;
+    config.workers_per_group = knobs.group_size;
+    config.targets_per_group = knobs.targets_per_group;
+
+    // budget rescales the calibrated click ranges around their defaults
+    // (12/24 full, 9/11 evading), so budget == 24 reproduces the stock
+    // AttackConfig exactly and smaller budgets shrink every range in
+    // proportion — evading crews stay strictly below the full-budget floor.
+    const double factor = static_cast<double>(knobs.budget) / 24.0;
+    config.min_target_clicks = ScaledClicks(12, factor);
+    config.max_target_clicks =
+        std::max(config.min_target_clicks, ScaledClicks(24, factor));
+    config.evading_min_target_clicks = ScaledClicks(9, factor);
+    config.evading_max_target_clicks =
+        std::max(config.evading_min_target_clicks, ScaledClicks(11, factor));
+
+    // camouflage_rate drives both disguise channels: the fraction of
+    // experienced (hot-item-mimicking) workers and the ordinary-item
+    // camouflage clicks (0.2 -> the stock 3 items).
+    config.disguised_worker_fraction = knobs.camouflage_rate;
+    config.camouflage_items = static_cast<uint32_t>(
+        std::lround(15.0 * knobs.camouflage_rate));
+
+    config.worker_id_base = knobs.worker_id_base;
+    config.target_id_base = knobs.target_id_base;
+    return InjectAttacks(config, background, rng);
+  }
+};
+
+struct FamilyEntry {
+  const char* name;
+  const AttackStrategy& (*get)();
+};
+
+/// Registry, sorted by name. New families register here; the scenario spec
+/// parser and the red-team sweep both enumerate this table.
+constexpr FamilyEntry kFamilies[] = {
+    {"covisit_poison", CovisitPoisonStrategy},
+    {"derived_ric", DerivedRicStrategy},
+    {"uplift_camouflage", UpliftCamouflageStrategy},
+};
+
+}  // namespace
+
+const AttackStrategy& DerivedRicStrategy() {
+  static const DerivedRic strategy;
+  return strategy;
+}
+
+std::vector<std::string> AttackFamilyNames() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kFamilies));
+  for (const FamilyEntry& entry : kFamilies) names.emplace_back(entry.name);
+  return names;
+}
+
+Result<const AttackStrategy*> FindAttackFamily(std::string_view name) {
+  for (const FamilyEntry& entry : kFamilies) {
+    if (name == entry.name) return &entry.get();
+  }
+  std::string known;
+  for (const FamilyEntry& entry : kFamilies) {
+    if (!known.empty()) known += ", ";
+    known += entry.name;
+  }
+  return Status::NotFound(StringPrintf("unknown attack family '%.*s' (known: %s)",
+                                       static_cast<int>(name.size()),
+                                       name.data(), known.c_str()));
+}
+
+}  // namespace ricd::gen

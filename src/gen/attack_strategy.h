@@ -1,0 +1,99 @@
+#ifndef RICD_GEN_ATTACK_STRATEGY_H_
+#define RICD_GEN_ATTACK_STRATEGY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "gen/attack_injector.h"
+#include "table/click_table.h"
+
+namespace ricd::gen {
+
+/// Family-independent attacker knobs. Every registered family interprets
+/// the same five dials, so a red-team sweep can vary one dial and compare
+/// robustness curves across families on equal footing:
+///
+///  * groups            — independent crews / seller campaigns
+///  * group_size        — fake accounts per crew
+///  * targets_per_group — boosted items per crew
+///  * budget            — per-worker, per-target click budget; the paper's
+///                        C_b from Eq. 3. budget == 0 means "campaign not
+///                        run": Inject MUST return an empty InjectionResult
+///                        so the scenario is bit-identical to a clean one.
+///  * camouflage_rate   — fraction of effort spent looking legitimate
+///                        (camouflage clicks, disguised workers, or copied
+///                        organic profiles), in [0, 1].
+struct AttackKnobs {
+  uint32_t groups = 3;
+  uint32_t group_size = 16;
+  uint32_t targets_per_group = 8;
+  uint32_t budget = 24;
+  double camouflage_rate = 0.2;
+
+  /// Minted account/item id bases. Callers (src/scenario) offset these per
+  /// campaign so multiple attacks in one scenario never collide with each
+  /// other, the background, or the organic clubs.
+  table::UserId worker_id_base = 10000000;
+  table::ItemId target_id_base = 20000000;
+};
+
+/// A pluggable attack family. Implementations are stateless singletons:
+/// all per-campaign state flows through (knobs, background, rng), so a
+/// family is deterministic for a fixed seed and safe to share across
+/// threads. The background table is never modified; callers append
+/// `attack_clicks` and re-consolidate (same contract as InjectAttacks).
+class AttackStrategy {
+ public:
+  virtual ~AttackStrategy() = default;
+
+  /// Stable registry name ("derived_ric", ...).
+  virtual const char* name() const = 0;
+
+  /// One-line description for --help output and DESIGN docs.
+  virtual const char* description() const = 0;
+
+  virtual Result<InjectionResult> Inject(const AttackKnobs& knobs,
+                                         const table::ClickTable& background,
+                                         Rng& rng) const = 0;
+};
+
+/// Shared knob validation every family applies before planning: counts > 0,
+/// camouflage_rate in [0, 1]. (budget == 0 is valid — it is the no-op.)
+Status ValidateAttackKnobs(const AttackKnobs& knobs);
+
+/// Registered family names, sorted ascending (sweep + --help enumeration).
+std::vector<std::string> AttackFamilyNames();
+
+/// Looks up a family by name; NotFound (listing the registered names) when
+/// it does not exist. The returned strategy is a process-lifetime singleton.
+Result<const AttackStrategy*> FindAttackFamily(std::string_view name);
+
+/// The individual family singletons (registered in attack_strategy.cc):
+///
+/// "derived_ric" — the paper's own "Ride Item's Coattails" campaign: knob
+/// values are mapped onto AttackConfig and injected via InjectAttacks, so
+/// the full crew-style mix (blatant/evading/cautious) rides behind the
+/// uniform knob surface.
+const AttackStrategy& DerivedRicStrategy();
+
+/// "covisit_poison" — random-walk co-visit poisoning (Fang et al.,
+/// arXiv:1809.04127): fake accounts plant co-click edges between chosen hot
+/// anchor items and minted targets, with anchors ranked by the closed-form
+/// attack gain of the I2I scorer (Eq. 3) per click of budget. Structurally
+/// diffuse (star-shaped, no biclique) — the family RICD's structural
+/// extraction is weakest against.
+const AttackStrategy& CovisitPoisonStrategy();
+
+/// "uplift_camouflage" — uplift-style target-user attack (arXiv:2403.02692
+/// lineage): fake accounts clone a camouflage_rate fraction of a sampled
+/// real user's click profile to impersonate organic traffic, then spread
+/// modest sub-threshold clicks over a random subset of the crew's targets.
+const AttackStrategy& UpliftCamouflageStrategy();
+
+}  // namespace ricd::gen
+
+#endif  // RICD_GEN_ATTACK_STRATEGY_H_

@@ -1,0 +1,138 @@
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gen/attack_strategy.h"
+
+namespace ricd::gen {
+namespace {
+
+/// Uplift-style target-user camouflage (the arXiv:2403.02692 lineage): the
+/// attacker optimizes for looking like the persuadable organic users the
+/// recommender already serves. Each fake account clones a camouflage_rate
+/// fraction of a sampled real user's click profile — so its behavioural
+/// statistics (distinct items, clicks per edge, popularity mix) are drawn
+/// from the true organic distribution, not a synthetic one — and then adds
+/// modest clicks on a random subset of the crew's targets. Participation is
+/// deliberately partial (~70%) so the crew is a loose community rather than
+/// a biclique, and per-target clicks follow the budget knob, which presets
+/// keep below the T_click = 12 screening threshold.
+class UpliftCamouflage final : public AttackStrategy {
+ public:
+  const char* name() const override { return "uplift_camouflage"; }
+  const char* description() const override {
+    return "fake accounts cloning real-user profiles (uplift-style)";
+  }
+
+  Result<InjectionResult> Inject(const AttackKnobs& knobs,
+                                 const table::ClickTable& background,
+                                 Rng& rng) const override {
+    RICD_RETURN_IF_ERROR(ValidateAttackKnobs(knobs));
+    if (knobs.budget == 0) return InjectionResult{};
+    if (background.empty()) {
+      return Status::FailedPrecondition("background table is empty");
+    }
+
+    // Per-user row runs of the (consolidated, user-sorted) background: the
+    // profile pool fake accounts clone from. Only reasonably active users
+    // make convincing sources; fall back to everyone on tiny tables.
+    struct Run {
+      size_t start = 0;
+      size_t length = 0;
+    };
+    std::vector<Run> runs;
+    table::UserId max_user = 0;
+    table::ItemId max_item = 0;
+    for (size_t i = 0; i < background.num_rows(); ++i) {
+      max_user = std::max(max_user, background.user(i));
+      max_item = std::max(max_item, background.item(i));
+      if (runs.empty() || background.user(runs.back().start) != background.user(i)) {
+        runs.push_back({i, 1});
+      } else {
+        ++runs.back().length;
+      }
+    }
+    if (max_user >= knobs.worker_id_base) {
+      return Status::InvalidArgument(
+          "worker_id_base collides with background user ids");
+    }
+    if (max_item >= knobs.target_id_base) {
+      return Status::InvalidArgument(
+          "target_id_base collides with background item ids");
+    }
+    std::vector<Run> active;
+    for (const Run& run : runs) {
+      if (run.length >= 4) active.push_back(run);
+    }
+    if (active.empty()) active = runs;
+
+    const auto lo_clicks = std::max<uint32_t>(1, knobs.budget / 2);
+    const auto hi_clicks = std::max<uint32_t>(lo_clicks, knobs.budget);
+
+    InjectionResult result;
+    table::UserId next_worker = knobs.worker_id_base;
+    table::ItemId next_target = knobs.target_id_base;
+    std::vector<size_t> profile_rows;
+    for (uint32_t g = 0; g < knobs.groups; ++g) {
+      InjectedGroup group;
+      for (uint32_t t = 0; t < knobs.targets_per_group; ++t) {
+        group.targets.push_back(next_target++);
+      }
+      for (uint32_t w = 0; w < knobs.group_size; ++w) {
+        group.workers.push_back(next_worker++);
+      }
+
+      for (uint32_t w = 0; w < knobs.group_size; ++w) {
+        const table::UserId worker = group.workers[w];
+
+        // Clone a random slice of a sampled real profile. Cloned edges are
+        // kept light (<= 3 clicks) — the disguise is the item mix, not the
+        // intensity.
+        const Run& src = active[rng.Uniform(active.size())];
+        const size_t n_copy = std::min<size_t>(
+            src.length,
+            std::max<size_t>(
+                1, static_cast<size_t>(knobs.camouflage_rate *
+                                           static_cast<double>(src.length) +
+                                       0.5)));
+        profile_rows.resize(src.length);
+        for (size_t i = 0; i < src.length; ++i) profile_rows[i] = src.start + i;
+        rng.Shuffle(profile_rows);
+        for (size_t i = 0; i < n_copy; ++i) {
+          const size_t row = profile_rows[i];
+          result.attack_clicks.Append(
+              worker, background.item(row),
+              std::min<table::ClickCount>(background.clicks(row), 3));
+        }
+
+        // Partial participation over the crew's targets; the round-robin
+        // anchor target guarantees every target gets boosted.
+        for (size_t t = 0; t < group.targets.size(); ++t) {
+          const bool anchored = t == w % group.targets.size();
+          if (!anchored && !rng.Bernoulli(0.7)) continue;
+          result.attack_clicks.Append(
+              worker, group.targets[t],
+              static_cast<table::ClickCount>(
+                  rng.UniformInt(lo_clicks, hi_clicks)));
+        }
+      }
+
+      for (const auto u : group.workers) result.labels.abnormal_users.insert(u);
+      for (const auto t : group.targets) result.labels.abnormal_items.insert(t);
+      result.groups.push_back(std::move(group));
+      result.group_styles.push_back(CrewStyle::kCautious);
+    }
+
+    result.attack_clicks.ConsolidateDuplicates();
+    return result;
+  }
+};
+
+}  // namespace
+
+const AttackStrategy& UpliftCamouflageStrategy() {
+  static const UpliftCamouflage strategy;
+  return strategy;
+}
+
+}  // namespace ricd::gen

@@ -1,0 +1,52 @@
+#ifndef RICD_SCENARIO_MATERIALIZE_H_
+#define RICD_SCENARIO_MATERIALIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "gen/scenario.h"
+#include "scenario/spec.h"
+#include "table/click_table.h"
+
+namespace ricd::scenario {
+
+/// Materializes a spec into a full gen::Scenario: scale-calibrated
+/// background (with the spec's skew override), organic communities, then
+/// every attack campaign in spec order. Legacy campaigns (groups == 0)
+/// draw from the shared generator stream exactly like gen::MakeScenario;
+/// every other campaign runs its registered AttackStrategy on a dedicated
+/// rng forked from (seed, campaign index, seed_salt), so a budget-0
+/// campaign — or removing a campaign — leaves every other byte of the
+/// scenario unchanged. Campaign id bases are offset per index so minted
+/// accounts/items never collide across campaigns.
+Result<gen::Scenario> Materialize(const ScenarioSpec& spec);
+
+/// Sanctioned config-level entry for parameter-sweep benches
+/// (bench_sensitivity, bench_case_study) that need to perturb raw generator
+/// configs rather than named presets. Forwards to gen::MakeScenario; going
+/// through this wrapper instead of calling the generator directly is what
+/// the `ad-hoc-workload` lint rule enforces.
+Result<gen::Scenario> MaterializeCustom(
+    const gen::BackgroundConfig& background_config,
+    const gen::AttackConfig& attack_config,
+    const gen::OrganicCommunityConfig& organic_config, uint64_t seed);
+
+/// Sanctioned entry for callers that stream an extra campaign into an
+/// already-materialized table (bench_incremental's dynamic-stream phase).
+/// Forwards to gen::InjectAttacks.
+Result<gen::InjectionResult> InjectCampaign(const gen::AttackConfig& config,
+                                            const table::ClickTable& background,
+                                            Rng& rng);
+
+/// Deterministic replay schedule implementing the spec's arrival pattern:
+/// a permutation of [0, table.num_rows()) giving the order rows should be
+/// streamed/ingested. The table itself is never reordered — graph vertex
+/// ids are assigned in first-seen row order, so mutating the canonical
+/// order would silently change dense ids and ranking tie-breaks.
+std::vector<uint32_t> ArrivalOrder(const ScenarioSpec& spec,
+                                   const table::ClickTable& table);
+
+}  // namespace ricd::scenario
+
+#endif  // RICD_SCENARIO_MATERIALIZE_H_

@@ -1,0 +1,33 @@
+#ifndef RICD_SCENARIO_REGISTRY_H_
+#define RICD_SCENARIO_REGISTRY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "scenario/spec.h"
+
+namespace ricd::scenario {
+
+/// Names of every registered preset, sorted ascending.
+std::vector<std::string> ScenarioNames();
+
+/// Returns a copy of the named preset spec; NotFound (listing the known
+/// names) otherwise. Callers may freely override scale/seed on the copy —
+/// that is the sanctioned way benches apply RICD_SCALE / RICD_SEED.
+Result<ScenarioSpec> FindScenario(std::string_view name);
+
+/// Resolves a `--scenario <name|file>` argument: a registered preset name,
+/// or a path to a JSON spec file (parsed with ParseScenarioSpec and subject
+/// to the same validation).
+Result<ScenarioSpec> LoadScenario(const std::string& name_or_path);
+
+/// The default per-scale bench workload: the legacy scale-calibrated paper
+/// campaign (`baseline` preset) with scale and seed applied. Materializes
+/// bit-identically to the pre-registry gen::MakeScenario(scale, seed).
+ScenarioSpec BaselineSpec(gen::ScenarioScale scale, uint64_t seed);
+
+}  // namespace ricd::scenario
+
+#endif  // RICD_SCENARIO_REGISTRY_H_

@@ -1,0 +1,93 @@
+#ifndef RICD_SCENARIO_SPEC_H_
+#define RICD_SCENARIO_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gen/scenario.h"
+
+namespace ricd::scenario {
+
+/// Click arrival pattern for streaming/serving consumers. The canonical
+/// table row order is NEVER changed by this (graph vertex ids are assigned
+/// in first-seen row order, so reordering rows would silently change dense
+/// ids); arrival is a replay schedule computed on demand — see
+/// ArrivalOrder() in materialize.h.
+enum class ArrivalPattern {
+  kUniform,    // rows replayed in a seeded uniform shuffle
+  kFlashSale,  // clicks on the hottest items arrive first (sale burst)
+  kBurst,      // attack clicks arrive as one contiguous mid-stream burst
+};
+
+/// Stable wire name ("uniform", "flash_sale", "burst").
+const char* ArrivalPatternName(ArrivalPattern pattern);
+
+/// One attack campaign inside a scenario, expressed through the
+/// family-independent knob surface of gen::AttackKnobs.
+///
+/// `groups == 0` is the legacy marker: the scale-calibrated paper campaign
+/// (gen::AttackConfigFor(scale), injected on the shared generator stream
+/// exactly like gen::MakeScenario always has), with every other knob
+/// ignored. This keeps the default bench workloads bit-identical to the
+/// pre-registry ones, so snapshot caches and perf baselines stay valid.
+struct AttackSpec {
+  std::string family = "derived_ric";
+  uint32_t groups = 3;
+  uint32_t group_size = 16;
+  uint32_t targets_per_group = 8;
+  uint32_t budget = 24;  // per-worker per-target clicks; 0 = no-op campaign
+  double camouflage_rate = 0.2;
+  /// Extra salt mixed into the per-campaign rng fork, so two otherwise
+  /// identical campaigns in one scenario draw independent streams.
+  uint64_t seed_salt = 0;
+};
+
+/// A named, serializable workload recipe: everything needed to reproduce a
+/// full evaluation scenario (background scale and skew, organic communities,
+/// attack mix, arrival pattern) from one seed. This is the first-class
+/// object benches, tests and ricd_tool share; materialization lives in
+/// materialize.h.
+struct ScenarioSpec {
+  std::string name;
+  gen::ScenarioScale scale = gen::ScenarioScale::kTiny;
+  /// Item-popularity Zipf exponent override; 0 keeps the scale-calibrated
+  /// default (BackgroundConfigFor's 1.25).
+  double skew = 0.0;
+  ArrivalPattern arrival = ArrivalPattern::kUniform;
+  uint64_t seed = 42;
+  std::vector<AttackSpec> attacks;
+};
+
+/// Serializes `spec` as one compact JSON object with a fixed member order
+/// and deterministic number formatting:
+///
+///   {"name":"ric_burst","scale":"tiny","skew":0,"arrival":"burst",
+///    "seed":42,"attacks":[{"family":"derived_ric","groups":4,
+///    "group_size":18,"targets_per_group":8,"budget":24,
+///    "camouflage_rate":0.2,"seed_salt":0}]}
+///
+/// ToJson(Parse(ToJson(s))) == ToJson(s) byte-for-byte — the round-trip
+/// stability scenario_test locks down.
+std::string ScenarioSpecToJson(const ScenarioSpec& spec);
+
+/// Parses and validates a spec. Every rejection is an InvalidArgument whose
+/// message starts with a stable machine-checkable tag:
+///
+///   validate.scenario: bad-json       — not parseable JSON
+///   validate.scenario: not-object     — root is not an object
+///   validate.scenario: unknown-field  — member not in the schema
+///   validate.scenario: bad-type      — member has the wrong JSON type
+///   validate.scenario: missing-name  — name absent or empty
+///   validate.scenario: bad-scale     — scale not tiny/small/medium/large
+///   validate.scenario: bad-arrival   — arrival not a known pattern
+///   validate.scenario: bad-family    — attack family not registered
+///   validate.scenario: bad-value     — number out of its documented range
+///
+/// Members other than "name" may be omitted and take the defaults above.
+Result<ScenarioSpec> ParseScenarioSpec(const std::string& json);
+
+}  // namespace ricd::scenario
+
+#endif  // RICD_SCENARIO_SPEC_H_

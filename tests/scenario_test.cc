@@ -1,0 +1,270 @@
+// Tests for src/scenario: byte-stable JSON round-trips of ScenarioSpec,
+// stable `validate.scenario: <tag>` rejection Statuses, registry preset
+// enumeration, bit-compatibility of the `baseline` preset with the legacy
+// generator entry point, and the arrival-schedule permutation guarantees.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/scenario.h"
+#include "scenario/materialize.h"
+#include "scenario/registry.h"
+#include "scenario/spec.h"
+#include "table/click_table.h"
+
+namespace ricd::scenario {
+namespace {
+
+void ExpectSameTable(const table::ClickTable& a, const table::ClickTable& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    ASSERT_EQ(a.user(i), b.user(i)) << "row " << i;
+    ASSERT_EQ(a.item(i), b.item(i)) << "row " << i;
+    ASSERT_EQ(a.clicks(i), b.clicks(i)) << "row " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON round-trip
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSpecTest, JsonRoundTripIsByteStableForEveryPreset) {
+  for (const std::string& name : ScenarioNames()) {
+    SCOPED_TRACE(name);
+    auto spec = FindScenario(name);
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    const std::string json = ScenarioSpecToJson(*spec);
+    auto reparsed = ParseScenarioSpec(json);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+    EXPECT_EQ(ScenarioSpecToJson(*reparsed), json);
+  }
+}
+
+TEST(ScenarioSpecTest, RoundTripPreservesEveryField) {
+  ScenarioSpec spec;
+  spec.name = "custom";
+  spec.scale = gen::ScenarioScale::kSmall;
+  spec.skew = 1.6;
+  spec.arrival = ArrivalPattern::kFlashSale;
+  spec.seed = 1234567890123ULL;
+  AttackSpec attack;
+  attack.family = "covisit_poison";
+  attack.groups = 5;
+  attack.group_size = 21;
+  attack.targets_per_group = 9;
+  attack.budget = 17;
+  attack.camouflage_rate = 0.35;
+  attack.seed_salt = 99;
+  spec.attacks.push_back(attack);
+
+  auto parsed = ParseScenarioSpec(ScenarioSpecToJson(spec));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->name, "custom");
+  EXPECT_EQ(parsed->scale, gen::ScenarioScale::kSmall);
+  EXPECT_DOUBLE_EQ(parsed->skew, 1.6);
+  EXPECT_EQ(parsed->arrival, ArrivalPattern::kFlashSale);
+  EXPECT_EQ(parsed->seed, 1234567890123ULL);
+  ASSERT_EQ(parsed->attacks.size(), 1u);
+  EXPECT_EQ(parsed->attacks[0].family, "covisit_poison");
+  EXPECT_EQ(parsed->attacks[0].groups, 5u);
+  EXPECT_EQ(parsed->attacks[0].group_size, 21u);
+  EXPECT_EQ(parsed->attacks[0].targets_per_group, 9u);
+  EXPECT_EQ(parsed->attacks[0].budget, 17u);
+  EXPECT_DOUBLE_EQ(parsed->attacks[0].camouflage_rate, 0.35);
+  EXPECT_EQ(parsed->attacks[0].seed_salt, 99u);
+}
+
+TEST(ScenarioSpecTest, OmittedMembersTakeDefaults) {
+  auto spec = ParseScenarioSpec("{\"name\":\"bare\"}");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->name, "bare");
+  EXPECT_EQ(spec->scale, gen::ScenarioScale::kTiny);
+  EXPECT_DOUBLE_EQ(spec->skew, 0.0);
+  EXPECT_EQ(spec->arrival, ArrivalPattern::kUniform);
+  EXPECT_EQ(spec->seed, 42u);
+  EXPECT_TRUE(spec->attacks.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Validation tags
+// ---------------------------------------------------------------------------
+
+void ExpectTag(const std::string& json, const std::string& tag) {
+  auto spec = ParseScenarioSpec(json);
+  ASSERT_FALSE(spec.ok()) << json;
+  EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument);
+  const std::string expected = "validate.scenario: " + tag;
+  EXPECT_EQ(spec.status().message().substr(0, expected.size()), expected)
+      << spec.status();
+}
+
+TEST(ScenarioSpecTest, RejectionsCarryStableValidateTags) {
+  ExpectTag("{\"name\":", "bad-json");
+  ExpectTag("[1,2]", "not-object");
+  ExpectTag("{\"name\":\"x\",\"extra\":1}", "unknown-field");
+  ExpectTag("{\"name\":\"x\",\"attacks\":[{\"bogus\":1}]}", "unknown-field");
+  ExpectTag("{\"name\":7}", "bad-type");
+  ExpectTag("{\"name\":\"x\",\"attacks\":7}", "bad-type");
+  ExpectTag("{\"name\":\"x\",\"attacks\":[7]}", "bad-type");
+  ExpectTag("{}", "missing-name");
+  ExpectTag("{\"name\":\"\"}", "missing-name");
+  ExpectTag("{\"name\":\"x\",\"scale\":\"huge\"}", "bad-scale");
+  ExpectTag("{\"name\":\"x\",\"arrival\":\"sideways\"}", "bad-arrival");
+  ExpectTag("{\"name\":\"x\",\"attacks\":[{\"family\":\"nope\"}]}",
+            "bad-family");
+  ExpectTag("{\"name\":\"x\",\"skew\":-1}", "bad-value");
+  ExpectTag("{\"name\":\"x\",\"seed\":-4}", "bad-value");
+  ExpectTag("{\"name\":\"x\",\"attacks\":[{\"camouflage_rate\":2}]}",
+            "bad-value");
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioRegistryTest, EnumeratesSortedPresetsIncludingPinnedOnes) {
+  const std::vector<std::string> names = ScenarioNames();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* required : {"baseline", "medium_clean", "flash_sale",
+                               "ric_burst", "covisit_storm", "stealth_uplift",
+                               "adversarial_mix", "tiny_clean"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << "missing preset " << required;
+  }
+  for (const std::string& name : names) {
+    auto spec = FindScenario(name);
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    EXPECT_EQ(spec->name, name);
+  }
+}
+
+TEST(ScenarioRegistryTest, FindScenarioReturnsIndependentCopies) {
+  auto first = FindScenario("ric_burst");
+  ASSERT_TRUE(first.ok());
+  first->seed = 999;
+  first->attacks.clear();
+  auto second = FindScenario("ric_burst");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->seed, 42u);
+  EXPECT_EQ(second->attacks.size(), 1u);
+}
+
+TEST(ScenarioRegistryTest, UnknownNameIsNotFound) {
+  auto spec = FindScenario("no_such_scenario");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ScenarioRegistryTest, LoadScenarioAcceptsPresetNameOrSpecFile) {
+  auto preset = LoadScenario("flash_sale");
+  ASSERT_TRUE(preset.ok()) << preset.status();
+  EXPECT_EQ(preset->name, "flash_sale");
+
+  const std::string path = testing::TempDir() + "/scenario_spec.json";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << ScenarioSpecToJson(*preset);
+  }
+  auto from_file = LoadScenario(path);
+  ASSERT_TRUE(from_file.ok()) << from_file.status();
+  EXPECT_EQ(ScenarioSpecToJson(*from_file), ScenarioSpecToJson(*preset));
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(LoadScenario("definitely/not/a/real/path.json").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Materialization compatibility
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioMaterializeTest, BaselinePresetMatchesLegacyGeneratorBitForBit) {
+  auto via_registry =
+      Materialize(BaselineSpec(gen::ScenarioScale::kTiny, 42));
+  ASSERT_TRUE(via_registry.ok()) << via_registry.status();
+  auto legacy = gen::MakeScenario(gen::ScenarioScale::kTiny, 42);
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+
+  ExpectSameTable(via_registry->table, legacy->table);
+  EXPECT_EQ(via_registry->labels.abnormal_users, legacy->labels.abnormal_users);
+  EXPECT_EQ(via_registry->labels.abnormal_items, legacy->labels.abnormal_items);
+  EXPECT_EQ(via_registry->groups.size(), legacy->groups.size());
+  EXPECT_EQ(via_registry->organic_clubs.size(), legacy->organic_clubs.size());
+}
+
+TEST(ScenarioMaterializeTest, MaterializeIsDeterministicPerSeed) {
+  auto spec = FindScenario("adversarial_mix");
+  ASSERT_TRUE(spec.ok());
+  spec->scale = gen::ScenarioScale::kTiny;
+  auto first = Materialize(*spec);
+  auto second = Materialize(*spec);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(second.ok()) << second.status();
+  ExpectSameTable(first->table, second->table);
+
+  spec->seed = 43;
+  auto other_seed = Materialize(*spec);
+  ASSERT_TRUE(other_seed.ok()) << other_seed.status();
+  bool differs = other_seed->table.num_rows() != first->table.num_rows();
+  for (size_t i = 0; !differs && i < first->table.num_rows(); ++i) {
+    differs = first->table.user(i) != other_seed->table.user(i) ||
+              first->table.item(i) != other_seed->table.item(i);
+  }
+  EXPECT_TRUE(differs) << "seed change must reshuffle the workload";
+}
+
+// ---------------------------------------------------------------------------
+// Arrival schedules
+// ---------------------------------------------------------------------------
+
+TEST(ArrivalOrderTest, EveryPatternYieldsDeterministicPermutation) {
+  for (const std::string& name : ScenarioNames()) {
+    SCOPED_TRACE(name);
+    auto spec = FindScenario(name);
+    ASSERT_TRUE(spec.ok());
+    spec->scale = gen::ScenarioScale::kTiny;
+    auto scenario = Materialize(*spec);
+    ASSERT_TRUE(scenario.ok()) << scenario.status();
+
+    const std::vector<uint32_t> order = ArrivalOrder(*spec, scenario->table);
+    ASSERT_EQ(order.size(), scenario->table.num_rows());
+    std::vector<uint32_t> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<uint32_t> iota(order.size());
+    std::iota(iota.begin(), iota.end(), 0u);
+    EXPECT_EQ(sorted, iota) << "arrival order must be a permutation";
+    EXPECT_EQ(ArrivalOrder(*spec, scenario->table), order)
+        << "arrival order must be deterministic";
+  }
+}
+
+TEST(ArrivalOrderTest, BurstPatternKeepsAttackRowsContiguous) {
+  auto spec = FindScenario("ric_burst");
+  ASSERT_TRUE(spec.ok());
+  auto scenario = Materialize(*spec);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  const std::vector<uint32_t> order = ArrivalOrder(*spec, scenario->table);
+
+  constexpr table::UserId kMintedBase = 10000000;
+  std::vector<size_t> attack_positions;
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    if (scenario->table.user(order[pos]) >= kMintedBase) {
+      attack_positions.push_back(pos);
+    }
+  }
+  ASSERT_FALSE(attack_positions.empty());
+  EXPECT_EQ(attack_positions.back() - attack_positions.front() + 1,
+            attack_positions.size())
+      << "attack rows must form one contiguous burst";
+  EXPECT_GT(attack_positions.front(), 0u) << "burst should be mid-stream";
+  EXPECT_LT(attack_positions.back(), order.size() - 1)
+      << "burst should be mid-stream";
+}
+
+}  // namespace
+}  // namespace ricd::scenario

@@ -29,6 +29,8 @@
 #include "graph/graph_builder.h"
 #include "i2i/recommender.h"
 #include "ricd/incremental.h"
+#include "scenario/materialize.h"
+#include "scenario/registry.h"
 #include "serve/detection_service.h"
 #include "serve/ingest_queue.h"
 #include "serve/protocol.h"
@@ -505,13 +507,21 @@ TEST(DetectionServiceTest, FilterRecommendationsDropsFlaggedItems) {
 TEST(DetectionServiceDifferentialTest, StreamConvergesToOfflinePipeline) {
   for (const uint64_t seed : {42u, 7u}) {
     SCOPED_TRACE(testing::Message() << "seed " << seed);
-    auto scenario = gen::MakeScenario(gen::ScenarioScale::kTiny, seed);
-    ASSERT_TRUE(scenario.ok()) << scenario.status();
-    const table::ClickTable& full = scenario->table;
+    // The registry's pinned-floor scenario: burst arrival means the minted
+    // attack accounts land as one contiguous block in the streamed half —
+    // the adversarial case the serve path exists for.
+    auto spec = ricd::scenario::FindScenario("ric_burst");
+    ASSERT_TRUE(spec.ok()) << spec.status();
+    spec->seed = seed;
+    auto materialized = ricd::scenario::Materialize(*spec);
+    ASSERT_TRUE(materialized.ok()) << materialized.status();
+    const table::ClickTable& full = materialized->table;
+    const std::vector<uint32_t> arrival =
+        ricd::scenario::ArrivalOrder(*spec, full);
     const size_t split = full.num_rows() / 2;
 
     table::ClickTable initial;
-    for (size_t i = 0; i < split; ++i) initial.Append(full.row(i));
+    for (size_t i = 0; i < split; ++i) initial.Append(full.row(arrival[i]));
 
     ServeOptions options = TinyServeOptions();
     options.ingest_batch = 256;
@@ -546,11 +556,11 @@ TEST(DetectionServiceDifferentialTest, StreamConvergesToOfflinePipeline) {
     }
 
     for (size_t i = split; i < full.num_rows(); ++i) {
-      Status pushed = service.IngestClick(full.row(i));
+      Status pushed = service.IngestClick(full.row(arrival[i]));
       while (!pushed.ok() &&
              pushed.code() == StatusCode::kResourceExhausted) {
         std::this_thread::yield();
-        pushed = service.IngestClick(full.row(i));
+        pushed = service.IngestClick(full.row(arrival[i]));
       }
       ASSERT_TRUE(pushed.ok()) << pushed;
     }

@@ -1,7 +1,7 @@
 // bench_trajectory — in-tree perf trajectory with regression gates.
 //
 //   bench_trajectory run       --bin-dir=build/bench [--out-dir=.]
-//                              [--suite=serving,medium_pipeline]
+//                              [--suite=serving,medium_pipeline,adversarial]
 //   bench_trajectory normalize --in=records.jsonl --scenario=NAME
 //                              --source=BENCH [--out=BENCH_NAME.json]
 //   bench_trajectory compare   --baseline=BENCH_NAME.json
@@ -17,8 +17,9 @@
 //
 // `compare` gates a fresh trajectory file against a committed baseline:
 // lower-is-better metrics (stage latencies, *.seconds histograms) may not
-// grow past baseline*(1+tolerance); higher-is-better metrics (qps,
-// speedup gauges) may not fall below baseline/(1+tolerance). Latency
+// grow past baseline*(1+tolerance); higher-is-better metrics (qps and
+// speedup gauges, red-team precision/recall/f1 robustness curves) may not
+// fall below baseline/(1+tolerance). Latency
 // metrics where both sides sit under --min-seconds are treated as noise
 // and skipped. --tolerance defaults from RICD_BENCH_TOLERANCE (else 0.15).
 // Exit is non-zero on any regression; --expect-regression inverts the exit
@@ -53,7 +54,7 @@ int Usage() {
       "usage: bench_trajectory <run|normalize|compare> [--flags]\n"
       "  run        execute the trajectory suite and write BENCH_*.json\n"
       "             --bin-dir=<dir with bench binaries> [--out-dir=.]\n"
-      "             [--suite=serving,medium_pipeline]\n"
+      "             [--suite=serving,medium_pipeline,adversarial]\n"
       "  normalize  fold one RICD_BENCH_JSON record into a trajectory file\n"
       "             --in=<jsonl> --scenario=<name> --source=<bench name>\n"
       "             [--out=<path>]\n"
@@ -79,6 +80,7 @@ struct SuiteScenario {
 constexpr SuiteScenario kSuite[] = {
     {"serving", "bench_serving", "small", "42"},
     {"medium_pipeline", "bench_scaling", "medium", "42"},
+    {"adversarial", "bench_adversarial", "tiny", "42"},
 };
 
 const SuiteScenario* FindScenario(const std::string& name) {
@@ -107,10 +109,13 @@ bool NameContains(const std::string& name, const char* needle) {
   return name.find(needle) != std::string::npos;
 }
 
-/// Gauges worth tracking across PRs: throughput and speedup style numbers.
+/// Gauges worth tracking across PRs: throughput/speedup numbers plus the
+/// red-team robustness curves (detector quality per attack knob setting) —
+/// all higher-is-better.
 bool IsThroughputGauge(const std::string& name) {
   return NameContains(name, "qps") || NameContains(name, "speedup") ||
-         NameContains(name, "per_second");
+         NameContains(name, "per_second") || NameContains(name, "precision") ||
+         NameContains(name, "recall") || NameContains(name, ".f1");
 }
 
 /// Latency histograms: every duration instrument in the tree is named
@@ -381,7 +386,7 @@ int RunSuite(const FlagParser& flags) {
   const auto bin_dir = flags.GetString("bin-dir", "");
   const auto out_dir = flags.GetString("out-dir", ".");
   const auto suite =
-      flags.GetString("suite", "serving,medium_pipeline");
+      flags.GetString("suite", "serving,medium_pipeline,adversarial");
   if (!bin_dir.ok() || !out_dir.ok() || !suite.ok()) return 2;
   if (bin_dir->empty()) {
     return Fail(Status::InvalidArgument(
@@ -395,8 +400,9 @@ int RunSuite(const FlagParser& flags) {
     if (name.empty()) continue;
     const SuiteScenario* s = FindScenario(name);
     if (s == nullptr) {
-      return Fail(Status::InvalidArgument("unknown suite scenario '" + name +
-                                          "' (serving|medium_pipeline)"));
+      return Fail(Status::InvalidArgument(
+          "unknown suite scenario '" + name +
+          "' (serving|medium_pipeline|adversarial)"));
     }
     selected.push_back(s);
   }

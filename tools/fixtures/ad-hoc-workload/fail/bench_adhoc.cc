@@ -1,0 +1,24 @@
+// Planted ad-hoc-workload violations: a bench that conjures its workload
+// straight from the generator instead of materializing a named scenario.
+// Every call below must be flagged.
+
+#include "gen/scenario.h"
+
+namespace ricd {
+
+void RunBench() {
+  Rng rng(42);
+  gen::BackgroundConfig background;
+  auto organic = gen::GenerateBackground(background, rng);  // flagged
+
+  gen::OrganicCommunityConfig clubs;
+  gen::GenerateOrganicCommunities(clubs, *organic, rng);  // flagged
+
+  auto scenario = gen::MakeScenario(gen::ScenarioScale::kSmall, 7);  // flagged
+
+  gen::AttackConfig attack;
+  gen::InjectAttacks(attack,  // flagged (multi-line call, token-level match)
+                     scenario->table, rng);
+}
+
+}  // namespace ricd

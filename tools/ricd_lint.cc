@@ -44,6 +44,13 @@
 //                              GetHistogram("...") with an inline string in
 //                              library code — route names through
 //                              src/obs/metric_names.h
+//   ad-hoc-workload            direct MakeScenario/InjectAttacks/
+//                              GenerateBackground/GenerateOrganicCommunities
+//                              calls outside src/gen, src/scenario and
+//                              tests/ — benches and tools materialize named
+//                              scenario-registry specs (or the sanctioned
+//                              MaterializeCustom/InjectCampaign wrappers)
+//                              so every workload is reproducible by name
 //   atomic-order-justify       every memory_order_relaxed / memory_order
 //                              _consume operand and every standalone
 //                              atomic_thread_fence/atomic_signal_fence in
@@ -330,6 +337,7 @@ const char* const kAllRules[] = {
     "unchecked-io-return",
     "std-function-hot-loop",
     "metric-name-literal",
+    "ad-hoc-workload",
     "atomic-order-justify",
     "guarded-field",
     "bare-lock",
@@ -536,6 +544,14 @@ class Linter {
     const bool in_library = !HasPrefix(file.rel_path, "tests/") &&
                             !HasPrefix(file.rel_path, "bench/") &&
                             !HasPrefix(file.rel_path, "tools/");
+    // Sanctioned homes of raw workload-generator calls: the generator
+    // itself, the scenario layer that wraps it, and unit tests. Everything
+    // else (benches, tools, other library code) must go through a named
+    // scenario::ScenarioSpec so workloads stay reproducible by name.
+    const bool workload_sanctioned =
+        HasPrefix(file.rel_path, "tests/") ||
+        HasPrefix(file.rel_path, "src/gen/") ||
+        HasPrefix(file.rel_path, "src/scenario/");
 
     const std::vector<Token>& t = file.tokens;
     auto is_punct = [&](size_t i, const char* p) {
@@ -598,6 +614,17 @@ class Linter {
         Report(file, line_no, "metric-name-literal",
                "ad-hoc metric name literal — use a constant from "
                "src/obs/metric_names.h (typos create dead series)");
+      }
+      if (!workload_sanctioned &&
+          (id == "MakeScenario" || id == "InjectAttacks" ||
+           id == "GenerateBackground" ||
+           id == "GenerateOrganicCommunities") &&
+          is_punct(i + 1, "(")) {
+        Report(file, line_no, "ad-hoc-workload",
+               "direct workload-generator call — materialize a named "
+               "scenario (scenario::LoadScenario + Materialize, or "
+               "MaterializeCustom/InjectCampaign for parameter sweeps) so "
+               "every workload stays reproducible by name");
       }
       if (!is_lock_shim &&
           (id == "lock" || id == "unlock" || id == "try_lock") && i >= 1 &&

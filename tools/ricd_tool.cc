@@ -2,6 +2,7 @@
 //
 //   ricd_tool generate --scale=small --seed=42 --out=clicks.csv
 //                      [--labels=labels.csv] [--binary]
+//                      [--scenario=<name|spec.json>]
 //   ricd_tool stats    --in=clicks.csv
 //   ricd_tool detect   --in=clicks.csv [--k1=10 --k2=10 --alpha=1.0
 //                      --t-hot=0 --t-click=12 --screening=full|user|none
@@ -13,7 +14,11 @@
 //                      [--k1= --k2= --alpha= --t-hot= --t-click=]
 //   ricd_tool stream   --in=clicks.csv --batches=N [--bootstrap-rows=M]
 //                      [--k1= --k2= --alpha= --t-hot= --t-click=]
-//   ricd_tool selftest [--scale=tiny --seed=42]
+//   ricd_tool scenario [list | show <name> [--out=spec.json]]
+//   ricd_tool redteam  [--scenario=ric_burst] [--scale=] [--seed=]
+//                      [--families=covisit_poison,uplift_camouflage]
+//                      [--k1= --k2= --alpha= --t-hot= --t-click=]
+//   ricd_tool selftest [--scale=tiny --seed=42] [--scenario=<name|file>]
 //   ricd_tool validate --in=clicks.csv|clicks.bin | --snapshot=graph.snap
 //   ricd_tool snapshot save --in=clicks.csv --out=graph.snap
 //                      [--labels=labels.csv]
@@ -57,6 +62,17 @@
 // full detection pipeline so every stage span and engine gauge is
 // populated.
 //
+// `scenario list` prints every registered workload preset; `scenario show`
+// prints one preset as its canonical JSON (the same document `--scenario`
+// accepts from a file). `generate` and `selftest` accept
+// `--scenario=<name|file>` to build any preset instead of the default
+// scale-calibrated paper campaign; `--scale`/`--seed` still override the
+// spec's own values. `redteam` runs the adversarial robustness sweep
+// (src/eval/redteam): every attack family x the pinned knob grid, scored
+// by RICD/FRAUDAR/CopyCatch; with RICD_BENCH_JSON=<path> set, the
+// per-point precision/recall/f1 gauges are appended as one bench record
+// for the BENCH_adversarial.json trajectory.
+//
 // All click CSVs are "user,item,clicks" rows (a header is optional); label
 // files are "kind,id" rows as written by `generate --labels`.
 
@@ -78,7 +94,9 @@
 #include "baselines/lpa.h"
 #include "baselines/naive.h"
 #include "common/flags.h"
+#include "common/string_util.h"
 #include "eval/experiment.h"
+#include "eval/redteam.h"
 #include "gen/label_io.h"
 #include "gen/scenario.h"
 #include "graph/graph_builder.h"
@@ -90,6 +108,9 @@
 #include "ricd/framework.h"
 #include "ricd/incremental.h"
 #include "ricd/ui_adapter.h"
+#include "scenario/materialize.h"
+#include "scenario/registry.h"
+#include "scenario/spec.h"
 #include "serve/detection_service.h"
 #include "serve/server.h"
 #include "snapshot/snapshot.h"
@@ -103,14 +124,16 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: ricd_tool "
-      "<generate|stats|detect|i2i|compare|stream|selftest|validate|snapshot"
-      "|serve|client|monitor> [--flags]\n"
+      "<generate|stats|detect|i2i|compare|stream|scenario|redteam|selftest"
+      "|validate|snapshot|serve|client|monitor> [--flags]\n"
       "  generate  synthesize a Taobao-shaped workload with planted attacks\n"
       "  stats     print Table I/II-style statistics of a click CSV\n"
       "  detect    run the RICD framework and emit ranked suspects\n"
       "  i2i       top related items of an item (the manipulated ranking)\n"
       "  compare   score RICD and all baselines against a label file\n"
       "  stream    replay a click file in batches through incremental RICD\n"
+      "  scenario  list workload presets or show one as canonical JSON\n"
+      "  redteam   sweep attack families x knobs against the detector panel\n"
       "  selftest  generate a small workload and run the full pipeline once\n"
       "  validate  audit a saved click table's graph invariants (src/check)\n"
       "  snapshot  save|load|info for binary graph snapshots (src/snapshot)\n"
@@ -150,6 +173,29 @@ Result<gen::ScenarioScale> ParseScale(const std::string& name) {
   if (name == "large") return gen::ScenarioScale::kLarge;
   return Status::InvalidArgument("unknown --scale '" + name +
                                  "' (tiny|small|medium|large)");
+}
+
+/// Resolves the workload spec for generate/selftest: --scenario=<name|file>
+/// picks a registry preset or a JSON spec file (default: the legacy
+/// `baseline` paper campaign); --scale/--seed, when passed explicitly,
+/// override the spec's own values.
+Result<scenario::ScenarioSpec> ResolveSpec(const FlagParser& flags,
+                                           const std::string& default_scale,
+                                           int64_t default_seed) {
+  RICD_ASSIGN_OR_RETURN(const std::string scenario_arg,
+                        flags.GetString("scenario", ""));
+  RICD_ASSIGN_OR_RETURN(const std::string scale_name,
+                        flags.GetString("scale", default_scale));
+  RICD_ASSIGN_OR_RETURN(const int64_t seed, flags.GetInt("seed", default_seed));
+  RICD_ASSIGN_OR_RETURN(const gen::ScenarioScale scale, ParseScale(scale_name));
+  if (scenario_arg.empty()) {
+    return scenario::BaselineSpec(scale, static_cast<uint64_t>(seed));
+  }
+  RICD_ASSIGN_OR_RETURN(scenario::ScenarioSpec spec,
+                        scenario::LoadScenario(scenario_arg));
+  if (flags.Has("scale")) spec.scale = scale;
+  if (flags.Has("seed")) spec.seed = static_cast<uint64_t>(seed);
+  return spec;
 }
 
 Result<core::ScreeningMode> ParseScreening(const std::string& name) {
@@ -201,19 +247,18 @@ Result<graph::BipartiteGraph> LoadGraphFromFlags(const FlagParser& flags) {
 }
 
 int RunGenerate(const FlagParser& flags) {
-  const auto scale_name = flags.GetString("scale", "small");
-  const auto seed = flags.GetInt("seed", 42);
+  const auto spec = ResolveSpec(flags, "small", 42);
   const auto out = flags.GetString("out", "clicks.csv");
   const auto labels_path = flags.GetString("labels", "");
   const auto binary = flags.GetBool("binary", false);
-  if (!scale_name.ok()) return Fail(scale_name.status());
-  if (!seed.ok()) return Fail(seed.status());
+  if (!spec.ok()) return Fail(spec.status());
   if (!out.ok() || !labels_path.ok() || !binary.ok()) return 2;
   if (const int rc = RejectUnknown(flags)) return rc;
 
-  auto scale = ParseScale(*scale_name);
-  if (!scale.ok()) return Fail(scale.status());
-  auto scenario = gen::MakeScenario(*scale, static_cast<uint64_t>(*seed));
+  std::printf("scenario: %s\n", scenario::ScenarioSpecToJson(*spec).c_str());
+  // Fully qualified: the result variable shadows namespace `scenario` from
+  // its own initializer onward.
+  auto scenario = ::ricd::scenario::Materialize(*spec);
   if (!scenario.ok()) return Fail(scenario.status());
 
   const Status write = *binary ? table::WriteBinary(scenario->table, *out)
@@ -505,15 +550,11 @@ int RunStream(const FlagParser& flags) {
 }
 
 int RunSelftest(const FlagParser& flags) {
-  const auto scale_name = flags.GetString("scale", "tiny");
-  const auto seed = flags.GetInt("seed", 42);
-  if (!scale_name.ok()) return Fail(scale_name.status());
-  if (!seed.ok()) return Fail(seed.status());
+  const auto spec = ResolveSpec(flags, "tiny", 42);
+  if (!spec.ok()) return Fail(spec.status());
   if (const int rc = RejectUnknown(flags)) return rc;
-  auto scale = ParseScale(*scale_name);
-  if (!scale.ok()) return Fail(scale.status());
 
-  auto scenario = gen::MakeScenario(*scale, static_cast<uint64_t>(*seed));
+  auto scenario = ::ricd::scenario::Materialize(*spec);
   if (!scenario.ok()) return Fail(scenario.status());
 
   core::FrameworkOptions options;
@@ -523,18 +564,146 @@ int RunSelftest(const FlagParser& flags) {
 
   auto graph = graph::GraphBuilder::FromTable(scenario->table);
   if (!graph.ok()) return Fail(graph.status());
-  g_workload.scale = gen::ScenarioScaleName(*scale);
-  g_workload.seed = static_cast<uint64_t>(*seed);
+  g_workload.scale = gen::ScenarioScaleName(spec->scale);
+  g_workload.seed = spec->seed;
   g_workload.users = graph->num_users();
   g_workload.items = graph->num_items();
   g_workload.edges = graph->num_edges();
   g_workload.clicks = graph->total_clicks();
 
-  std::printf("selftest: scale=%s seed=%lld — detected %zu group(s), "
-              "flagged %zu users / %zu items (feedback rounds: %u)\n",
-              gen::ScenarioScaleName(*scale), static_cast<long long>(*seed),
+  std::printf("selftest: scenario=%s scale=%s seed=%llu — detected %zu "
+              "group(s), flagged %zu users / %zu items (feedback rounds: %u)\n",
+              spec->name.c_str(), gen::ScenarioScaleName(spec->scale),
+              static_cast<unsigned long long>(spec->seed),
               result->detection.groups.size(), result->ranked.users.size(),
               result->ranked.items.size(), result->feedback_rounds_used);
+  return 0;
+}
+
+/// The `scenario` command family: list | show <name|file> [--out=spec.json].
+int RunScenario(const FlagParser& flags) {
+  // The parser already skipped the command word, so pos[0] is the action.
+  const auto& pos = flags.positional();
+  const std::string action = pos.empty() ? "list" : pos[0];
+
+  if (action == "list") {
+    if (const int rc = RejectUnknown(flags)) return rc;
+    std::printf("%-18s %-7s %-10s %-5s %s\n", "name", "scale", "arrival",
+                "skew", "attacks");
+    for (const auto& name : scenario::ScenarioNames()) {
+      auto spec = scenario::FindScenario(name);
+      if (!spec.ok()) return Fail(spec.status());
+      std::string attacks;
+      for (const auto& attack : spec->attacks) {
+        if (!attacks.empty()) attacks += ",";
+        attacks += attack.groups == 0 ? attack.family + "(calibrated)"
+                                      : attack.family;
+      }
+      if (attacks.empty()) attacks = "-";
+      std::printf("%-18s %-7s %-10s %-5g %s\n", name.c_str(),
+                  gen::ScenarioScaleName(spec->scale),
+                  scenario::ArrivalPatternName(spec->arrival), spec->skew,
+                  attacks.c_str());
+    }
+    return 0;
+  }
+
+  if (action == "show") {
+    const auto out = flags.GetString("out", "");
+    if (!out.ok()) return 2;
+    if (const int rc = RejectUnknown(flags)) return rc;
+    if (pos.size() < 2) {
+      return Fail(Status::InvalidArgument(
+          "usage: ricd_tool scenario show <name|spec.json> [--out=spec.json]"));
+    }
+    auto spec = scenario::LoadScenario(pos[1]);
+    if (!spec.ok()) return Fail(spec.status());
+    const std::string json = scenario::ScenarioSpecToJson(*spec);
+    if (out->empty()) {
+      std::printf("%s\n", json.c_str());
+      return 0;
+    }
+    std::ofstream file(*out, std::ios::trunc);
+    file << json << '\n';
+    if (!file) {
+      return Fail(Status::Internal("cannot write spec to " + *out));
+    }
+    std::printf("wrote scenario '%s' to %s\n", spec->name.c_str(),
+                out->c_str());
+    return 0;
+  }
+
+  std::fprintf(stderr,
+               "usage: ricd_tool scenario <list|show> [args]\n"
+               "  list                    all registered presets\n"
+               "  show <name|spec.json>   canonical JSON of one scenario "
+               "[--out=spec.json]\n");
+  return 2;
+}
+
+/// The `redteam` command: the adversarial robustness sweep of
+/// src/eval/redteam against a base scenario (default: the pinned-floor
+/// `ric_burst` preset).
+int RunRedteamSweep(const FlagParser& flags) {
+  auto params = ParamsFromFlags(flags);
+  if (!params.ok()) return Fail(params.status());
+  if (!flags.Has("t-hot")) {
+    // The sweep's floors are pinned against the paper's T_hot = 1000, not
+    // the derived 80/20 threshold (which at tiny scale marks the planted
+    // targets themselves hot and screens them out).
+    params->t_hot = core::RicdParams().t_hot;
+  }
+  const auto scenario_arg = flags.GetString("scenario", "ric_burst");
+  const auto scale_name = flags.GetString("scale", "");
+  const auto seed = flags.GetInt("seed", -1);
+  const auto families_arg = flags.GetString("families", "");
+  if (!scenario_arg.ok()) return Fail(scenario_arg.status());
+  if (!scale_name.ok()) return Fail(scale_name.status());
+  if (!seed.ok()) return Fail(seed.status());
+  if (!families_arg.ok()) return Fail(families_arg.status());
+  if (const int rc = RejectUnknown(flags)) return rc;
+
+  auto base = scenario::LoadScenario(*scenario_arg);
+  if (!base.ok()) return Fail(base.status());
+  if (!scale_name->empty()) {
+    auto scale = ParseScale(*scale_name);
+    if (!scale.ok()) return Fail(scale.status());
+    base->scale = *scale;
+  }
+  if (*seed >= 0) base->seed = static_cast<uint64_t>(*seed);
+
+  eval::RedteamOptions options;
+  options.base = *base;
+  options.params = *params;
+  if (!families_arg->empty()) {
+    for (const auto part : SplitString(*families_arg, ',')) {
+      options.families.emplace_back(part);
+    }
+  }
+
+  std::printf("redteam: base scenario '%s' (scale=%s seed=%llu), %zu knob "
+              "settings per family\n\n",
+              base->name.c_str(), gen::ScenarioScaleName(base->scale),
+              static_cast<unsigned long long>(base->seed),
+              eval::RedteamSweepGrid().size());
+  auto points = eval::RunRedteam(options);
+  if (!points.ok()) return Fail(points.status());
+  eval::PrintRedteamTable(std::cout, *points);
+  eval::EmitRedteamGauges(*points);
+
+  g_workload.scale = gen::ScenarioScaleName(base->scale);
+  g_workload.seed = base->seed;
+
+  // Same RICD_BENCH_JSON contract as the benches: append one record with
+  // the bench.adversarial.* gauges for the robustness trajectory.
+  const char* bench_json = std::getenv("RICD_BENCH_JSON");
+  if (bench_json != nullptr && bench_json[0] != '\0') {
+    const std::string record =
+        obs::GlobalMetricsReportJson("ricd_tool redteam", g_workload);
+    const Status appended = obs::AppendJsonLine(bench_json, record);
+    if (!appended.ok()) return Fail(appended);
+    std::printf("\n[obs] appended redteam record to %s\n", bench_json);
+  }
   return 0;
 }
 
@@ -995,6 +1164,10 @@ int Main(int argc, char** argv) {
     rc = RunCompare(flags);
   } else if (command == "stream") {
     rc = RunStream(flags);
+  } else if (command == "scenario") {
+    rc = RunScenario(flags);
+  } else if (command == "redteam") {
+    rc = RunRedteamSweep(flags);
   } else if (command == "selftest") {
     rc = RunSelftest(flags);
   } else if (command == "validate") {
