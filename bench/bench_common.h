@@ -18,6 +18,8 @@
 #include "ricd/params.h"
 #include "scenario/materialize.h"
 #include "scenario/registry.h"
+#include "shard/shard_plan.h"
+#include "shard/sharded_graph.h"
 #include "snapshot/snapshot.h"
 #include "table/table_io.h"
 
@@ -133,7 +135,7 @@ inline void PrintWorkloadLine(const BenchWorkload& w) {
 inline BenchWorkload GenerateWorkload(const scenario::ScenarioSpec& spec) {
   auto scenario = scenario::Materialize(spec);
   RICD_CHECK(scenario.ok()) << scenario.status();
-  auto graph = graph::GraphBuilder::FromTable(scenario->table);
+  auto graph = shard::BuildFullGraph(scenario->table);
   RICD_CHECK(graph.ok()) << graph.status();
   return BenchWorkload{std::move(scenario).value(), std::move(graph).value(),
                        spec.scale, spec.seed, spec};
@@ -151,20 +153,31 @@ inline BenchWorkload GenerateWorkload(gen::ScenarioScale scale, uint64_t seed) {
 /// graph construction entirely. Injected-group/community provenance is not
 /// stored in the container, so `scenario.groups` / `organic_clubs` are
 /// empty on a cache hit (benches that need them document it or regenerate).
+///
+/// The cache key also carries RICD_SHARDS: sharded runs append a `.sN`
+/// token so a bench sweeping shard counts against one prefix never collides
+/// with the unsharded entry (sharded runs additionally spill their own
+/// `<prefix>.shardK.snap` files next to it). The shards=1 key stays
+/// token-free so existing caches remain hot.
 inline BenchWorkload MakeWorkloadCached(const std::string& prefix,
                                         gen::ScenarioScale scale,
                                         uint64_t seed) {
   const scenario::ScenarioSpec spec = SpecFromEnv(scale, seed);
-  char suffix[128];
+  const uint32_t shards = shard::NumShardsFromEnv();
+  char shard_token[16] = "";
+  if (shards > 1) {
+    std::snprintf(shard_token, sizeof(shard_token), ".s%u", shards);
+  }
+  char suffix[160];
   if (spec.name == "baseline") {
     // Keep the pre-registry cache key so existing snapshot caches stay hot.
-    std::snprintf(suffix, sizeof(suffix), ".%s.%llu.snap",
+    std::snprintf(suffix, sizeof(suffix), ".%s.%llu%s.snap",
                   gen::ScenarioScaleName(scale),
-                  static_cast<unsigned long long>(seed));
+                  static_cast<unsigned long long>(seed), shard_token);
   } else {
-    std::snprintf(suffix, sizeof(suffix), ".%s.%s.%llu.snap",
+    std::snprintf(suffix, sizeof(suffix), ".%s.%s.%llu%s.snap",
                   spec.name.c_str(), gen::ScenarioScaleName(scale),
-                  static_cast<unsigned long long>(seed));
+                  static_cast<unsigned long long>(seed), shard_token);
   }
   const std::string snap_path = prefix + suffix;
   const std::string table_path = snap_path + ".tbl";

@@ -45,7 +45,7 @@ const graph::BipartiteGraph& CachedGraph(gen::ScenarioScale scale) {
   static auto* cache = new std::map<int, std::unique_ptr<graph::BipartiteGraph>>;
   auto& slot = (*cache)[static_cast<int>(scale)];
   if (slot == nullptr) {
-    auto graph = graph::GraphBuilder::FromTable(CachedScenario(scale).table);
+    auto graph = shard::BuildFullGraph(CachedScenario(scale).table);
     RICD_CHECK(graph.ok());
     slot = std::make_unique<graph::BipartiteGraph>(std::move(graph).value());
   }
@@ -59,7 +59,7 @@ gen::ScenarioScale ScaleArg(int64_t arg) {
 void BM_GraphBuild(benchmark::State& state) {
   const auto& scenario = CachedScenario(ScaleArg(state.range(0)));
   for (auto _ : state) {
-    auto g = graph::GraphBuilder::FromTable(scenario.table);
+    auto g = shard::BuildFullGraph(scenario.table);
     benchmark::DoNotOptimize(g);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
@@ -69,6 +69,93 @@ BENCHMARK(BM_GraphBuild)
     ->Arg(static_cast<int>(gen::ScenarioScale::kTiny))
     ->Arg(static_cast<int>(gen::ScenarioScale::kSmall))
     ->Unit(benchmark::kMillisecond);
+
+/// Adopted-graph view of the cached graph, with the binary-search lookup
+/// permutations materialized — the storage shape a mmap'd snapshot presents.
+const graph::BipartiteGraph& CachedAdoptedGraph(gen::ScenarioScale scale) {
+  struct Adopted {
+    std::vector<graph::VertexId> user_sorted;
+    std::vector<graph::VertexId> item_sorted;
+    graph::BipartiteGraph graph;
+  };
+  static auto* cache = new std::map<int, std::unique_ptr<Adopted>>;
+  auto& slot = (*cache)[static_cast<int>(scale)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Adopted>();
+    graph::GraphSections s = CachedGraph(scale).Freeze();
+    slot->user_sorted = graph::GraphBuilder::ArgsortByExternalId(s.user_ids);
+    slot->item_sorted = graph::GraphBuilder::ArgsortByExternalId(s.item_ids);
+    s.user_lookup_sorted = slot->user_sorted;
+    s.item_lookup_sorted = slot->item_sorted;
+    slot->graph = graph::BipartiteGraph::AdoptExternal(s, nullptr);
+  }
+  return slot->graph;
+}
+
+/// Point-lookup query stream: ~75% hits drawn from the graph's external ids,
+/// ~25% misses, in a shuffled order that defeats branch-predictor warmup.
+std::vector<table::UserId> LookupQueries(const graph::BipartiteGraph& g,
+                                         size_t n) {
+  Rng rng(7);
+  std::vector<table::UserId> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Uniform(4) < 3) {
+      queries.push_back(g.ExternalUserId(
+          static_cast<graph::VertexId>(rng.Uniform(g.num_users()))));
+    } else {
+      queries.push_back(static_cast<table::UserId>(rng.Next()) | 1);
+    }
+  }
+  return queries;
+}
+
+/// The production adopted-graph path: FlatIdMap (open addressing, SplitMix64
+/// mix, one probe run per query) under the default RICD_ID_LOOKUP.
+void BM_IdLookupFlat(benchmark::State& state) {
+  const auto& g = CachedAdoptedGraph(ScaleArg(state.range(0)));
+  const auto queries = LookupQueries(g, 4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    graph::VertexId out = 0;
+    benchmark::DoNotOptimize(g.LookupUser(queries[i], &out));
+    benchmark::DoNotOptimize(out);
+    if (++i == queries.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IdLookupFlat)
+    ->Arg(static_cast<int>(gen::ScenarioScale::kSmall))
+    ->Arg(static_cast<int>(gen::ScenarioScale::kMedium));
+
+/// The RICD_ID_LOOKUP=bsearch fallback, inlined here because the env gate is
+/// read once per process: lower_bound over the external-id argsort — the
+/// exact shape of LookupSorted in bipartite_graph.cc, ~log2(U) dependent
+/// cache-missing rounds per query.
+void BM_IdLookupBsearch(benchmark::State& state) {
+  const auto& g = CachedAdoptedGraph(ScaleArg(state.range(0)));
+  const graph::GraphSections s = g.Freeze();
+  const auto queries = LookupQueries(g, 4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    const table::UserId q = queries[i];
+    const auto it = std::lower_bound(
+        s.user_lookup_sorted.begin(), s.user_lookup_sorted.end(), q,
+        [&](graph::VertexId dense, table::UserId value) {
+          return s.user_ids[dense] < value;
+        });
+    graph::VertexId out = 0;
+    bool found = it != s.user_lookup_sorted.end() && s.user_ids[*it] == q;
+    if (found) out = *it;
+    benchmark::DoNotOptimize(found);
+    benchmark::DoNotOptimize(out);
+    if (++i == queries.size()) i = 0;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IdLookupBsearch)
+    ->Arg(static_cast<int>(gen::ScenarioScale::kSmall))
+    ->Arg(static_cast<int>(gen::ScenarioScale::kMedium));
 
 void BM_IntersectionMerge(benchmark::State& state) {
   const int64_t n = state.range(0);

@@ -1,6 +1,8 @@
 #include "graph/bipartite_graph.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 namespace ricd::graph {
@@ -18,6 +20,18 @@ bool LookupSorted(std::span<const ExtId> ids, std::span<const VertexId> sorted,
   return true;
 }
 
+/// RICD_ID_LOOKUP=bsearch pins adopted graphs to the pre-flat-map binary
+/// search — the escape hatch (and the comparison arm of bench_kernels'
+/// point-lookup case). Read once: flipping it mid-process would leave
+/// already-built flat maps in use.
+bool UseFlatIdLookup() {
+  static const bool use = [] {
+    const char* mode = std::getenv("RICD_ID_LOOKUP");
+    return mode == nullptr || std::strcmp(mode, "bsearch") != 0;
+  }();
+  return use;
+}
+
 }  // namespace
 
 table::ClickCount BipartiteGraph::EdgeWeight(VertexId u, VertexId v) const {
@@ -30,6 +44,14 @@ table::ClickCount BipartiteGraph::EdgeWeight(VertexId u, VertexId v) const {
 
 bool BipartiteGraph::LookupUser(table::UserId external, VertexId* out) const {
   if (external_) {
+    if (flat_lookup_ != nullptr && UseFlatIdLookup()) {
+      IdLookupState& state = *flat_lookup_;
+      std::call_once(state.once, [&] {
+        state.users = FlatIdMap(ext_.user_ids);
+        state.items = FlatIdMap(ext_.item_ids);
+      });
+      return state.users.Lookup(external, out);
+    }
     return LookupSorted(ext_.user_ids, ext_.user_lookup_sorted, external, out);
   }
   const auto it = user_lookup_.find(external);
@@ -40,6 +62,14 @@ bool BipartiteGraph::LookupUser(table::UserId external, VertexId* out) const {
 
 bool BipartiteGraph::LookupItem(table::ItemId external, VertexId* out) const {
   if (external_) {
+    if (flat_lookup_ != nullptr && UseFlatIdLookup()) {
+      IdLookupState& state = *flat_lookup_;
+      std::call_once(state.once, [&] {
+        state.users = FlatIdMap(ext_.user_ids);
+        state.items = FlatIdMap(ext_.item_ids);
+      });
+      return state.items.Lookup(external, out);
+    }
     return LookupSorted(ext_.item_ids, ext_.item_lookup_sorted, external, out);
   }
   const auto it = item_lookup_.find(external);
@@ -76,6 +106,7 @@ BipartiteGraph BipartiteGraph::AdoptExternal(
   g.ext_ = sections;
   g.retention_ = std::move(retention);
   g.total_clicks_ = sections.total_clicks;
+  g.flat_lookup_ = std::make_shared<IdLookupState>();
   return g;
 }
 

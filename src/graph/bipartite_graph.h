@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "graph/id_lookup.h"
 #include "table/click_record.h"
 
 namespace ricd::graph {
@@ -125,8 +127,11 @@ class BipartiteGraph {
   table::ItemId ExternalItemId(VertexId v) const { return iids()[v]; }
 
   /// Dense id of an external user id; returns false if unknown. O(1) on
-  /// built graphs (hash map), O(log U) on adopted graphs (binary search
-  /// over the external-storage lookup table).
+  /// built graphs (hash map) and on adopted graphs (a flat open-addressing
+  /// map built lazily on first lookup). RICD_ID_LOOKUP=bsearch falls the
+  /// adopted path back to binary search over the external-storage lookup
+  /// table (the pre-flat-map behavior; also the comparison arm of
+  /// bench_kernels' point-lookup case).
   bool LookupUser(table::UserId external, VertexId* out) const;
 
   /// Dense id of an external item id; returns false if unknown.
@@ -225,6 +230,17 @@ class BipartiteGraph {
   bool external_ = false;
   GraphSections ext_;
   std::shared_ptr<const void> retention_;
+
+  // Lazily built flat id maps for adopted graphs (built graphs keep their
+  // hash maps). Shared across copies like the retention handle; call_once
+  // makes the first concurrent lookups race-free. Null on built graphs and
+  // under RICD_ID_LOOKUP=bsearch.
+  struct IdLookupState {
+    std::once_flag once;
+    FlatIdMap users;
+    FlatIdMap items;
+  };
+  std::shared_ptr<IdLookupState> flat_lookup_;
 };
 
 }  // namespace ricd::graph

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "graph/graph_builder.h"
+#include "shard/sharded_graph.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -12,7 +13,7 @@ namespace ricd::core {
 
 Result<graph::BipartiteGraph> GenerateGraph(const table::ClickTable& table) {
   RICD_TRACE_SPAN("ricd.generation");
-  return graph::GraphBuilder::FromTable(table);
+  return shard::BuildFullGraph(table);
 }
 
 Result<graph::BipartiteGraph> GenerateGraph(const table::ClickTable& table,
@@ -24,7 +25,7 @@ Result<graph::BipartiteGraph> GenerateGraph(const table::ClickTable& table,
   // rebuild the graph on the induced rows. (Cheaper than per-seed
   // MaxBiGraph calls: seed neighborhoods overlap heavily in practice.)
   RICD_ASSIGN_OR_RETURN(graph::BipartiteGraph full,
-                        graph::GraphBuilder::FromTable(table));
+                        shard::BuildFullGraph(table));
 
   std::unordered_set<graph::VertexId> keep_users;
   std::unordered_set<graph::VertexId> keep_items;
@@ -84,7 +85,7 @@ Result<graph::BipartiteGraph> GenerateGraph(const table::ClickTable& table,
       induced.Append(table.user(i), table.item(i), table.clicks(i));
     }
   }
-  return graph::GraphBuilder::FromTable(induced);
+  return shard::BuildFullGraph(induced);
 }
 
 }  // namespace ricd::core

@@ -5,6 +5,7 @@
 
 #include "check/validate.h"
 #include "graph/graph_builder.h"
+#include "shard/sharded_graph.h"
 #include "graph/hot_items.h"
 #include "obs/trace.h"
 #include "ricd/graph_generator.h"
@@ -160,7 +161,7 @@ Status IncrementalRicd::Bootstrap(const table::ClickTable& initial) {
 
   if (num_edges_ > 0) {
     RICD_ASSIGN_OR_RETURN(graph::BipartiteGraph graph,
-                          graph::GraphBuilder::FromTable(MaterializeTable()));
+                          shard::BuildFullGraph(MaterializeTable()));
     // Pin the hot threshold globally: regional derivations would be biased.
     if (options_.params.t_hot == 0) {
       options_.params.t_hot = graph::DeriveHotThreshold(graph, 0.8);
@@ -196,7 +197,7 @@ Result<IncrementalUpdate> IncrementalRicd::Ingest(const table::ClickTable& batch
 
   RICD_TRACE_SPAN("ricd.incremental.detect");
   RICD_ASSIGN_OR_RETURN(graph::BipartiteGraph graph,
-                        graph::GraphBuilder::FromTable(region));
+                        shard::BuildFullGraph(region));
   if (check::ValidationEnabled()) {
     // The region graph is rebuilt from incrementally folded stream state —
     // exactly the structure a lost update or double-counted edge corrupts,

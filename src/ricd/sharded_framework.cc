@@ -1,0 +1,372 @@
+#include "obs/metric_names.h"
+#include "ricd/sharded_framework.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <utility>
+
+#include "check/validate.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "graph/hot_items.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "shard/core_fixpoint.h"
+#include "shard/subgraph.h"
+
+namespace ricd::core {
+namespace {
+
+using graph::VertexId;
+
+/// Matches the extractor's degree bound arithmetic exactly.
+uint32_t CeilMul(double alpha, uint32_t k) {
+  return static_cast<uint32_t>(std::ceil(alpha * static_cast<double>(k)));
+}
+
+uint64_t ResolveHotThreshold(const shard::ShardedGraph& sg,
+                             const RicdParams& params) {
+  if (params.t_hot != 0) return params.t_hot;
+  // Same multiset of totals and the same grand total as the monolithic
+  // graph, so the derived threshold is bit-identical.
+  return graph::DeriveHotThresholdFromTotals(sg.item_totals, sg.total_clicks,
+                                             0.8);
+}
+
+const auto kByRisk = [](const auto& a, const auto& b) {
+  if (a.risk != b.risk) return a.risk > b.risk;
+  return a.external_id < b.external_id;
+};
+
+}  // namespace
+
+Result<FrameworkResult> ShardedRicd::Run(const table::ClickTable& table) const {
+  if (num_shards_ <= 1 || !options_.seeds.empty()) {
+    return RicdFramework(options_).Run(table);
+  }
+  return RunSharded(table, /*spill_prefix=*/nullptr);
+}
+
+Result<FrameworkResult> ShardedRicd::RunSpilled(
+    const table::ClickTable& table, const std::string& spill_prefix) const {
+  if (num_shards_ <= 1 || !options_.seeds.empty()) {
+    return RicdFramework(options_).Run(table);
+  }
+  return RunSharded(table, &spill_prefix);
+}
+
+Result<FrameworkResult> ShardedRicd::RunSharded(
+    const table::ClickTable& table, const std::string* spill_prefix) const {
+  RICD_TRACE_SPAN("ricd.framework.run_sharded");
+  // The extractor validates parameters on every Extract call; with zero
+  // surviving components no Extract would run, so the sharded path front-
+  // loads the identical checks to reject exactly what the monolith rejects.
+  if (options_.params.alpha <= 0.0 || options_.params.alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  if (options_.params.k1 == 0 || options_.params.k2 == 0) {
+    return Status::InvalidArgument("k1 and k2 must be > 0");
+  }
+
+  static auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* feedback_rounds =
+      registry.GetCounter(obs::metric_names::kRicdFeedbackRoundsTotal);
+  static obs::Gauge* round_groups =
+      registry.GetGauge(obs::metric_names::kRicdFeedbackLastGroupsSurvived);
+  static obs::Gauge* round_nodes =
+      registry.GetGauge(obs::metric_names::kRicdFeedbackLastNodesFlagged);
+  static obs::Counter* users_pruned_core =
+      registry.GetCounter(obs::metric_names::kRicdExtractionUsersPrunedCore);
+  static obs::Counter* items_pruned_core =
+      registry.GetCounter(obs::metric_names::kRicdExtractionItemsPrunedCore);
+  static obs::Counter* core_levels =
+      registry.GetCounter(obs::metric_names::kRicdExtractionCoreLevels);
+  static obs::Counter* screen_groups_in =
+      registry.GetCounter(obs::metric_names::kRicdScreeningGroupsIn);
+  static obs::Counter* screen_groups_out =
+      registry.GetCounter(obs::metric_names::kRicdScreeningGroupsSurvived);
+  static obs::Counter* screen_users_removed =
+      registry.GetCounter(obs::metric_names::kRicdScreeningUsersRemoved);
+  static obs::Counter* screen_items_removed =
+      registry.GetCounter(obs::metric_names::kRicdScreeningItemsRemoved);
+  static obs::Gauge* shard_count =
+      registry.GetGauge(obs::metric_names::kShardCount);
+  static obs::Gauge* edges_total =
+      registry.GetGauge(obs::metric_names::kShardEdgesTotal);
+  static obs::Gauge* edges_max =
+      registry.GetGauge(obs::metric_names::kShardEdgesMax);
+  static obs::Gauge* balance_ratio =
+      registry.GetGauge(obs::metric_names::kShardBalanceRatio);
+  static obs::Counter* candidates_total =
+      registry.GetCounter(obs::metric_names::kShardCandidatesTotal);
+
+  shard::ShardedGraph sharded;
+  {
+    RICD_TRACE_SPAN(obs::metric_names::kShardBuildSeconds);
+    auto built = shard::BuildShardedGraph(table, num_shards_);
+    if (!built.ok()) return built.status();
+    sharded = std::move(built).value();
+  }
+  shard_count->Set(static_cast<double>(sharded.num_shards));
+  edges_total->Set(static_cast<double>(sharded.num_edges));
+  uint64_t max_edges = 0;
+  for (uint32_t k = 0; k < sharded.num_shards; ++k) {
+    const uint64_t e = sharded.shards[k].graph.num_edges();
+    max_edges = std::max(max_edges, e);
+    registry.GetGauge(StringPrintf(obs::metric_names::kShardEdgesFormat, k))
+        ->Set(static_cast<double>(e));
+  }
+  edges_max->Set(static_cast<double>(max_edges));
+  const double mean_edges = static_cast<double>(sharded.num_edges) /
+                            static_cast<double>(sharded.num_shards);
+  balance_ratio->Set(mean_edges > 0.0
+                         ? static_cast<double>(max_edges) / mean_edges
+                         : 1.0);
+
+  if (check::ValidationEnabled()) {
+    for (const shard::GraphShard& s : sharded.shards) {
+      RICD_RETURN_IF_ERROR(check::ValidateBipartiteGraph(s.graph));
+    }
+  }
+  if (spill_prefix != nullptr) {
+    RICD_RETURN_IF_ERROR(sharded.Spill(*spill_prefix));
+    RICD_RETURN_IF_ERROR(shard::VerifyShardManifest(*spill_prefix).status());
+  }
+
+  FrameworkResult result;
+  RicdParams params = options_.params;
+
+  // Last round's extraction shards + screened groups (closure-local ids),
+  // retained so ranking after the feedback loop sees the final round's
+  // subgraphs — mirroring RunOnGraph, which ranks after the loop ends.
+  std::vector<shard::ExtractionShard> kept_shards;
+  std::vector<std::vector<graph::Group>> kept_groups;
+
+  for (uint32_t round = 0;; ++round) {
+    result.extraction_stats = {};
+    result.screening_stats = {};
+    RicdParams effective = params;
+    effective.t_hot = ResolveHotThreshold(sharded, params);
+
+    std::vector<shard::ExtractionShard> ex;
+    std::vector<std::vector<graph::Group>> screened(sharded.num_shards);
+    std::vector<std::vector<VertexId>> keys(sharded.num_shards);
+    {
+      RICD_TRACE_SPAN(obs::metric_names::kShardPruneSeconds);
+      RICD_ASSIGN_OR_RETURN(
+          shard::CoreFixpoint fx,
+          shard::DistributedCorePrune(sharded,
+                                      CeilMul(effective.alpha, effective.k2),
+                                      CeilMul(effective.alpha, effective.k1)));
+      // Phase-A core removals happen outside any extractor, so feed the
+      // extraction counters by hand to keep the exported series additive
+      // with the monolithic pipeline's.
+      users_pruned_core->Add(fx.users_removed);
+      items_pruned_core->Add(fx.items_removed);
+      core_levels->Add(fx.levels);
+      result.extraction_stats.users_removed_core += fx.users_removed;
+      result.extraction_stats.items_removed_core += fx.items_removed;
+
+      RICD_ASSIGN_OR_RETURN(shard::ComponentSet comps,
+                            shard::FindSurvivorComponents(sharded, fx));
+      const std::vector<uint32_t> route = shard::RouteComponents(
+          comps, sharded.user_ids, sharded.num_shards, balance_);
+      RICD_ASSIGN_OR_RETURN(
+          ex, shard::BuildExtractionShards(sharded, fx, comps, route));
+
+      uint32_t max_sweeps = 0;
+      bool any_survivors = false;
+      for (uint32_t s = 0; s < sharded.num_shards; ++s) {
+        shard::ExtractionShard& es = ex[s];
+        obs::Gauge* candidates_gauge = registry.GetGauge(
+            StringPrintf(obs::metric_names::kShardCandidatesFormat, s));
+        if (es.empty()) {
+          candidates_gauge->Set(0.0);
+          continue;
+        }
+        any_survivors = true;
+        if (check::ValidationEnabled()) {
+          // The adopted subgraphs were assembled by hand from gathered
+          // edges; the full structural audit is cheap at this size and
+          // guards the construction, not just the inputs.
+          RICD_RETURN_IF_ERROR(check::ValidateBipartiteGraph(es.survivor));
+          RICD_RETURN_IF_ERROR(check::ValidateBipartiteGraph(es.closure));
+        }
+
+        ExtensionBicliqueExtractor extractor(effective);
+        ExtractionStats shard_stats;
+        RICD_ASSIGN_OR_RETURN(std::vector<graph::Group> groups,
+                              extractor.Extract(es.survivor, &shard_stats));
+        result.extraction_stats.users_removed_core +=
+            shard_stats.users_removed_core;
+        result.extraction_stats.items_removed_core +=
+            shard_stats.items_removed_core;
+        result.extraction_stats.users_removed_square +=
+            shard_stats.users_removed_square;
+        result.extraction_stats.items_removed_square +=
+            shard_stats.items_removed_square;
+        max_sweeps = std::max(max_sweeps, shard_stats.sweeps_run);
+        candidates_gauge->Set(static_cast<double>(groups.size()));
+        candidates_total->Add(groups.size());
+
+        // Merge key: the group's minimum *global* user id, captured before
+        // screening (screening can remove the minimum member, but the key
+        // only has to reproduce the monolithic emission order, which is
+        // fixed at extraction time). Then rebase the group onto the closure
+        // graph — both local id spaces are order-preserving in the global
+        // ids, so member lists stay sorted.
+        for (graph::Group& group : groups) {
+          keys[s].push_back(es.survivor_user_global[group.users[0]]);
+          for (VertexId& u : group.users) {
+            u = es.ClosureUserLocal(es.survivor_user_global[u]);
+          }
+          for (VertexId& v : group.items) {
+            v = es.ClosureItemLocal(es.survivor_item_global[v]);
+          }
+        }
+
+        if (options_.screening == ScreeningMode::kNone) {
+          screened[s] = std::move(groups);
+        } else {
+          RICD_TRACE_SPAN("ricd.screening");
+          // Hot flags come from the *global* totals: boundary items only
+          // carry part of their adjacency in this closure, so flagging off
+          // the subgraph's own totals would misclassify them.
+          std::vector<uint8_t> hot(es.closure.num_items(), 0);
+          for (size_t i = 0; i < es.closure_item_global.size(); ++i) {
+            hot[i] = sharded.item_totals[es.closure_item_global[i]] >=
+                             effective.t_hot
+                         ? 1
+                         : 0;
+          }
+          GroupScreener screener(es.closure, effective, std::move(hot));
+          // Unrolled GroupScreener::Screen so the merge keys stay aligned
+          // with the surviving groups; counter updates match it one for one.
+          ScreeningStats local;
+          std::vector<graph::Group> kept;
+          std::vector<VertexId> kept_keys;
+          kept.reserve(groups.size());
+          for (size_t i = 0; i < groups.size(); ++i) {
+            if (screener.ScreenGroup(groups[i], options_.screening, &local)) {
+              kept.push_back(std::move(groups[i]));
+              kept_keys.push_back(keys[s][i]);
+            }
+          }
+          screen_groups_in->Add(groups.size());
+          screen_groups_out->Add(kept.size());
+          screen_users_removed->Add(local.users_removed);
+          screen_items_removed->Add(local.items_removed);
+          result.screening_stats.users_removed += local.users_removed;
+          result.screening_stats.items_removed += local.items_removed;
+          result.screening_stats.groups_dropped += local.groups_dropped;
+          screened[s] = std::move(kept);
+          keys[s] = std::move(kept_keys);
+        }
+        if (check::ValidationEnabled()) {
+          RICD_RETURN_IF_ERROR(
+              check::ValidatePipelineResult(es.closure, screened[s]));
+        }
+      }
+      // An empty survivor set still runs one (vacuous) sweep in the
+      // monolith before the no-change break; reproduce its counter.
+      result.extraction_stats.sweeps_run =
+          any_survivors
+              ? max_sweeps
+              : std::min<uint32_t>(effective.square_pruning_sweeps, 1);
+    }
+
+    {
+      RICD_TRACE_SPAN(obs::metric_names::kShardMergeSeconds);
+      // Keys are group minimum users; groups partition their members, so
+      // keys are distinct and ascending-key order is total — and equals the
+      // monolithic ActiveConnectedComponents emission order (ascending
+      // start user).
+      std::vector<std::pair<VertexId, std::pair<uint32_t, uint32_t>>> order;
+      for (uint32_t s = 0; s < sharded.num_shards; ++s) {
+        for (uint32_t i = 0; i < screened[s].size(); ++i) {
+          order.push_back({keys[s][i], {s, i}});
+        }
+      }
+      std::sort(order.begin(), order.end());
+      baselines::DetectionResult merged;
+      merged.groups.reserve(order.size());
+      for (const auto& [key, at] : order) {
+        const shard::ExtractionShard& es = ex[at.first];
+        const graph::Group& local = screened[at.first][at.second];
+        graph::Group global;
+        global.users.reserve(local.users.size());
+        global.items.reserve(local.items.size());
+        for (const VertexId u : local.users) {
+          global.users.push_back(es.closure_user_global[u]);
+        }
+        for (const VertexId v : local.items) {
+          global.items.push_back(es.closure_item_global[v]);
+        }
+        merged.groups.push_back(std::move(global));
+      }
+      result.detection = std::move(merged);
+    }
+    result.feedback_rounds_used = round;
+    kept_shards = std::move(ex);
+    kept_groups = std::move(screened);
+
+    const size_t output_nodes = result.detection.NumFlagged();
+    round_groups->Set(static_cast<double>(result.detection.groups.size()));
+    round_nodes->Set(static_cast<double>(output_nodes));
+    if (options_.expectation == 0 || output_nodes >= options_.expectation ||
+        round >= options_.max_feedback_rounds) {
+      break;
+    }
+
+    const uint32_t relaxed_t_click = std::max<uint32_t>(
+        2, static_cast<uint32_t>(std::floor(
+               options_.t_click_decay * static_cast<double>(params.t_click))));
+    const double relaxed_alpha =
+        std::max(0.5, params.alpha - options_.alpha_step);
+    if (relaxed_t_click == params.t_click && relaxed_alpha == params.alpha) {
+      break;  // Nothing left to relax.
+    }
+    RICD_LOG(INFO) << "feedback round " << round + 1 << ": output "
+                   << output_nodes << " < expectation " << options_.expectation
+                   << "; relaxing T_click " << params.t_click << " -> "
+                   << relaxed_t_click << ", alpha " << params.alpha << " -> "
+                   << relaxed_alpha;
+    params.t_click = relaxed_t_click;
+    params.alpha = relaxed_alpha;
+    feedback_rounds->Add(1);
+  }
+
+  result.effective_params = params;
+  result.effective_params.t_hot = ResolveHotThreshold(sharded, params);
+
+  // Identification runs per shard against the closure graphs (a suspicious
+  // user's suspicious items are all in its own component, so per-shard risk
+  // equals global risk), then merges under RankByRisk's own total order.
+  RankedOutput merged_ranked;
+  for (uint32_t s = 0; s < sharded.num_shards; ++s) {
+    if (s >= kept_groups.size() || kept_groups[s].empty()) continue;
+    const shard::ExtractionShard& es = kept_shards[s];
+    RankedOutput ranked = RankByRisk(es.closure, kept_groups[s]);
+    if (check::ValidationEnabled()) {
+      RICD_RETURN_IF_ERROR(
+          check::ValidatePipelineResult(es.closure, kept_groups[s], &ranked));
+    }
+    for (RankedUser& row : ranked.users) {
+      row.user = es.closure_user_global[row.user];
+    }
+    for (RankedItem& row : ranked.items) {
+      row.item = es.closure_item_global[row.item];
+    }
+    merged_ranked.users.insert(merged_ranked.users.end(), ranked.users.begin(),
+                               ranked.users.end());
+    merged_ranked.items.insert(merged_ranked.items.end(), ranked.items.begin(),
+                               ranked.items.end());
+  }
+  std::sort(merged_ranked.users.begin(), merged_ranked.users.end(), kByRisk);
+  std::sort(merged_ranked.items.begin(), merged_ranked.items.end(), kByRisk);
+  result.ranked = std::move(merged_ranked);
+  return result;
+}
+
+}  // namespace ricd::core

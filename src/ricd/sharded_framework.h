@@ -1,0 +1,60 @@
+#ifndef RICD_RICD_SHARDED_FRAMEWORK_H_
+#define RICD_RICD_SHARDED_FRAMEWORK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "ricd/framework.h"
+#include "shard/shard_plan.h"
+
+namespace ricd::core {
+
+/// The RICD pipeline over the partitioned graph engine (src/shard): the
+/// click table is hash-partitioned by user across N shards, per-shard CSRs
+/// build in parallel, CorePruning runs as a cross-shard fixpoint, and the
+/// surviving components are routed to extraction shards whose square/core
+/// sweeps, screening and risk ranking run against per-component subgraphs.
+/// Candidate groups merge in ascending order of each group's minimum global
+/// user id (min user ids are distinct across groups, so the order is total)
+/// — which is exactly the monolithic emission order — and rankings merge
+/// under RankByRisk's own (risk desc, external id asc) total order.
+///
+/// The result is bit-identical to RicdFramework::Run at every shard count:
+/// same groups, same stats, same rankings, same effective parameters
+/// (DESIGN.md §14 gives the argument stage by stage).
+///
+/// num_shards <= 1 and seeded runs delegate to RicdFramework (seed pruning
+/// is a monolithic-graph accelerator; RICD_SHARDS=1 keeps today's path).
+class ShardedRicd {
+ public:
+  explicit ShardedRicd(
+      FrameworkOptions options,
+      uint32_t num_shards = shard::NumShardsFromEnv(),
+      shard::BalancePolicy balance = shard::BalancePolicyFromEnv())
+      : options_(options), num_shards_(num_shards), balance_(balance) {}
+
+  /// Full pipeline (build, feedback loop, ranking) over a click table.
+  Result<FrameworkResult> Run(const table::ClickTable& table) const;
+
+  /// As Run, but spills every shard CSR to `<spill_prefix>.shard<k>.snap`
+  /// (plus a checksummed manifest) right after the build; each subsequent
+  /// pass then holds one shard resident at a time.
+  Result<FrameworkResult> RunSpilled(const table::ClickTable& table,
+                                     const std::string& spill_prefix) const;
+
+  uint32_t num_shards() const { return num_shards_; }
+  const FrameworkOptions& options() const { return options_; }
+
+ private:
+  Result<FrameworkResult> RunSharded(const table::ClickTable& table,
+                                     const std::string* spill_prefix) const;
+
+  FrameworkOptions options_;
+  uint32_t num_shards_;
+  shard::BalancePolicy balance_;
+};
+
+}  // namespace ricd::core
+
+#endif  // RICD_RICD_SHARDED_FRAMEWORK_H_

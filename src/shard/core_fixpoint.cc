@@ -1,0 +1,106 @@
+#include "shard/core_fixpoint.h"
+
+#include <algorithm>
+
+namespace ricd::shard {
+
+using graph::Side;
+using graph::VertexId;
+
+Result<CoreFixpoint> DistributedCorePrune(ShardedGraph& sg,
+                                          uint32_t min_user_degree,
+                                          uint32_t min_item_degree) {
+  const uint32_t num_users = sg.num_users();
+  const uint32_t num_items = sg.num_items();
+  CoreFixpoint fx;
+  fx.user_alive.assign(num_users, 1);
+  fx.item_alive.assign(num_items, 1);
+  std::vector<uint32_t> user_deg(num_users, 0);
+  std::vector<uint32_t> item_deg(num_items, 0);
+
+  // Only cycle shards through the spill files when a spill actually
+  // happened; resident graphs stay resident.
+  const bool spilled = sg.spilled();
+
+  // Initial distinct-degree arrays: one pass over the shards. A user's full
+  // adjacency lives in its home shard; an item's degree is the sum of its
+  // per-shard partial degrees (each edge counted in exactly one shard).
+  for (uint32_t k = 0; k < sg.num_shards; ++k) {
+    RICD_RETURN_IF_ERROR(sg.EnsureLoaded(k));
+    const GraphShard& shard = sg.shards[k];
+    for (VertexId lu = 0; lu < shard.graph.num_users(); ++lu) {
+      user_deg[shard.user_global[lu]] = shard.graph.Degree(Side::kUser, lu);
+    }
+    for (VertexId lv = 0; lv < shard.graph.num_items(); ++lv) {
+      item_deg[shard.item_global[lv]] += shard.graph.Degree(Side::kItem, lv);
+    }
+    if (spilled) sg.Release(k);
+  }
+
+  // Seed frontiers: every vertex already below its bound.
+  std::vector<VertexId> user_frontier;
+  std::vector<VertexId> item_frontier;
+  for (VertexId gu = 0; gu < num_users; ++gu) {
+    if (user_deg[gu] < min_user_degree) user_frontier.push_back(gu);
+  }
+  for (VertexId gv = 0; gv < num_items; ++gv) {
+    if (item_deg[gv] < min_item_degree) item_frontier.push_back(gv);
+  }
+
+  // Level-synchronous cascade, mirroring the in-process CorePruning: the
+  // whole level is marked dead on both sides before any degree update, so
+  // intra-level edges cannot re-discover a vertex that is already being
+  // removed. A neighbor joins the next frontier exactly when its degree
+  // crosses its bound (pre-decrement == bound), which happens once
+  // globally — frontiers stay duplicate-free without a dedup pass.
+  std::vector<std::vector<VertexId>> users_by_shard(sg.num_shards);
+  std::vector<VertexId> next_users;
+  std::vector<VertexId> next_items;
+  while (!user_frontier.empty() || !item_frontier.empty()) {
+    ++fx.levels;
+    fx.users_removed += static_cast<uint32_t>(user_frontier.size());
+    fx.items_removed += static_cast<uint32_t>(item_frontier.size());
+    for (const VertexId gu : user_frontier) fx.user_alive[gu] = 0;
+    for (const VertexId gv : item_frontier) fx.item_alive[gv] = 0;
+
+    for (auto& bucket : users_by_shard) bucket.clear();
+    for (const VertexId gu : user_frontier) {
+      users_by_shard[sg.user_shard[gu]].push_back(gu);
+    }
+
+    next_users.clear();
+    next_items.clear();
+    for (uint32_t k = 0; k < sg.num_shards; ++k) {
+      if (users_by_shard[k].empty() && item_frontier.empty()) continue;
+      RICD_RETURN_IF_ERROR(sg.EnsureLoaded(k));
+      const GraphShard& shard = sg.shards[k];
+      for (const VertexId gu : users_by_shard[k]) {
+        const VertexId lu = sg.user_local[gu];
+        for (const VertexId lv : shard.graph.UserNeighbors(lu)) {
+          const VertexId gv = shard.item_global[lv];
+          if (fx.item_alive[gv] == 0) continue;
+          if (item_deg[gv]-- == min_item_degree) next_items.push_back(gv);
+        }
+      }
+      for (const VertexId gv : item_frontier) {
+        const VertexId lv = shard.item_local[gv];
+        if (lv == kNoVertex) continue;
+        for (const VertexId lu : shard.graph.ItemNeighbors(lv)) {
+          const VertexId gu = shard.user_global[lu];
+          if (fx.user_alive[gu] == 0) continue;
+          if (user_deg[gu]-- == min_user_degree) next_users.push_back(gu);
+        }
+      }
+      if (spilled) sg.Release(k);
+    }
+    // Shard visit order leaks into discovery order only; sorting restores
+    // the canonical ascending frontiers (the set itself is order-free).
+    std::sort(next_users.begin(), next_users.end());
+    std::sort(next_items.begin(), next_items.end());
+    user_frontier.swap(next_users);
+    item_frontier.swap(next_items);
+  }
+  return fx;
+}
+
+}  // namespace ricd::shard

@@ -1,0 +1,40 @@
+#ifndef RICD_SHARD_CORE_FIXPOINT_H_
+#define RICD_SHARD_CORE_FIXPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "shard/sharded_graph.h"
+
+namespace ricd::shard {
+
+/// Result of the cross-shard CorePruning fixpoint over the global id space.
+struct CoreFixpoint {
+  std::vector<uint8_t> user_alive;  // global user id -> survived
+  std::vector<uint8_t> item_alive;
+  uint32_t users_removed = 0;
+  uint32_t items_removed = 0;
+  uint32_t levels = 0;
+};
+
+/// The distributed CorePruning pass (Lemma 1 cascade) over a sharded graph:
+/// drop users with fewer than `min_user_degree` surviving items and items
+/// with fewer than `min_item_degree` surviving users, to a fixpoint. The
+/// (a, b)-core is the unique maximal subgraph satisfying both bounds, so
+/// the survivor set — and therefore the removal counts — are bit-identical
+/// to running ExtensionBicliqueExtractor::CorePruning on the monolithic
+/// graph, for any shard count.
+///
+/// Degrees are kept in global arrays; each level walks the shards once
+/// (user removals via the home shard's user CSR, item removals via every
+/// shard's partial item CSR — each edge lives in exactly one shard, so no
+/// edge is decremented twice). Shards are visited one at a time through
+/// EnsureLoaded, so a spilled graph needs only one shard CSR resident.
+Result<CoreFixpoint> DistributedCorePrune(ShardedGraph& sg,
+                                          uint32_t min_user_degree,
+                                          uint32_t min_item_degree);
+
+}  // namespace ricd::shard
+
+#endif  // RICD_SHARD_CORE_FIXPOINT_H_

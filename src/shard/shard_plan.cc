@@ -1,0 +1,48 @@
+#include "shard/shard_plan.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.h"
+
+namespace ricd::shard {
+
+uint32_t NumShardsFromEnv() {
+  const char* env = std::getenv("RICD_SHARDS");
+  if (env == nullptr || env[0] == '\0') return 1;
+  const std::string value(env);
+  bool all_digits = true;
+  for (const char c : value) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+      all_digits = false;
+      break;
+    }
+  }
+  if (!all_digits) {
+    RICD_LOG(WARNING) << "invalid RICD_SHARDS '" << value
+                      << "' (expected an unsigned integer), using 1";
+    return 1;
+  }
+  const unsigned long long parsed = std::strtoull(value.c_str(), nullptr, 10);
+  if (parsed == 0) return 1;
+  if (parsed > kMaxShards) {
+    RICD_LOG(WARNING) << "RICD_SHARDS=" << parsed << " clamped to "
+                      << kMaxShards;
+    return kMaxShards;
+  }
+  return static_cast<uint32_t>(parsed);
+}
+
+BalancePolicy BalancePolicyFromEnv() {
+  const char* env = std::getenv("RICD_SHARD_BALANCE");
+  if (env == nullptr || env[0] == '\0') return BalancePolicy::kGreedy;
+  const std::string value(env);
+  if (value == "greedy") return BalancePolicy::kGreedy;
+  if (value == "hash") return BalancePolicy::kHash;
+  RICD_LOG(WARNING) << "unknown RICD_SHARD_BALANCE '" << value
+                    << "', using greedy";
+  return BalancePolicy::kGreedy;
+}
+
+}  // namespace ricd::shard

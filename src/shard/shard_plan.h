@@ -1,0 +1,51 @@
+#ifndef RICD_SHARD_SHARD_PLAN_H_
+#define RICD_SHARD_SHARD_PLAN_H_
+
+#include <cstdint>
+
+#include "table/click_record.h"
+
+namespace ricd::shard {
+
+/// Hard ceiling on the shard count: partition bookkeeping is O(shards) per
+/// item and the merge is O(shards log shards); 256 covers the paper's
+/// 16-worker deployment with two orders of magnitude of headroom.
+inline constexpr uint32_t kMaxShards = 256;
+
+/// Number of graph shards from the RICD_SHARDS environment variable.
+/// Default 1 (= the monolithic pipeline); values are clamped to
+/// [1, kMaxShards] and garbage falls back to 1.
+uint32_t NumShardsFromEnv();
+
+/// How survivor components are routed onto extraction shards. The merged
+/// detection output is invariant to the policy (DESIGN.md §14); only load
+/// balance changes.
+enum class BalancePolicy {
+  kGreedy,  // largest component first onto the least-loaded shard
+  kHash,    // splitmix64(min-user external id) % shards
+};
+
+/// Routing policy from RICD_SHARD_BALANCE ("greedy" default, "hash").
+BalancePolicy BalancePolicyFromEnv();
+
+/// SplitMix64 finalizer: the statistically strong 64-bit mixer used to
+/// spread arbitrary external ids across shards (same constants as
+/// common/random.h's seed expander).
+inline uint64_t SplitMix64Hash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Home shard of a user: a hash partition of the *external* id space, so
+/// the assignment is independent of row order and of dense-id assignment.
+inline uint32_t ShardOfUser(table::UserId external, uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return static_cast<uint32_t>(SplitMix64Hash(static_cast<uint64_t>(external)) %
+                               num_shards);
+}
+
+}  // namespace ricd::shard
+
+#endif  // RICD_SHARD_SHARD_PLAN_H_

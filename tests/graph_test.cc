@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
+#include <vector>
 
 #include "common/random.h"
 #include "graph/graph_builder.h"
+#include "graph/id_lookup.h"
 #include "table/click_table.h"
 
 namespace ricd::graph {
@@ -164,6 +167,80 @@ TEST_P(TransposePropertyTest, ItemCsrIsExactTranspose) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TransposePropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(FlatIdMapTest, MapsEveryIdAndRejectsAbsentOnes) {
+  Rng rng(42);
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    // Sequential block with gaps plus a few adversarially clustered highs —
+    // the allocator patterns the SplitMix64 mix must spread apart.
+    ids.push_back(static_cast<int64_t>(i) * 2 + 1'000'000);
+  }
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back((static_cast<int64_t>(1) << 40) + i * 4096);
+  }
+  FlatIdMap map{std::span<const int64_t>(ids)};
+  EXPECT_FALSE(map.empty());
+  EXPECT_GE(map.capacity(), ids.size() * 2);  // load factor <= 0.5
+  uint32_t dense = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(map.Lookup(ids[i], &dense)) << ids[i];
+    EXPECT_EQ(dense, static_cast<uint32_t>(i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(map.Lookup(static_cast<int64_t>(i) * 2 + 1'000'001, &dense));
+  }
+  EXPECT_FALSE(map.Lookup(-7, &dense));
+  FlatIdMap empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.Lookup(0, &dense));
+}
+
+TEST(GraphTest, AdoptedFlatLookupMatchesBuiltGraphHashLookup) {
+  // Differential oracle for the adopted-graph flat id map: every external id
+  // the built graph's hash maps resolve must resolve to the same dense id
+  // through the adopted graph (which defaults to FlatIdMap), and near-miss
+  // ids must miss on both.
+  Rng rng(2024);
+  table::ClickTable t;
+  for (int i = 0; i < 4000; ++i) {
+    t.Append(static_cast<table::UserId>(5'000'000 + rng.Uniform(700) * 3),
+             static_cast<table::ItemId>(9'000'000 + rng.Uniform(300) * 7),
+             static_cast<table::ClickCount>(1 + rng.Uniform(5)));
+  }
+  auto built = GraphBuilder::FromTable(t);
+  ASSERT_TRUE(built.ok());
+
+  GraphSections s = built->Freeze();
+  const std::vector<VertexId> user_sorted =
+      GraphBuilder::ArgsortByExternalId(s.user_ids);
+  const std::vector<VertexId> item_sorted =
+      GraphBuilder::ArgsortByExternalId(s.item_ids);
+  s.user_lookup_sorted = user_sorted;
+  s.item_lookup_sorted = item_sorted;
+  // Backing storage is `built` + the argsort vectors on this frame; no
+  // retention handle needed for the scope of this test.
+  const BipartiteGraph adopted = BipartiteGraph::AdoptExternal(s, nullptr);
+  ASSERT_TRUE(adopted.is_external());
+
+  for (VertexId u = 0; u < built->num_users(); ++u) {
+    const table::UserId external = built->ExternalUserId(u);
+    VertexId got = 0xFFFFFFFFu;
+    ASSERT_TRUE(adopted.LookupUser(external, &got)) << external;
+    EXPECT_EQ(got, u);
+    EXPECT_FALSE(adopted.LookupUser(external + 1, &got));  // ids stride 3
+  }
+  for (VertexId v = 0; v < built->num_items(); ++v) {
+    const table::ItemId external = built->ExternalItemId(v);
+    VertexId got = 0xFFFFFFFFu;
+    ASSERT_TRUE(adopted.LookupItem(external, &got)) << external;
+    EXPECT_EQ(got, v);
+    EXPECT_FALSE(adopted.LookupItem(external + 1, &got));  // ids stride 7
+  }
+  VertexId got = 0;
+  EXPECT_FALSE(adopted.LookupUser(-1, &got));
+  EXPECT_FALSE(adopted.LookupItem(0, &got));
+}
 
 TEST(GraphTest, SideGenericAccessorsMatchSpecific) {
   auto g = GraphBuilder::FromTable(Sample());

@@ -1,0 +1,321 @@
+// Differential tests for the sharded graph engine: the partitioned
+// build/prune/extract/merge pipeline (src/shard + ShardedRicd) must be
+// bit-identical to the monolithic RicdFramework at every shard count, on
+// every preset, under feedback, spilling, and both balance policies.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gen/scenario.h"
+#include "ricd/framework.h"
+#include "ricd/sharded_framework.h"
+#include "scenario/materialize.h"
+#include "scenario/spec.h"
+#include "shard/core_fixpoint.h"
+#include "shard/shard_plan.h"
+#include "shard/sharded_graph.h"
+#include "shard/subgraph.h"
+#include "table/click_table.h"
+
+namespace ricd {
+namespace {
+
+core::RicdParams TinyParams() {
+  core::RicdParams p;
+  p.k1 = 8;
+  p.k2 = 8;
+  p.t_hot = 800;
+  p.t_click = 12;
+  return p;
+}
+
+core::FrameworkOptions TinyOptions() {
+  core::FrameworkOptions options;
+  options.params = TinyParams();
+  return options;
+}
+
+table::ClickTable BaselineTable(uint64_t seed) {
+  auto scenario = gen::MakeScenario(gen::ScenarioScale::kTiny, seed);
+  EXPECT_TRUE(scenario.ok()) << scenario.status().message();
+  return std::move(scenario).value().table;
+}
+
+table::ClickTable SkewedTable(uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.name = "shard_diff_skewed";
+  spec.scale = gen::ScenarioScale::kTiny;
+  spec.skew = 1.6;
+  spec.seed = seed;
+  spec.attacks.push_back(scenario::AttackSpec{});
+  auto scenario = scenario::Materialize(spec);
+  EXPECT_TRUE(scenario.ok()) << scenario.status().message();
+  return std::move(scenario).value().table;
+}
+
+void ExpectGroupsEqual(const std::vector<graph::Group>& a,
+                       const std::vector<graph::Group>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].users, b[i].users) << "group " << i;
+    EXPECT_EQ(a[i].items, b[i].items) << "group " << i;
+  }
+}
+
+void ExpectResultsEqual(const core::FrameworkResult& mono,
+                        const core::FrameworkResult& sharded) {
+  ExpectGroupsEqual(mono.detection.groups, sharded.detection.groups);
+
+  ASSERT_EQ(mono.ranked.users.size(), sharded.ranked.users.size());
+  for (size_t i = 0; i < mono.ranked.users.size(); ++i) {
+    EXPECT_EQ(mono.ranked.users[i].user, sharded.ranked.users[i].user);
+    EXPECT_EQ(mono.ranked.users[i].external_id,
+              sharded.ranked.users[i].external_id);
+    EXPECT_EQ(mono.ranked.users[i].risk, sharded.ranked.users[i].risk);
+  }
+  ASSERT_EQ(mono.ranked.items.size(), sharded.ranked.items.size());
+  for (size_t i = 0; i < mono.ranked.items.size(); ++i) {
+    EXPECT_EQ(mono.ranked.items[i].item, sharded.ranked.items[i].item);
+    EXPECT_EQ(mono.ranked.items[i].external_id,
+              sharded.ranked.items[i].external_id);
+    EXPECT_EQ(mono.ranked.items[i].risk, sharded.ranked.items[i].risk);
+  }
+
+  EXPECT_EQ(mono.effective_params.k1, sharded.effective_params.k1);
+  EXPECT_EQ(mono.effective_params.k2, sharded.effective_params.k2);
+  EXPECT_EQ(mono.effective_params.alpha, sharded.effective_params.alpha);
+  EXPECT_EQ(mono.effective_params.t_hot, sharded.effective_params.t_hot);
+  EXPECT_EQ(mono.effective_params.t_click, sharded.effective_params.t_click);
+  EXPECT_EQ(mono.feedback_rounds_used, sharded.feedback_rounds_used);
+
+  EXPECT_EQ(mono.extraction_stats.users_removed_core,
+            sharded.extraction_stats.users_removed_core);
+  EXPECT_EQ(mono.extraction_stats.items_removed_core,
+            sharded.extraction_stats.items_removed_core);
+  EXPECT_EQ(mono.extraction_stats.users_removed_square,
+            sharded.extraction_stats.users_removed_square);
+  EXPECT_EQ(mono.extraction_stats.items_removed_square,
+            sharded.extraction_stats.items_removed_square);
+  EXPECT_EQ(mono.extraction_stats.sweeps_run,
+            sharded.extraction_stats.sweeps_run);
+  EXPECT_EQ(mono.screening_stats.users_removed,
+            sharded.screening_stats.users_removed);
+  EXPECT_EQ(mono.screening_stats.items_removed,
+            sharded.screening_stats.items_removed);
+  EXPECT_EQ(mono.screening_stats.groups_dropped,
+            sharded.screening_stats.groups_dropped);
+}
+
+TEST(ShardDifferentialTest, BitIdenticalAcrossShardCountsSeedsAndPresets) {
+  const core::FrameworkOptions options = TinyOptions();
+  bool any_groups = false;
+  for (const bool skewed : {false, true}) {
+    for (const uint64_t seed : {7ull, 91ull, 2024ull}) {
+      const table::ClickTable table =
+          skewed ? SkewedTable(seed) : BaselineTable(seed);
+      auto mono = core::RicdFramework(options).Run(table);
+      ASSERT_TRUE(mono.ok()) << mono.status().message();
+      any_groups = any_groups || !mono->detection.groups.empty();
+      for (const uint32_t shards : {2u, 4u, 8u}) {
+        SCOPED_TRACE(testing::Message() << "seed=" << seed << " shards="
+                                        << shards << " skewed=" << skewed);
+        auto sharded = core::ShardedRicd(options, shards).Run(table);
+        ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+        ExpectResultsEqual(*mono, *sharded);
+      }
+    }
+  }
+  // The differential is only meaningful if detection actually fires on at
+  // least one of the presets.
+  EXPECT_TRUE(any_groups);
+}
+
+TEST(ShardDifferentialTest, BitIdenticalWithFeedbackActive) {
+  core::FrameworkOptions options = TinyOptions();
+  options.expectation = 1000000;  // never satisfied: every round relaxes
+  options.max_feedback_rounds = 2;
+  const table::ClickTable table = BaselineTable(2024);
+  auto mono = core::RicdFramework(options).Run(table);
+  ASSERT_TRUE(mono.ok()) << mono.status().message();
+  EXPECT_GT(mono->feedback_rounds_used, 0u);
+  for (const uint32_t shards : {2u, 4u}) {
+    SCOPED_TRACE(testing::Message() << "shards=" << shards);
+    auto sharded = core::ShardedRicd(options, shards).Run(table);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+    ExpectResultsEqual(*mono, *sharded);
+  }
+}
+
+TEST(ShardDifferentialTest, BitIdenticalWhenNothingSurvives) {
+  core::FrameworkOptions options = TinyOptions();
+  options.params.k1 = 1000;  // no component this large exists
+  options.params.k2 = 1000;
+  const table::ClickTable table = BaselineTable(7);
+  auto mono = core::RicdFramework(options).Run(table);
+  ASSERT_TRUE(mono.ok()) << mono.status().message();
+  EXPECT_TRUE(mono->detection.groups.empty());
+  auto sharded = core::ShardedRicd(options, 4).Run(table);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+  ExpectResultsEqual(*mono, *sharded);
+}
+
+TEST(ShardDifferentialTest, ManyShardsLeaveSomeEmpty) {
+  // 5 users over 64 shards: most shards hold no users at all, and several
+  // hold exactly one. The pipeline must run (and match) regardless.
+  table::ClickTable table;
+  for (int64_t u = 1; u <= 5; ++u) {
+    for (int64_t v = 100; v < 104; ++v) {
+      table.Append(u, v, 3);
+    }
+  }
+  core::FrameworkOptions options;
+  options.params.k1 = 2;
+  options.params.k2 = 2;
+  options.params.t_hot = 1000;
+  options.params.t_click = 2;
+  auto mono = core::RicdFramework(options).Run(table);
+  ASSERT_TRUE(mono.ok()) << mono.status().message();
+  auto sharded = core::ShardedRicd(options, 64).Run(table);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().message();
+  ExpectResultsEqual(*mono, *sharded);
+
+  auto sg = shard::BuildShardedGraph(table, 64);
+  ASSERT_TRUE(sg.ok());
+  uint32_t empty = 0;
+  for (const auto& s : sg->shards) {
+    if (s.user_global.empty()) ++empty;
+  }
+  EXPECT_GT(empty, 0u);
+}
+
+TEST(ShardDifferentialTest, GreedyAndHashRoutingProduceIdenticalOutput) {
+  const core::FrameworkOptions options = TinyOptions();
+  const table::ClickTable table = BaselineTable(91);
+  auto greedy = core::ShardedRicd(options, 4, shard::BalancePolicy::kGreedy)
+                    .Run(table);
+  auto hashed =
+      core::ShardedRicd(options, 4, shard::BalancePolicy::kHash).Run(table);
+  ASSERT_TRUE(greedy.ok() && hashed.ok());
+  ExpectResultsEqual(*greedy, *hashed);
+}
+
+TEST(ShardPlanTest, PartitionerIsDeterministic) {
+  for (const int64_t user : {1ll, 42ll, -7ll, 123456789012345ll}) {
+    const uint32_t first = shard::ShardOfUser(user, 8);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(first, shard::ShardOfUser(user, 8));
+    }
+    EXPECT_LT(first, 8u);
+    EXPECT_EQ(0u, shard::ShardOfUser(user, 1));
+  }
+  // Two independent builds agree on every assignment.
+  const table::ClickTable table = BaselineTable(7);
+  auto a = shard::BuildShardedGraph(table, 4);
+  auto b = shard::BuildShardedGraph(table, 4);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->user_shard, b->user_shard);
+  EXPECT_EQ(a->user_local, b->user_local);
+  // And the hash spreads a tiny scenario's users over every shard.
+  std::vector<uint32_t> counts(4, 0);
+  for (const uint32_t s : a->user_shard) ++counts[s];
+  for (const uint32_t c : counts) EXPECT_GT(c, 0u);
+}
+
+TEST(ShardSpillTest, SpilledRunMatchesAndManifestVerifies) {
+  const core::FrameworkOptions options = TinyOptions();
+  const table::ClickTable table = BaselineTable(2024);
+  auto mono = core::RicdFramework(options).Run(table);
+  ASSERT_TRUE(mono.ok());
+  const std::string prefix = testing::TempDir() + "/shard_spill";
+  auto spilled = core::ShardedRicd(options, 4).RunSpilled(table, prefix);
+  ASSERT_TRUE(spilled.ok()) << spilled.status().message();
+  ExpectResultsEqual(*mono, *spilled);
+
+  auto verified = shard::VerifyShardManifest(prefix);
+  ASSERT_TRUE(verified.ok()) << verified.status().message();
+  EXPECT_EQ(*verified, 4u);
+}
+
+TEST(ShardSpillTest, ManifestRejectsTamperedShardFile) {
+  const table::ClickTable table = BaselineTable(7);
+  auto sg = shard::BuildShardedGraph(table, 2);
+  ASSERT_TRUE(sg.ok());
+  const std::string prefix = testing::TempDir() + "/shard_tamper";
+  ASSERT_TRUE(sg->Spill(prefix).ok());
+  ASSERT_TRUE(shard::VerifyShardManifest(prefix).ok());
+  {
+    std::ofstream f(prefix + ".shard1.snap",
+                    std::ios::binary | std::ios::app);
+    f << "x";  // grow the file: byte count no longer matches the manifest
+  }
+  auto verified = shard::VerifyShardManifest(prefix);
+  EXPECT_FALSE(verified.ok());
+  // Reload of the intact shard still works after the verify failure.
+  EXPECT_TRUE(sg->EnsureLoaded(0).ok());
+}
+
+TEST(ShardSpillTest, ReleaseAndReloadRoundTripsGraph) {
+  const table::ClickTable table = BaselineTable(91);
+  auto sg = shard::BuildShardedGraph(table, 2);
+  ASSERT_TRUE(sg.ok());
+  const uint64_t edges0 = sg->shards[0].graph.num_edges();
+  const std::string prefix = testing::TempDir() + "/shard_reload";
+  ASSERT_TRUE(sg->Spill(prefix).ok());
+  EXPECT_FALSE(sg->shards[0].resident);
+  ASSERT_TRUE(sg->EnsureLoaded(0).ok());
+  EXPECT_TRUE(sg->shards[0].resident);
+  EXPECT_EQ(edges0, sg->shards[0].graph.num_edges());
+}
+
+TEST(ShardErrorTest, StatusParityWithMonolithicPipeline) {
+  // Zero-click row: same rejection, same message, at any shard count.
+  table::ClickTable bad;
+  bad.Append(1, 2, 3);
+  bad.Append(4, 5, 0);
+  const core::FrameworkOptions options = TinyOptions();
+  auto mono = core::RicdFramework(options).Run(bad);
+  auto sharded = core::ShardedRicd(options, 4).Run(bad);
+  ASSERT_FALSE(mono.ok());
+  ASSERT_FALSE(sharded.ok());
+  EXPECT_EQ(mono.status().message(), sharded.status().message());
+
+  // Out-of-domain parameters: identical InvalidArgument messages.
+  const table::ClickTable table = BaselineTable(7);
+  core::FrameworkOptions bad_alpha = TinyOptions();
+  bad_alpha.params.alpha = 1.5;
+  auto mono_alpha = core::RicdFramework(bad_alpha).Run(table);
+  auto sharded_alpha = core::ShardedRicd(bad_alpha, 4).Run(table);
+  ASSERT_FALSE(mono_alpha.ok());
+  ASSERT_FALSE(sharded_alpha.ok());
+  EXPECT_EQ(mono_alpha.status().message(), sharded_alpha.status().message());
+
+  core::FrameworkOptions bad_k = TinyOptions();
+  bad_k.params.k1 = 0;
+  auto mono_k = core::RicdFramework(bad_k).Run(table);
+  auto sharded_k = core::ShardedRicd(bad_k, 4).Run(table);
+  ASSERT_FALSE(mono_k.ok());
+  ASSERT_FALSE(sharded_k.ok());
+  EXPECT_EQ(mono_k.status().message(), sharded_k.status().message());
+}
+
+TEST(ShardCoreFixpointTest, SingleShardFixpointMatchesMonolithicCounts) {
+  const table::ClickTable table = BaselineTable(7);
+  auto one = shard::BuildShardedGraph(table, 1);
+  auto four = shard::BuildShardedGraph(table, 4);
+  ASSERT_TRUE(one.ok() && four.ok());
+  auto fx1 = shard::DistributedCorePrune(*one, 8, 8);
+  auto fx4 = shard::DistributedCorePrune(*four, 8, 8);
+  ASSERT_TRUE(fx1.ok() && fx4.ok());
+  EXPECT_EQ(fx1->user_alive, fx4->user_alive);
+  EXPECT_EQ(fx1->item_alive, fx4->item_alive);
+  EXPECT_EQ(fx1->users_removed, fx4->users_removed);
+  EXPECT_EQ(fx1->items_removed, fx4->items_removed);
+  EXPECT_EQ(fx1->levels, fx4->levels);
+}
+
+}  // namespace
+}  // namespace ricd

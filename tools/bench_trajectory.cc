@@ -1,7 +1,7 @@
 // bench_trajectory — in-tree perf trajectory with regression gates.
 //
 //   bench_trajectory run       --bin-dir=build/bench [--out-dir=.]
-//                              [--suite=serving,medium_pipeline,adversarial]
+//                              [--suite=serving,medium_pipeline,adversarial,sharded]
 //   bench_trajectory normalize --in=records.jsonl --scenario=NAME
 //                              --source=BENCH [--out=BENCH_NAME.json]
 //   bench_trajectory compare   --baseline=BENCH_NAME.json
@@ -54,7 +54,7 @@ int Usage() {
       "usage: bench_trajectory <run|normalize|compare> [--flags]\n"
       "  run        execute the trajectory suite and write BENCH_*.json\n"
       "             --bin-dir=<dir with bench binaries> [--out-dir=.]\n"
-      "             [--suite=serving,medium_pipeline,adversarial]\n"
+      "             [--suite=serving,medium_pipeline,adversarial,sharded]\n"
       "  normalize  fold one RICD_BENCH_JSON record into a trajectory file\n"
       "             --in=<jsonl> --scenario=<name> --source=<bench name>\n"
       "             [--out=<path>]\n"
@@ -81,6 +81,9 @@ constexpr SuiteScenario kSuite[] = {
     {"serving", "bench_serving", "small", "42"},
     {"medium_pipeline", "bench_scaling", "medium", "42"},
     {"adversarial", "bench_adversarial", "tiny", "42"},
+    // bench_sharded multiplies the preset by 10 internally, so this entry
+    // runs the shard sweep at 10x medium (800k users / 160k items).
+    {"sharded", "bench_sharded", "medium", "42"},
 };
 
 const SuiteScenario* FindScenario(const std::string& name) {
@@ -386,7 +389,7 @@ int RunSuite(const FlagParser& flags) {
   const auto bin_dir = flags.GetString("bin-dir", "");
   const auto out_dir = flags.GetString("out-dir", ".");
   const auto suite =
-      flags.GetString("suite", "serving,medium_pipeline,adversarial");
+      flags.GetString("suite", "serving,medium_pipeline,adversarial,sharded");
   if (!bin_dir.ok() || !out_dir.ok() || !suite.ok()) return 2;
   if (bin_dir->empty()) {
     return Fail(Status::InvalidArgument(
@@ -402,7 +405,7 @@ int RunSuite(const FlagParser& flags) {
     if (s == nullptr) {
       return Fail(Status::InvalidArgument(
           "unknown suite scenario '" + name +
-          "' (serving|medium_pipeline|adversarial)"));
+          "' (serving|medium_pipeline|adversarial|sharded)"));
     }
     selected.push_back(s);
   }

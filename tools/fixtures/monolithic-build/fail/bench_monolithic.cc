@@ -1,0 +1,17 @@
+// Planted monolithic-build violations: a bench that builds its graph
+// straight through GraphBuilder::FromTable, so RICD_SHARDS silently does
+// nothing for it. Every call below must be flagged.
+
+#include "graph/graph_builder.h"
+
+namespace ricd {
+
+void RunBench(const table::ClickTable& table) {
+  auto graph = graph::GraphBuilder::FromTable(table);  // flagged
+
+  auto again =
+      graph::GraphBuilder::FromTable(  // flagged (multi-line, token-level)
+          table);
+}
+
+}  // namespace ricd

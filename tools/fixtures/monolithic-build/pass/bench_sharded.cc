@@ -1,0 +1,20 @@
+// The sanctioned shape: graphs built through the shard layer, which honors
+// RICD_SHARDS (and collapses to the monolithic builder at 1 shard). Nothing
+// here may trip monolithic-build.
+
+#include "shard/sharded_graph.h"
+
+namespace ricd {
+
+void RunBench(const table::ClickTable& table,
+              const engine::WorkerEngine& engine) {
+  auto graph = shard::BuildFullGraph(table);
+
+  // Mentioning GraphBuilder::FromTable in a comment is fine, as is calling
+  // other GraphBuilder helpers.
+  auto sorted = graph::GraphBuilder::ArgsortByExternalId(graph->Freeze().user_ids);
+
+  auto sharded = shard::BuildShardedGraph(table, 4, engine);
+}
+
+}  // namespace ricd

@@ -100,6 +100,7 @@
 #include "gen/label_io.h"
 #include "gen/scenario.h"
 #include "graph/graph_builder.h"
+#include "shard/sharded_graph.h"
 #include "i2i/i2i_score.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -243,7 +244,7 @@ Result<graph::BipartiteGraph> LoadGraphFromFlags(const FlagParser& flags) {
     return std::move(view).TakeGraph();
   }
   RICD_ASSIGN_OR_RETURN(const auto clicks, LoadClicks(flags));
-  return graph::GraphBuilder::FromTable(clicks);
+  return shard::BuildFullGraph(clicks);
 }
 
 int RunGenerate(const FlagParser& flags) {
@@ -446,7 +447,7 @@ int RunCompare(const FlagParser& flags) {
   } else {
     auto clicks = LoadClicks(flags);
     if (!clicks.ok()) return Fail(clicks.status());
-    auto built = graph::GraphBuilder::FromTable(*clicks);
+    auto built = shard::BuildFullGraph(*clicks);
     if (!built.ok()) return Fail(built.status());
     graph = std::move(built).value();
   }
@@ -562,7 +563,7 @@ int RunSelftest(const FlagParser& flags) {
   auto result = framework.Run(scenario->table);
   if (!result.ok()) return Fail(result.status());
 
-  auto graph = graph::GraphBuilder::FromTable(scenario->table);
+  auto graph = shard::BuildFullGraph(scenario->table);
   if (!graph.ok()) return Fail(graph.status());
   g_workload.scale = gen::ScenarioScaleName(spec->scale);
   g_workload.seed = spec->seed;
@@ -781,7 +782,7 @@ int RunSnapshotSave(const FlagParser& flags) {
   if (!out.ok() || !labels_path.ok()) return 2;
   if (const int rc = RejectUnknown(flags)) return rc;
 
-  auto graph = graph::GraphBuilder::FromTable(*clicks);
+  auto graph = shard::BuildFullGraph(*clicks);
   if (!graph.ok()) return Fail(graph.status());
 
   gen::LabelSet labels;
