@@ -1,0 +1,108 @@
+#include "check/validate_window.h"
+
+#include <string>
+
+#include "common/string_util.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace ricd::check {
+namespace {
+
+Status FailWindow(const char* tag, std::string detail) {
+  obs::MetricsRegistry::Global().GetCounter(obs::metric_names::kCheckViolations)->Add(1);
+  return Status(StatusCode::kInternal,
+                StringPrintf("validate.window: %s: %s", tag, detail.c_str()));
+}
+
+}  // namespace
+
+Status ValidateWindowSnapshot(const window::WindowSnapshot& snapshot) {
+  obs::MetricsRegistry::Global().GetCounter(obs::metric_names::kCheckValidationsRun)->Add(1);
+  bool have_prev = false;
+  uint64_t prev_seq = 0;
+  for (const auto& seg : snapshot.segments) {
+    if (seg == nullptr) {
+      return FailWindow("null-segment", "snapshot holds a null segment");
+    }
+    if (have_prev && seg->seq <= prev_seq) {
+      return FailWindow(
+          "seq-order",
+          StringPrintf("segment seq %llu follows %llu (must strictly ascend)",
+                       static_cast<unsigned long long>(seg->seq),
+                       static_cast<unsigned long long>(prev_seq)));
+    }
+    prev_seq = seg->seq;
+    have_prev = true;
+    if (seg->rows.empty()) {
+      return FailWindow("empty-segment",
+                        StringPrintf("sealed segment %llu has no rows",
+                                     static_cast<unsigned long long>(seg->seq)));
+    }
+    if (seg->min_ts > seg->max_ts) {
+      return FailWindow(
+          "ts-span",
+          StringPrintf("segment %llu min_ts %llu > max_ts %llu",
+                       static_cast<unsigned long long>(seg->seq),
+                       static_cast<unsigned long long>(seg->min_ts),
+                       static_cast<unsigned long long>(seg->max_ts)));
+    }
+    if (seg->max_ts > snapshot.clock_high) {
+      return FailWindow(
+          "ts-ahead-of-clock",
+          StringPrintf("segment %llu max_ts %llu > clock_high %llu",
+                       static_cast<unsigned long long>(seg->seq),
+                       static_cast<unsigned long long>(seg->max_ts),
+                       static_cast<unsigned long long>(snapshot.clock_high)));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateWindowStats(const window::WindowStats& stats,
+                           const window::WindowOptions& options) {
+  obs::MetricsRegistry::Global().GetCounter(obs::metric_names::kCheckValidationsRun)->Add(1);
+  if (stats.retained_rows + stats.evicted_rows != stats.appended_rows) {
+    return FailWindow(
+        "rows-not-conserved",
+        StringPrintf("retained %llu + evicted %llu != appended %llu",
+                     static_cast<unsigned long long>(stats.retained_rows),
+                     static_cast<unsigned long long>(stats.evicted_rows),
+                     static_cast<unsigned long long>(stats.appended_rows)));
+  }
+  if (stats.evicted_segments > stats.sealed_segments) {
+    return FailWindow(
+        "evicted-exceeds-sealed",
+        StringPrintf("evicted %llu segments > sealed %llu",
+                     static_cast<unsigned long long>(stats.evicted_segments),
+                     static_cast<unsigned long long>(stats.sealed_segments)));
+  }
+  if (stats.retained_segments !=
+      stats.sealed_segments - stats.evicted_segments) {
+    return FailWindow(
+        "segments-not-conserved",
+        StringPrintf("retained %llu != sealed %llu - evicted %llu",
+                     static_cast<unsigned long long>(stats.retained_segments),
+                     static_cast<unsigned long long>(stats.sealed_segments),
+                     static_cast<unsigned long long>(stats.evicted_segments)));
+  }
+  if (stats.live_rows > stats.retained_rows) {
+    return FailWindow(
+        "live-exceeds-retained",
+        StringPrintf("live %llu rows > retained %llu",
+                     static_cast<unsigned long long>(stats.live_rows),
+                     static_cast<unsigned long long>(stats.retained_rows)));
+  }
+  if (options.max_clicks > 0 &&
+      stats.retained_rows > options.max_clicks + options.segment_clicks) {
+    return FailWindow(
+        "count-bound",
+        StringPrintf("retained %llu rows > max_clicks %llu + segment %llu",
+                     static_cast<unsigned long long>(stats.retained_rows),
+                     static_cast<unsigned long long>(options.max_clicks),
+                     static_cast<unsigned long long>(options.segment_clicks)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ricd::check

@@ -1,0 +1,33 @@
+#ifndef RICD_CHECK_VALIDATE_WINDOW_H_
+#define RICD_CHECK_VALIDATE_WINDOW_H_
+
+#include "common/status.h"
+#include "window/click_window.h"
+
+namespace ricd::check {
+
+/// Windowed-retention invariants, following the validate.h conventions:
+/// stable `validate.window: <tag>:` message prefixes, `check.violations`
+/// counter bumps, always compiled, executed behind ValidationEnabled() by
+/// the DetectionService refresh loop (and unconditionally by tests).
+///
+/// These audit plain structs only (WindowSnapshot / WindowStats), so
+/// ricd_check never links ricd_window — same dependency-direction rule as
+/// validate_serve.h.
+
+/// Structural audit of one frozen window view: segment seal sequence
+/// strictly ascending, every sealed segment non-empty with
+/// min_ts <= max_ts, and no segment timestamp ahead of the high watermark.
+Status ValidateWindowSnapshot(const window::WindowSnapshot& snapshot);
+
+/// Accounting audit of one stats sample: rows are conserved
+/// (appended == retained + evicted), segment counters consistent
+/// (retained == sealed - evicted), and — when `options` bounds retention —
+/// the retained row count respects max_clicks + segment_clicks (the live
+/// segment is never evicted, so that is the standing-state ceiling).
+Status ValidateWindowStats(const window::WindowStats& stats,
+                           const window::WindowOptions& options);
+
+}  // namespace ricd::check
+
+#endif  // RICD_CHECK_VALIDATE_WINDOW_H_

@@ -61,6 +61,12 @@ const char* FlightEventKindName(FlightEventKind kind) noexcept {
       return "request_trace";
     case FlightEventKind::kShutdown:
       return "shutdown";
+    case FlightEventKind::kSegmentSeal:
+      return "seal";
+    case FlightEventKind::kSegmentEvict:
+      return "evict";
+    case FlightEventKind::kRebuildOverlap:
+      return "rebuild_overlap";
   }
   return "unknown";
 }

@@ -20,6 +20,9 @@ enum class FlightEventKind : uint32_t {
   kValidatorViolation = 5,  // a = violation count, b = 0
   kRequestTrace = 6,        // a = request id, b = latency micros
   kShutdown = 7,            // a = final epoch, b = applied records
+  kSegmentSeal = 8,         // a = segment seq, b = segment rows
+  kSegmentEvict = 9,        // a = segment seq, b = segment rows
+  kRebuildOverlap = 10,     // a = epoch, b = delta rows replayed at adoption
 };
 
 /// Human-readable tag for a kind ("publish", "rebuild", ...). Returns a

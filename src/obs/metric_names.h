@@ -99,6 +99,9 @@ inline constexpr char kServePublishSeconds[] = "serve.publish.seconds";
 inline constexpr char kServeQueries[] = "serve.queries";
 inline constexpr char kServeQueueDepth[] = "serve.queue.depth";
 inline constexpr char kServeQueueWaitSeconds[] = "serve.queue.wait_seconds";
+inline constexpr char kServeRebuildInProgress[] = "serve.rebuild.in_progress";
+inline constexpr char kServeRebuildOverlapSeconds[] =
+    "serve.rebuild.overlap_seconds";
 inline constexpr char kServeRebuilds[] = "serve.rebuilds";
 inline constexpr char kServeRefreshSeconds[] = "serve.refresh.seconds";
 inline constexpr char kServeRequestIngestSeconds[] =
@@ -111,6 +114,16 @@ inline constexpr char kServeServerRequestSeconds[] =
     "serve.server.request_seconds";
 inline constexpr char kServeServerRequests[] = "serve.server.requests";
 inline constexpr char kServeTraceSampled[] = "serve.trace.sampled";
+
+// --- window: bounded click retention ---
+inline constexpr char kWindowEvictRowsTotal[] = "window.evict.rows_total";
+inline constexpr char kWindowEvictSegmentsTotal[] =
+    "window.evict.segments_total";
+inline constexpr char kWindowRetainedDecayedMass[] =
+    "window.retained.decayed_mass";
+inline constexpr char kWindowRetainedRows[] = "window.retained.rows";
+inline constexpr char kWindowRetainedSegments[] = "window.retained.segments";
+inline constexpr char kWindowSealSegmentsTotal[] = "window.seal.segments_total";
 
 // --- snapshot: binary graph container ---
 inline constexpr char kSnapshotBytesMapped[] = "snapshot.bytes_mapped";

@@ -141,6 +141,9 @@ std::vector<uint32_t> ArrivalOrder(const ScenarioSpec& spec,
 
   switch (spec.arrival) {
     case ArrivalPattern::kUniform:
+    case ArrivalPattern::kDiurnal:
+      // Diurnal shares the uniform order — its character lives entirely in
+      // the ArrivalSchedule() timestamps, never in the replay permutation.
       rng.Shuffle(order);
       return order;
 
@@ -169,7 +172,8 @@ std::vector<uint32_t> ArrivalOrder(const ScenarioSpec& spec,
       return hot;
     }
 
-    case ArrivalPattern::kBurst: {
+    case ArrivalPattern::kBurst:
+    case ArrivalPattern::kAttackBurstMidWindow: {
       // All attack traffic (minted worker accounts) lands as one
       // contiguous burst in the middle of the organic stream.
       const table::UserId minted_base = gen::AttackKnobs{}.worker_id_base;
@@ -190,6 +194,84 @@ std::vector<uint32_t> ArrivalOrder(const ScenarioSpec& spec,
     }
   }
   return order;
+}
+
+std::vector<ArrivalEvent> ArrivalSchedule(const ScenarioSpec& spec,
+                                          const table::ClickTable& table) {
+  const std::vector<uint32_t> order = ArrivalOrder(spec, table);
+  const size_t n = order.size();
+  std::vector<ArrivalEvent> schedule(n);
+  for (size_t i = 0; i < n; ++i) schedule[i].row = order[i];
+
+  switch (spec.arrival) {
+    case ArrivalPattern::kUniform:
+    case ArrivalPattern::kFlashSale:
+    case ArrivalPattern::kBurst:
+      // Featureless clock: one second per event. Keeps the pre-window
+      // semantics of these patterns (no retention regime of their own)
+      // while still driving the window's watermark forward.
+      for (size_t i = 0; i < n; ++i) schedule[i].ts = i;
+      return schedule;
+
+    case ArrivalPattern::kDiurnal: {
+      // One 86400-second day shaped by an hourly e-commerce load curve
+      // (overnight trough, lunchtime shoulder, evening peak). Counts per
+      // hour use integer largest-remainder allocation and events spread
+      // evenly inside their hour — all integer arithmetic, so the clock is
+      // bit-stable across platforms.
+      static constexpr uint32_t kHourWeight[24] = {
+          2, 1, 1, 1, 1, 2, 3, 5, 7, 8, 9, 10, 11, 10, 9, 9, 10, 11, 12, 13,
+          12, 9, 6, 4};
+      uint64_t total_weight = 0;
+      for (const uint32_t w : kHourWeight) total_weight += w;
+      uint64_t counts[24];
+      uint64_t assigned = 0;
+      std::vector<std::pair<uint64_t, size_t>> remainders;  // (remainder, hour)
+      remainders.reserve(24);
+      for (size_t h = 0; h < 24; ++h) {
+        const uint64_t share = static_cast<uint64_t>(n) * kHourWeight[h];
+        counts[h] = share / total_weight;
+        assigned += counts[h];
+        remainders.emplace_back(share % total_weight, h);
+      }
+      // Largest remainder gets the leftover events; ties break to the
+      // earlier hour so the allocation is a pure function of n.
+      std::sort(remainders.begin(), remainders.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+      for (size_t k = 0; assigned < n; ++assigned, ++k) {
+        ++counts[remainders[k % remainders.size()].second];
+      }
+      size_t i = 0;
+      for (size_t h = 0; h < 24; ++h) {
+        for (uint64_t j = 0; j < counts[h] && i < n; ++j, ++i) {
+          schedule[i].ts = h * 3600 + (j * 3600) / (counts[h] == 0 ? 1 : counts[h]);
+        }
+      }
+      return schedule;
+    }
+
+    case ArrivalPattern::kAttackBurstMidWindow: {
+      // Organic clicks tick 8 seconds apart; the contiguous attack block
+      // (minted worker ids) freezes the clock, so the whole campaign
+      // lands inside a single event-second mid-trace.
+      const table::UserId minted_base = gen::AttackKnobs{}.worker_id_base;
+      uint64_t organic_ticks = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (table.user(schedule[i].row) >= minted_base) {
+          schedule[i].ts = organic_ticks * 8;
+        } else {
+          schedule[i].ts = organic_ticks * 8;
+          ++organic_ticks;
+        }
+      }
+      return schedule;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) schedule[i].ts = i;
+  return schedule;
 }
 
 }  // namespace ricd::scenario

@@ -47,6 +47,26 @@ Result<gen::InjectionResult> InjectCampaign(const gen::AttackConfig& config,
 std::vector<uint32_t> ArrivalOrder(const ScenarioSpec& spec,
                                    const table::ClickTable& table);
 
+/// One scheduled arrival: the table row to replay and the logical
+/// event-second it carries into the windowed serving layer.
+struct ArrivalEvent {
+  uint32_t row = 0;
+  uint64_t ts = 0;
+};
+
+/// Timestamped replay schedule: ArrivalOrder's permutation with a
+/// deterministic, non-decreasing event-second assigned positionally.
+/// uniform / flash_sale / burst tick once per event (a featureless clock,
+/// preserving their pre-window semantics); diurnal paces the events over
+/// one 86400-second day following a 24-hour e-commerce load curve (integer
+/// largest-remainder allocation — no floating point in the clock);
+/// attack_burst_mid_window spaces organic events 8 seconds apart and
+/// freezes the clock across the contiguous attack burst, so the whole
+/// campaign lands inside one event-second mid-trace — the regime-shift
+/// shape that exercises seal/evict and overlapped rebuilds.
+std::vector<ArrivalEvent> ArrivalSchedule(const ScenarioSpec& spec,
+                                          const table::ClickTable& table);
+
 }  // namespace ricd::scenario
 
 #endif  // RICD_SCENARIO_MATERIALIZE_H_

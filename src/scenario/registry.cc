@@ -100,6 +100,21 @@ std::vector<ScenarioSpec> BuildPresets() {
     presets.push_back(std::move(spec));
   }
   {
+    // The windowed-serving shape: ric_burst's campaign (same deliberate
+    // 3 groups — see above) but with attack_burst_mid_window arrivals, so
+    // the whole campaign compresses into one event-second mid-trace while
+    // organic traffic ticks the clock forward. Under RICD_WINDOW_* retention
+    // this drives seal/evict churn and overlapped rebuilds; it is the
+    // workload behind tests/window_test.cc's windowed≡offline differential
+    // and bench_streaming.
+    ScenarioSpec spec;
+    spec.name = "regime_shift";
+    spec.scale = gen::ScenarioScale::kTiny;
+    spec.arrival = ArrivalPattern::kAttackBurstMidWindow;
+    spec.attacks.push_back(Campaign("derived_ric", 3, 18, 8, 24, 0.2));
+    presets.push_back(std::move(spec));
+  }
+  {
     // Maximum-camouflage uplift crews below the T_click threshold: the
     // family behavioural screening is weakest against.
     ScenarioSpec spec;

@@ -36,6 +36,10 @@ Result<ArrivalPattern> ParseArrival(std::string_view value) {
   if (value == "uniform") return ArrivalPattern::kUniform;
   if (value == "flash_sale") return ArrivalPattern::kFlashSale;
   if (value == "burst") return ArrivalPattern::kBurst;
+  if (value == "diurnal") return ArrivalPattern::kDiurnal;
+  if (value == "attack_burst_mid_window") {
+    return ArrivalPattern::kAttackBurstMidWindow;
+  }
   return Bad("bad-arrival", std::string(value));
 }
 
@@ -105,6 +109,10 @@ const char* ArrivalPatternName(ArrivalPattern pattern) {
       return "flash_sale";
     case ArrivalPattern::kBurst:
       return "burst";
+    case ArrivalPattern::kDiurnal:
+      return "diurnal";
+    case ArrivalPattern::kAttackBurstMidWindow:
+      return "attack_burst_mid_window";
   }
   return "unknown";
 }

@@ -19,9 +19,15 @@ enum class ArrivalPattern {
   kUniform,    // rows replayed in a seeded uniform shuffle
   kFlashSale,  // clicks on the hottest items arrive first (sale burst)
   kBurst,      // attack clicks arrive as one contiguous mid-stream burst
+  kDiurnal,    // uniform shuffle paced over a 24-hour load curve (regime
+               // shifts come from the timestamps, not the order)
+  kAttackBurstMidWindow,  // burst order + timestamps that compress the whole
+                          // attack into one event-second mid-trace, so the
+                          // burst lands inside a live retention window
 };
 
-/// Stable wire name ("uniform", "flash_sale", "burst").
+/// Stable wire name ("uniform", "flash_sale", "burst", "diurnal",
+/// "attack_burst_mid_window").
 const char* ArrivalPatternName(ArrivalPattern pattern);
 
 /// One attack campaign inside a scenario, expressed through the

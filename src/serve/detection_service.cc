@@ -5,10 +5,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "check/validate.h"
 #include "check/validate_serve.h"
+#include "check/validate_window.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "obs/flight_recorder.h"
@@ -45,6 +47,7 @@ ServeOptions ServeOptions::FromEnv() {
   options.ingest_batch =
       EnvUint("RICD_INGEST_BATCH", options.ingest_batch, 1ull << 24);
   options.rebuild_drift = EnvDouble("RICD_REBUILD_DRIFT", options.rebuild_drift);
+  options.window = window::WindowOptions::FromEnv();
   return options;
 }
 
@@ -65,6 +68,8 @@ DetectionService::DetectionService(ServeOptions options)
           obs::metric_names::kServeQueueDepth)),
       epoch_gauge_(obs::MetricsRegistry::Global().GetGauge(
           obs::metric_names::kServeEpoch)),
+      rebuild_in_progress_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          obs::metric_names::kServeRebuildInProgress)),
       queue_wait_hist_(obs::MetricsRegistry::Global().GetHistogram(
           obs::metric_names::kServeQueueWaitSeconds)),
       drain_batch_hist_(obs::MetricsRegistry::Global().GetHistogram(
@@ -72,7 +77,9 @@ DetectionService::DetectionService(ServeOptions options)
       refresh_hist_(obs::MetricsRegistry::Global().GetHistogram(
           obs::metric_names::kServeRefreshSeconds)),
       publish_hist_(obs::MetricsRegistry::Global().GetHistogram(
-          obs::metric_names::kServePublishSeconds)) {}
+          obs::metric_names::kServePublishSeconds)),
+      rebuild_overlap_hist_(obs::MetricsRegistry::Global().GetHistogram(
+          obs::metric_names::kServeRebuildOverlapSeconds)) {}
 
 DetectionService::~DetectionService() { (void)Shutdown(); }
 
@@ -82,26 +89,37 @@ Status DetectionService::Start(const table::ClickTable& initial) {
     return Status::FailedPrecondition("DetectionService already started");
   }
   RICD_TRACE_SPAN("serve.bootstrap");
+  // The bootstrap rows enter the window at event-second 0 — the oldest
+  // possible stamp, so time retention ages them out first once producers
+  // advance the event clock.
+  for (size_t i = 0; i < initial.num_rows(); ++i) {
+    window_.Append(initial.row(i), 0);  // bounded: window retention evicts
+  }
   detector_ = std::make_unique<core::IncrementalRicd>(options_.framework);
   RICD_RETURN_IF_ERROR(detector_->Bootstrap(initial));
   ++rebuilds_;  // the bootstrap full pass counts as generation 1
+  window_evicted_at_rebuild_ = window_.stats().evicted_rows;
   RICD_RETURN_IF_ERROR(PublishLocked(BuildSnapshotLocked()));
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   refresh_thread_ = std::make_unique<ThreadPool>(1);
   refresh_thread_->Submit([this] { RefreshLoop(); });
+  if (options_.pipelined_rebuilds) {
+    rebuild_pool_ = std::make_unique<ThreadPool>(1);
+  }
   return Status::Ok();
 }
 
-Status DetectionService::IngestClick(const table::ClickRecord& record) {
+Status DetectionService::IngestClickAt(const table::ClickRecord& record,
+                                       uint64_t event_ts) {
   if (!running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("DetectionService not running");
   }
-  Status status = queue_.Push(record);
+  Status status = queue_.Push(record, event_ts);
   if (!status.ok()) {
     ingest_rejected_->Add(1);
     obs::FlightRecorder::Global().Record(
-        obs::FlightEventKind::kBackpressure, queue_.capacity(),
+        obs::FlightEventKind::kBackpressure, queue_.depth(),
         queue_.stats().rejected, "queue_full");
     return status;
   }
@@ -136,6 +154,8 @@ void DetectionService::RefreshLoop() {
   pending.reserve(options_.ingest_batch);
   std::vector<double> queue_waits;
   queue_waits.reserve(options_.ingest_batch);
+  std::vector<uint64_t> event_ts;
+  event_ts.reserve(options_.ingest_batch);
   const auto poll_interval = std::chrono::milliseconds(
       options_.max_batch_delay_ms == 0 ? 10 : options_.max_batch_delay_ms);
   while (true) {
@@ -151,13 +171,33 @@ void DetectionService::RefreshLoop() {
     const bool stopping = stop_.load(std::memory_order_acquire);
     pending.clear();
     queue_waits.clear();
+    event_ts.clear();
     {
       RICD_TRACE_SPAN("serve.drain_batch");
       ScopedTimer<obs::Histogram> drain_timer(drain_batch_hist_);
-      queue_.PopBatch(&pending, options_.ingest_batch, &queue_waits);
+      queue_.PopBatch(&pending, options_.ingest_batch, &queue_waits, &event_ts);
     }
     for (const double wait : queue_waits) queue_wait_hist_->Observe(wait);
-    queue_depth_gauge_->Set(static_cast<double>(queue_.depth()));
+    const uint64_t depth = queue_.depth();
+    queue_depth_gauge_->Set(static_cast<double>(depth));
+    // Edge-triggered backpressure telemetry: one flight event when the
+    // queue crosses half full (e.g. ingest outpacing a long rebuild
+    // overlap), re-armed once it drains below a quarter — so a stall is
+    // visible in the flight recorder well before producers start seeing
+    // ResourceExhausted.
+    if (depth >= queue_.capacity() / 2) {
+      if (!backpressure_high_.exchange(
+              true, std::memory_order_relaxed)) {  // order: refresh-thread-
+        // only latch; atomic solely so tests may peek at it
+        obs::FlightRecorder::Global().Record(
+            obs::FlightEventKind::kBackpressure, depth, queue_.capacity(),
+            "queue_high");
+      }
+    } else if (depth < queue_.capacity() / 4) {
+      backpressure_high_.store(
+          false, std::memory_order_relaxed);  // order: refresh-thread-only
+                                              // latch; no data published
+    }
     if (check::ValidationEnabled()) {
       // Audited here — on the single consumer thread — because that is the
       // one vantage point where popped_ is frozen and the depth <= capacity
@@ -175,7 +215,25 @@ void DetectionService::RefreshLoop() {
       Status status;
       {
         MutexLock lock(state_mu_);
+        // The window is fed under state_mu_ so a rebuild submission
+        // (which snapshots the window and resets pending_delta_ under the
+        // same lock) sees each record in exactly one of {snapshot, delta}.
+        for (size_t i = 0; i < pending.size(); ++i) {
+          window_.Append(  // bounded: window retention evicts
+              pending[i], i < event_ts.size() ? event_ts[i] : 0);
+        }
+        if (rebuild_inflight_.load(std::memory_order_acquire)) {
+          pending_delta_.AppendTable(batch);  // bounded: cleared at adoption
+        }
         status = ApplyBatchLocked(batch);
+        if (check::ValidationEnabled()) {
+          const Status window_ok =
+              check::ValidateWindowStats(window_.stats(), options_.window);
+          if (!window_ok.ok()) {
+            RICD_LOG(ERROR) << "serve window accounting: "
+                            << window_ok.ToString();
+          }
+        }
       }
       if (status.ok()) {
         applied_.fetch_add(pending.size(), std::memory_order_acq_rel);
@@ -203,34 +261,134 @@ Status DetectionService::ApplyBatchLocked(const table::ClickTable& batch) {
   batches_counter_->Add(1);
   region_edges_since_rebuild_ += update.region_edges;
   const uint64_t standing = detector_->num_edges();
-  if (options_.rebuild_drift > 0 && standing > 0 &&
+  const bool drift_trigger =
+      options_.rebuild_drift > 0 && standing > 0 &&
       static_cast<double>(region_edges_since_rebuild_) >
-          options_.rebuild_drift * static_cast<double>(standing)) {
-    obs::FlightRecorder::Global().Record(
-        obs::FlightEventKind::kDriftTrigger, region_edges_since_rebuild_,
-        static_cast<uint64_t>(options_.rebuild_drift * 1000.0), "drift");
-    return RebuildLocked();
+          options_.rebuild_drift * static_cast<double>(standing);
+  // Eviction debt: incremental ingest never removes state, so rows the
+  // window evicted stay in the live detector until a rebuild re-bootstraps
+  // from the retained set. Too much debt makes the published verdicts
+  // increasingly stale relative to the window.
+  const window::WindowStats wstats = window_.stats();
+  const uint64_t evicted_since =
+      wstats.evicted_rows - window_evicted_at_rebuild_;
+  const bool evict_trigger =
+      options_.rebuild_evict_fraction > 0 && wstats.retained_rows > 0 &&
+      static_cast<double>(evicted_since) >
+          options_.rebuild_evict_fraction *
+              static_cast<double>(wstats.retained_rows);
+  if ((drift_trigger || evict_trigger) &&
+      !rebuild_inflight_.load(std::memory_order_acquire)) {
+    if (drift_trigger) {
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventKind::kDriftTrigger, region_edges_since_rebuild_,
+          static_cast<uint64_t>(options_.rebuild_drift * 1000.0), "drift");
+    } else {
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventKind::kDriftTrigger, evicted_since,
+          wstats.retained_rows, "evict_debt");
+    }
+    if (options_.pipelined_rebuilds && rebuild_pool_ != nullptr) {
+      // Double-buffered: kick the background bootstrap and publish the
+      // incremental state meanwhile — ingest never waits on the rebuild.
+      RICD_RETURN_IF_ERROR(StartPipelinedRebuildLocked());
+    } else {
+      return RebuildLocked();
+    }
   }
   return PublishLocked(BuildSnapshotLocked());
 }
 
 Status DetectionService::RebuildLocked() {
   RICD_TRACE_SPAN("serve.rebuild");
-  // A rebuild is a fresh offline run over the consolidated stream: new
+  // A rebuild is a fresh offline run over the retained window: new
   // detector, same original options (so t_hot is re-derived on the full
-  // graph), bootstrap on the materialized table. This is the one operation
-  // allowed to retract verdicts, and it makes the service's standing state
-  // bit-identical to an offline RicdFramework::Run over the same table.
+  // graph), bootstrap on the window's materialized table. This is the one
+  // operation allowed to retract verdicts, and it makes the service's
+  // standing state bit-identical to an offline RicdFramework::Run over the
+  // rows the window retains (with retention unbounded, that is the whole
+  // consolidated stream — the legacy semantics).
   auto fresh = std::make_unique<core::IncrementalRicd>(options_.framework);
-  RICD_RETURN_IF_ERROR(fresh->Bootstrap(detector_->MaterializeTable()));
+  RICD_RETURN_IF_ERROR(fresh->Bootstrap(window_.MaterializeRetained()));
   detector_ = std::move(fresh);
   ++rebuilds_;
   rebuilds_counter_->Add(1);
   region_edges_since_rebuild_ = 0;
+  window_evicted_at_rebuild_ = window_.stats().evicted_rows;
   obs::FlightRecorder::Global().Record(obs::FlightEventKind::kRebuild,
                                        epoch_ + 1, detector_->num_edges(),
                                        "rebuild");
   return PublishLocked(BuildSnapshotLocked());
+}
+
+Status DetectionService::StartPipelinedRebuildLocked() {
+  if (rebuild_inflight_.load(std::memory_order_acquire)) {
+    return Status::Ok();  // one overlap at a time; the trigger re-fires
+  }
+  if (rebuild_pool_ == nullptr) return RebuildLocked();
+  // From here every record the refresh thread applies lands in
+  // pending_delta_ too (same state_mu_ critical section as the window
+  // append), so snapshot + delta is exactly the retained stream at
+  // adoption time.
+  pending_delta_ = table::ClickTable();
+  rebuild_inflight_.store(true, std::memory_order_release);
+  rebuild_in_progress_gauge_->Set(1.0);
+  window::WindowSnapshot snap = window_.Snapshot();
+  rebuild_pool_->Submit(
+      [this, snap = std::move(snap)]() mutable { PipelinedRebuild(std::move(snap)); });
+  return Status::Ok();
+}
+
+void DetectionService::PipelinedRebuild(window::WindowSnapshot snap) {
+  RICD_TRACE_SPAN("serve.rebuild_overlap");
+  ScopedTimer<obs::Histogram> overlap_timer(rebuild_overlap_hist_);
+  // Phase 1 — no locks held: bootstrap a fresh detector against the frozen
+  // snapshot. Ingest keeps draining into the live detector the whole time;
+  // the heavy pipeline work inside Bootstrap parallelizes on WorkerEngine.
+  auto fresh = std::make_unique<core::IncrementalRicd>(options_.framework);
+  Status status = fresh->Bootstrap(snap.Materialize());
+  if (options_.rebuild_delay_for_test_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.rebuild_delay_for_test_ms));
+  }
+  // Phase 2 — under state_mu_: replay the overlap delta onto the fresh
+  // detector, adopt it, publish. The swap is atomic from every reader's
+  // point of view (readers only ever see published snapshots).
+  {
+    MutexLock lock(state_mu_);
+    uint64_t delta_rows = pending_delta_.num_rows();
+    if (status.ok() && delta_rows > 0) {
+      Result<core::IncrementalUpdate> replay = fresh->Ingest(pending_delta_);
+      if (!replay.ok()) status = replay.status();
+    }
+    if (status.ok()) {
+      detector_ = std::move(fresh);
+      ++rebuilds_;
+      rebuilds_counter_->Add(1);
+      region_edges_since_rebuild_ = 0;
+      window_evicted_at_rebuild_ = window_.stats().evicted_rows;
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventKind::kRebuildOverlap, epoch_ + 1, delta_rows,
+          "rebuild_overlap");
+      status = PublishLocked(BuildSnapshotLocked());
+    }
+    if (!status.ok()) {
+      // An overlapped rebuild that fails is abandoned: the live detector
+      // keeps serving, the trigger will re-fire on the next batch.
+      RICD_LOG(ERROR) << "serve pipelined rebuild failed: "
+                      << status.ToString();
+    }
+    pending_delta_ = table::ClickTable();
+    rebuild_inflight_.store(false, std::memory_order_release);
+  }
+  rebuild_in_progress_gauge_->Set(0.0);
+  {
+    // Empty critical section pairs the inflight store with waiter
+    // predicate evaluation (WaitForRebuild/ForceRebuild wait on wake_mu_),
+    // closing the missed-wakeup window.
+    MutexLock lock(wake_mu_);
+  }
+  rebuild_cv_.notify_all();
 }
 
 std::shared_ptr<const VerdictSnapshot> DetectionService::BuildSnapshotLocked() {
@@ -276,6 +434,14 @@ std::shared_ptr<const VerdictSnapshot> DetectionService::BuildSnapshotLocked() {
   snapshot->stats.stream_edges = detector_->num_edges();
   snapshot->stats.stream_clicks = detector_->total_clicks();
   snapshot->stats.region_edges_since_rebuild = region_edges_since_rebuild_;
+  const window::WindowStats wstats = window_.stats();
+  snapshot->stats.rebuild_in_progress =
+      rebuild_inflight_.load(std::memory_order_acquire) ? 1 : 0;
+  snapshot->stats.window_retained_rows = wstats.retained_rows;
+  snapshot->stats.window_segments = wstats.retained_segments;
+  snapshot->stats.window_evicted_segments = wstats.evicted_segments;
+  snapshot->stats.window_evicted_rows = wstats.evicted_rows;
+  snapshot->stats.window_clock_high = wstats.clock_high;
   return snapshot;
 }
 
@@ -320,11 +486,35 @@ Status DetectionService::Drain() {
 }
 
 Status DetectionService::ForceRebuild() {
+  // Wait out any in-flight pipelined rebuild *before* taking state_mu_:
+  // adoption needs state_mu_, so waiting while holding it would deadlock.
+  // Re-check under the lock — a refresh batch may start a new overlap in
+  // the gap between the wait and the acquisition.
+  for (;;) {
+    RICD_RETURN_IF_ERROR(WaitForRebuild());
+    MutexLock lock(state_mu_);
+    if (detector_ == nullptr) {
+      return Status::FailedPrecondition("DetectionService not started");
+    }
+    if (rebuild_inflight_.load(std::memory_order_acquire)) continue;
+    return RebuildLocked();
+  }
+}
+
+Status DetectionService::StartPipelinedRebuild() {
   MutexLock lock(state_mu_);
   if (detector_ == nullptr) {
     return Status::FailedPrecondition("DetectionService not started");
   }
-  return RebuildLocked();
+  return StartPipelinedRebuildLocked();
+}
+
+Status DetectionService::WaitForRebuild() {
+  MutexLock lock(wake_mu_);
+  rebuild_cv_.wait(lock.native(), [this] {
+    return !rebuild_inflight_.load(std::memory_order_acquire);
+  });
+  return Status::Ok();
 }
 
 Status DetectionService::Shutdown() {
@@ -337,6 +527,12 @@ Status DetectionService::Shutdown() {
   wake_cv_.notify_one();
   refresh_thread_->Wait();
   refresh_thread_.reset();
+  if (rebuild_pool_ != nullptr) {
+    // Let an in-flight overlapped rebuild adopt (or abandon) before
+    // tearing down — its final publish must not race destruction.
+    rebuild_pool_->Wait();
+    rebuild_pool_.reset();
+  }
   queue_depth_gauge_->Set(static_cast<double>(queue_.depth()));
   obs::FlightRecorder::Global().Record(
       obs::FlightEventKind::kShutdown, store_.Acquire()->epoch,

@@ -17,6 +17,7 @@
 #include "serve/ingest_queue.h"
 #include "serve/verdict_store.h"
 #include "table/click_table.h"
+#include "window/click_window.h"
 
 namespace ricd::serve {
 
@@ -46,7 +47,34 @@ struct ServeOptions {
   /// allowed to retract them). 0 disables drift-triggered rebuilds.
   double rebuild_drift = 8.0;
 
-  /// Applies RICD_INGEST_BATCH / RICD_REBUILD_DRIFT on top of the defaults.
+  /// Windowed retention (RICD_WINDOW_CLICKS / RICD_WINDOW_SECONDS). The
+  /// defaults keep both bounds at 0 — unbounded, the legacy
+  /// accumulate-forever behavior, bit-identical to pre-window builds.
+  window::WindowOptions window;
+
+  /// Eviction escalation: incremental ingest only ever *adds* state, so
+  /// rows evicted from the window linger in the detector until the next
+  /// full rebuild re-bootstraps from the retained set. When the rows
+  /// evicted since the last rebuild exceed this fraction of the retained
+  /// row count, a rebuild is scheduled. 0 disables the trigger.
+  double rebuild_evict_fraction = 0.25;
+
+  /// Double-buffered pipelined rebuilds: drift/evict-triggered rebuilds
+  /// bootstrap a fresh detector on a background thread against a frozen
+  /// window snapshot while ingest keeps draining into the live detector;
+  /// batches applied during the overlap are replayed onto the fresh
+  /// detector before it is adopted and published. ForceRebuild() stays
+  /// synchronous either way. Off = legacy inline rebuild on the refresh
+  /// thread.
+  bool pipelined_rebuilds = true;
+
+  /// Test hook: artificial delay (ms) inside the background bootstrap, so
+  /// stress tests can hold a rebuild open while asserting that ingest and
+  /// queries keep flowing. 0 in production.
+  uint32_t rebuild_delay_for_test_ms = 0;
+
+  /// Applies RICD_INGEST_BATCH / RICD_REBUILD_DRIFT and the
+  /// RICD_WINDOW_* retention knobs on top of the defaults.
   static ServeOptions FromEnv();
 };
 
@@ -61,9 +89,16 @@ struct ServeOptions {
 ///    push + one atomic counter);
 ///  * any number of query threads call IsFlaggedUser / IsFlaggedItem /
 ///    IsBlockedPair / Verdicts() (VerdictStore::Acquire — no mutexes);
-///  * exactly one internal refresh thread owns the IncrementalRicd state;
+///  * exactly one internal refresh thread owns the IncrementalRicd state
+///    and feeds every drained record into the ClickWindow (the standing
+///    source of truth for rebuilds — bounded by RICD_WINDOW_* retention);
 ///    Drain()/ForceRebuild()/Shutdown() coordinate with it via a mutex
-///    that producers and queriers never touch.
+///    that producers and queriers never touch;
+///  * at most one background rebuild thread runs a double-buffered rebuild
+///    against a frozen window snapshot (overlap state machine:
+///    idle → inflight at submission → idle at adoption, tracked by
+///    rebuild_inflight_); the refresh thread keeps draining during the
+///    overlap and records its batches into pending_delta_ for replay.
 class DetectionService {
  public:
   explicit DetectionService(ServeOptions options);
@@ -80,8 +115,18 @@ class DetectionService {
   /// Producer API: enqueues one click event. Returns ResourceExhausted when
   /// the queue is full (explicit backpressure — the caller decides whether
   /// to retry, shed or surface the error) and FailedPrecondition when the
-  /// service is not running. Never blocks.
-  Status IngestClick(const table::ClickRecord& record);
+  /// service is not running. Never blocks. Events carry event-second 0
+  /// (timeless legacy stream — time retention never expires them only if
+  /// the clock stays at 0; mix timed and timeless ingest deliberately).
+  Status IngestClick(const table::ClickRecord& record) {
+    return IngestClickAt(record, 0);
+  }
+
+  /// As IngestClick, stamping the click with a logical event-second that
+  /// drives windowed retention (seal spans, time eviction). Timestamps are
+  /// producer-supplied — replay determinism requires the trace, not the
+  /// wall clock, to own time.
+  Status IngestClickAt(const table::ClickRecord& record, uint64_t event_ts);
 
   /// Wait-free query API — one snapshot pin per call, no locks.
   bool IsFlaggedUser(table::UserId u) const;
@@ -108,10 +153,29 @@ class DetectionService {
   /// snapshot published. Only meaningful while no producer keeps pushing.
   Status Drain() RICD_EXCLUDES(wake_mu_);
 
-  /// Escalates immediately: full pipeline re-run over the materialized
-  /// standing table (fresh hot-threshold derivation, verdicts replaced
-  /// wholesale), then publishes. Runs on the caller's thread.
-  Status ForceRebuild() RICD_EXCLUDES(state_mu_);
+  /// Escalates immediately: full pipeline re-run over the retained window
+  /// (fresh hot-threshold derivation, verdicts replaced wholesale), then
+  /// publishes. Runs on the caller's thread, synchronously; waits out any
+  /// in-flight pipelined rebuild first so the result is deterministic.
+  Status ForceRebuild() RICD_EXCLUDES(state_mu_, wake_mu_);
+
+  /// Kicks off one double-buffered rebuild on the background rebuild
+  /// thread and returns immediately (no-op Ok if one is already in
+  /// flight). Ingest and queries are never blocked by it; the fresh
+  /// detector is adopted and published atomically when it finishes.
+  Status StartPipelinedRebuild() RICD_EXCLUDES(state_mu_);
+
+  /// Blocks until no pipelined rebuild is in flight.
+  Status WaitForRebuild() RICD_EXCLUDES(wake_mu_);
+
+  /// True while a pipelined rebuild is bootstrapping in the background.
+  bool rebuild_in_progress() const {
+    return rebuild_inflight_.load(std::memory_order_acquire);
+  }
+
+  /// Windowed-retention accounting sample (segments, retained/evicted
+  /// rows, event-clock high watermark).
+  window::WindowStats window_stats() const { return window_.stats(); }
 
   /// Graceful shutdown: stop accepting ingests, drain the queue, apply the
   /// final batch, stop the refresh thread. Idempotent.
@@ -144,8 +208,19 @@ class DetectionService {
   Status ApplyBatchLocked(const table::ClickTable& batch)
       RICD_REQUIRES(state_mu_);
 
-  /// Full pipeline re-run + publish.
+  /// Synchronous full pipeline re-run over the retained window + publish.
   Status RebuildLocked() RICD_REQUIRES(state_mu_);
+
+  /// Freezes the window and submits the double-buffered rebuild to
+  /// rebuild_pool_. No-op Ok when one is already in flight; falls back to
+  /// RebuildLocked() when the pool is not running.
+  Status StartPipelinedRebuildLocked() RICD_REQUIRES(state_mu_);
+
+  /// Background half of a pipelined rebuild: bootstrap a fresh detector
+  /// from the frozen `snap` with no locks held, then (under state_mu_)
+  /// replay the batches that landed during the overlap, adopt, publish.
+  void PipelinedRebuild(window::WindowSnapshot snap)
+      RICD_EXCLUDES(state_mu_, wake_mu_);
 
   /// Builds a snapshot from the current detector state.
   std::shared_ptr<const VerdictSnapshot> BuildSnapshotLocked()
@@ -159,6 +234,8 @@ class DetectionService {
   IngestQueue queue_;    // unguarded: internally synchronized (lock-free MPSC)
   VerdictStore store_;   // unguarded: internally synchronized (RCU snapshots)
   VerdictFilter filter_{&store_};  // unguarded: stateless view over store_
+  window::ClickWindow window_{options_.window};  // unguarded: internally
+                                                 // synchronized (own mutex)
 
   /// Guards detector_ and all snapshot construction/publication. Never
   /// touched by IngestClick or the query API.
@@ -168,6 +245,12 @@ class DetectionService {
   uint64_t rebuilds_ RICD_GUARDED_BY(state_mu_) = 0;
   uint64_t batches_ RICD_GUARDED_BY(state_mu_) = 0;
   uint64_t region_edges_since_rebuild_ RICD_GUARDED_BY(state_mu_) = 0;
+  /// window_.stats().evicted_rows at the last rebuild — the eviction-debt
+  /// baseline for the rebuild_evict_fraction trigger.
+  uint64_t window_evicted_at_rebuild_ RICD_GUARDED_BY(state_mu_) = 0;
+  /// Rows applied to the live detector while a pipelined rebuild is in
+  /// flight; replayed onto the fresh detector before adoption.
+  table::ClickTable pending_delta_ RICD_GUARDED_BY(state_mu_);
   std::shared_ptr<const VerdictSnapshot> last_published_
       RICD_GUARDED_BY(state_mu_);
 
@@ -179,12 +262,22 @@ class DetectionService {
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> applied_{0};
+  /// True from pipelined-rebuild submission until adoption/abandonment.
+  std::atomic<bool> rebuild_inflight_{false};
+  /// Edge-trigger latch for the queue_high backpressure flight event
+  /// (refresh thread only; atomic so tests may peek).
+  std::atomic<bool> backpressure_high_{false};
   Mutex wake_mu_ RICD_ACQUIRED_AFTER(state_mu_);
   std::condition_variable wake_cv_;     // kicks the refresh thread
   std::condition_variable applied_cv_;  // signals Drain() waiters
+  std::condition_variable rebuild_cv_;  // signals WaitForRebuild() waiters
   std::unique_ptr<ThreadPool> refresh_thread_;  // unguarded: created in
                                                 // Start, reset in Shutdown
                                                 // (already serialized)
+  std::unique_ptr<ThreadPool> rebuild_pool_;  // unguarded: created in Start,
+                                              // reset in Shutdown (already
+                                              // serialized); 1 thread — at
+                                              // most one rebuild in flight
 
   // Instruments, resolved once in the constructor (registry lookups take a
   // mutex) and immutable afterwards.
@@ -195,10 +288,12 @@ class DetectionService {
   obs::Counter* const query_counter_;
   obs::Gauge* const queue_depth_gauge_;
   obs::Gauge* const epoch_gauge_;
+  obs::Gauge* const rebuild_in_progress_gauge_;
   obs::Histogram* const queue_wait_hist_;
   obs::Histogram* const drain_batch_hist_;
   obs::Histogram* const refresh_hist_;
   obs::Histogram* const publish_hist_;
+  obs::Histogram* const rebuild_overlap_hist_;
 };
 
 }  // namespace ricd::serve

@@ -29,7 +29,7 @@ IngestQueue::IngestQueue(size_t capacity)
   }
 }
 
-Status IngestQueue::Push(const table::ClickRecord& record) {
+Status IngestQueue::Push(const table::ClickRecord& record, uint64_t event_ts) {
   uint64_t ticket = head_.load(std::memory_order_relaxed);  // order: optimistic ticket read; cell.seq acquire validates the claim
   for (;;) {
     Cell& cell = cells_[ticket & mask_];
@@ -46,6 +46,7 @@ Status IngestQueue::Push(const table::ClickRecord& record) {
         pushed_.fetch_add(1, std::memory_order_relaxed);  // order: monotonic stat counter; readers tolerate lag (see comment above)
         cell.record = record;
         cell.enqueue_micros = SteadyMicros();
+        cell.event_ts = event_ts;
         cell.seq.store(ticket + 1, std::memory_order_release);
         return Status::Ok();
       }
@@ -68,7 +69,8 @@ size_t IngestQueue::PopBatch(std::vector<table::ClickRecord>* out,
 
 size_t IngestQueue::PopBatch(std::vector<table::ClickRecord>* out,
                              size_t max_records,
-                             std::vector<double>* wait_seconds) {
+                             std::vector<double>* wait_seconds,
+                             std::vector<uint64_t>* event_ts) {
   size_t taken = 0;
   // One clock read per batch: a microsecond-accurate per-record wait is not
   // worth max_records clock syscalls on the drain path.
@@ -87,6 +89,7 @@ size_t IngestQueue::PopBatch(std::vector<table::ClickRecord>* out,
                                   : 0;
       wait_seconds->push_back(static_cast<double>(waited) * 1e-6);
     }
+    if (event_ts != nullptr) event_ts->push_back(cell.event_ts);
     // Account BEFORE freeing the cell: a producer can only reuse a slot
     // whose popped_ increment already happened, so pushed - popped sampled
     // on the consumer thread is always bounded by the capacity.

@@ -42,7 +42,10 @@ class IngestQueue {
 
   /// Producer API: enqueues one click record, or returns ResourceExhausted
   /// when the queue is full. Lock-free; callable from any thread.
-  Status Push(const table::ClickRecord& record);
+  /// `event_ts` is the logical event-second of the click (ClickRecord has
+  /// no time column; the windowed retention layer needs one) — it rides in
+  /// the cell under the same release/acquire seq protocol as the payload.
+  Status Push(const table::ClickRecord& record, uint64_t event_ts = 0);
 
   /// Consumer API (single consumer): pops up to `max_records` records into
   /// `out` (appended), returning how many were taken. Non-blocking.
@@ -50,12 +53,14 @@ class IngestQueue {
 
   /// As above, but additionally appends each record's queue-wait time in
   /// seconds (time between Push() claiming the slot and this pop) to
-  /// `wait_seconds`. The timestamp rides in the cell under the same
+  /// `wait_seconds`, and — when `event_ts` is non-null — each record's
+  /// logical event-second. Timestamps ride in the cell under the same
   /// release/acquire seq protocol as the payload, so the queue stays free
   /// of any obs-layer dependency — the service owns turning waits into
   /// histogram observations.
   size_t PopBatch(std::vector<table::ClickRecord>* out, size_t max_records,
-                  std::vector<double>* wait_seconds);
+                  std::vector<double>* wait_seconds,
+                  std::vector<uint64_t>* event_ts = nullptr);
 
   size_t capacity() const { return cells_.size(); }
 
@@ -72,6 +77,9 @@ class IngestQueue {
     // written before the seq release-store and read after the matching
     // acquire load, exactly like `record`.
     uint64_t enqueue_micros = 0;
+    // Logical event-second supplied by the producer; same plain-field
+    // protocol as enqueue_micros.
+    uint64_t event_ts = 0;
   };
 
   std::vector<Cell> cells_;

@@ -162,8 +162,8 @@ std::string EncodeStatsReply(const StatsReply& reply) {
   w.PutU64(reply.flagged_users);
   w.PutU64(reply.flagged_items);
   w.PutU64(reply.blocked_pairs);
-  // v2 tail. v1 decoders stop at blocked_pairs and ignore trailing bytes,
-  // so appending here is wire-compatible in both directions.
+  // Versioned tail. v1 decoders stop at blocked_pairs and ignore trailing
+  // bytes, so appending here is wire-compatible in both directions.
   w.PutU8(StatsReply::kVersion);
   w.PutDouble(reply.ingest_p50);
   w.PutDouble(reply.ingest_p95);
@@ -171,6 +171,14 @@ std::string EncodeStatsReply(const StatsReply& reply) {
   w.PutDouble(reply.query_p50);
   w.PutDouble(reply.query_p95);
   w.PutDouble(reply.query_p99);
+  // v3 window fields — after the v2 quantiles, so a v2 decoder reading six
+  // doubles and ignoring the rest still interops.
+  w.PutU64(reply.stats.rebuild_in_progress);
+  w.PutU64(reply.stats.window_retained_rows);
+  w.PutU64(reply.stats.window_segments);
+  w.PutU64(reply.stats.window_evicted_segments);
+  w.PutU64(reply.stats.window_evicted_rows);
+  w.PutU64(reply.stats.window_clock_high);
   return w.Frame();
 }
 
@@ -242,11 +250,12 @@ Result<StatsReply> DecodeStatsReply(const std::string& payload) {
     return reply;
   }
   RICD_ASSIGN_OR_RETURN(reply.version, r.GetU8());
-  if (reply.version < StatsReply::kVersion) {
+  if (reply.version < 2) {
+    // A v1 body never carries a tail at all, so a present tail stamped
+    // below 2 is malformed, not merely old.
     return Status::InvalidArgument(
-        StringPrintf("protocol: stats tail version %u below %u yet present",
-                     static_cast<unsigned>(reply.version),
-                     static_cast<unsigned>(StatsReply::kVersion)));
+        StringPrintf("protocol: stats tail version %u below 2 yet present",
+                     static_cast<unsigned>(reply.version)));
   }
   RICD_ASSIGN_OR_RETURN(reply.ingest_p50, r.GetDouble());
   RICD_ASSIGN_OR_RETURN(reply.ingest_p95, r.GetDouble());
@@ -254,7 +263,15 @@ Result<StatsReply> DecodeStatsReply(const std::string& payload) {
   RICD_ASSIGN_OR_RETURN(reply.query_p50, r.GetDouble());
   RICD_ASSIGN_OR_RETURN(reply.query_p95, r.GetDouble());
   RICD_ASSIGN_OR_RETURN(reply.query_p99, r.GetDouble());
-  // Trailing bytes beyond the v2 tail belong to future versions; ignore
+  if (reply.version >= 3) {
+    RICD_ASSIGN_OR_RETURN(reply.stats.rebuild_in_progress, r.GetU64());
+    RICD_ASSIGN_OR_RETURN(reply.stats.window_retained_rows, r.GetU64());
+    RICD_ASSIGN_OR_RETURN(reply.stats.window_segments, r.GetU64());
+    RICD_ASSIGN_OR_RETURN(reply.stats.window_evicted_segments, r.GetU64());
+    RICD_ASSIGN_OR_RETURN(reply.stats.window_evicted_rows, r.GetU64());
+    RICD_ASSIGN_OR_RETURN(reply.stats.window_clock_high, r.GetU64());
+  }
+  // Trailing bytes beyond the known tail belong to future versions; ignore
   // them, mirroring the v1 decoder's behavior toward our own tail.
   return reply;
 }

@@ -34,7 +34,7 @@ enum class OpCode : uint8_t {
   kPong = 64,
   kVerdict = 65,    ///< + uint8 flagged, double risk, uint64 epoch
   kIngestAck = 66,  ///< + uint32 accepted, uint32 rejected, uint64 epoch
-  kStatsReply = 67, ///< + uint64 epoch + ServeStats fields + uint64 flagged
+  kStatsReply = 67, ///< + uint64 epoch + ServeStats v1 fields + uint64 flagged
                     ///<   users + uint64 flagged items + uint64 blocked pairs
                     ///<   (+ v2 tail: uint8 version, 6 doubles of serve-path
                     ///<   quantiles — see StatsReply)
@@ -103,10 +103,14 @@ struct IngestAck {
 
 /// STATS reply. The wire layout is versioned by a trailing tail rather
 /// than a leading byte so that v1 decoders — which read the fixed v1
-/// fields and ignore trailing bytes — keep working against v2 servers,
-/// and a v2 decoder recognises a v1 server by the absent tail.
+/// fields and ignore trailing bytes — keep working against newer servers,
+/// and a newer decoder recognises a v1 server by the absent tail. v3
+/// appends the windowed-retention gauges (rebuild_in_progress,
+/// window_* counters in `stats`) after the v2 quantiles; a v2 peer reads
+/// the quantiles and ignores the extra bytes, and a v3 decoder accepts a
+/// v2 tail with the window fields left at zero.
 struct StatsReply {
-  static constexpr uint8_t kVersion = 2;
+  static constexpr uint8_t kVersion = 3;
 
   uint64_t epoch = 0;
   ServeStats stats;
@@ -114,8 +118,9 @@ struct StatsReply {
   uint64_t flagged_items = 0;
   uint64_t blocked_pairs = 0;
 
-  /// Wire version this reply was decoded from (1 when the v2 tail was
-  /// absent; the quantile fields are then zero).
+  /// Wire version this reply was decoded from (1 when the versioned tail
+  /// was absent — quantiles then zero; 2 when the peer predates the
+  /// window fields — those then zero).
   uint8_t version = kVersion;
 
   // v2 tail: serve-path latency quantiles in seconds, taken from the

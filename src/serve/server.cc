@@ -366,6 +366,11 @@ std::string TcpServer::DispatchRequest(const std::string& payload,
       reply.query_p50 = query_hist.P50();
       reply.query_p95 = query_hist.P95();
       reply.query_p99 = query_hist.P99();
+      // v3 window fields come from the pinned snapshot, except the overlap
+      // flag, which is read live — a rebuild that started after the last
+      // publish must still be visible to STATS pollers.
+      reply.stats.rebuild_in_progress =
+          service_->rebuild_in_progress() ? 1 : 0;
       return EncodeStatsReply(reply);
     }
     case OpCode::kMetrics: {

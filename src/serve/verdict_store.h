@@ -26,6 +26,17 @@ struct ServeStats {
   uint64_t stream_edges = 0;     ///< distinct (user, item) edges standing
   uint64_t stream_clicks = 0;    ///< total clicks standing
   uint64_t region_edges_since_rebuild = 0;  ///< drift accumulator
+
+  // Windowed-retention state (PR 10; STATS wire v3 trailing tail). All
+  // sampled from the ClickWindow at snapshot-build time, except
+  // rebuild_in_progress which is 1 while a pipelined rebuild is in flight
+  // at build time.
+  uint64_t rebuild_in_progress = 0;
+  uint64_t window_retained_rows = 0;
+  uint64_t window_segments = 0;       ///< sealed segments currently retained
+  uint64_t window_evicted_segments = 0;
+  uint64_t window_evicted_rows = 0;
+  uint64_t window_clock_high = 0;     ///< event-second high watermark
 };
 
 /// One immutable verdict generation. All member vectors are sorted

@@ -133,7 +133,8 @@ TEST(ScenarioRegistryTest, EnumeratesSortedPresetsIncludingPinnedOnes) {
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
   for (const char* required : {"baseline", "medium_clean", "flash_sale",
                                "ric_burst", "covisit_storm", "stealth_uplift",
-                               "adversarial_mix", "tiny_clean"}) {
+                               "adversarial_mix", "tiny_clean",
+                               "regime_shift"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
         << "missing preset " << required;
   }
@@ -264,6 +265,104 @@ TEST(ArrivalOrderTest, BurstPatternKeepsAttackRowsContiguous) {
   EXPECT_GT(attack_positions.front(), 0u) << "burst should be mid-stream";
   EXPECT_LT(attack_positions.back(), order.size() - 1)
       << "burst should be mid-stream";
+}
+
+TEST(ScenarioSpecTest, NewArrivalPatternsRoundTripThroughJson) {
+  for (const ArrivalPattern arrival :
+       {ArrivalPattern::kDiurnal, ArrivalPattern::kAttackBurstMidWindow}) {
+    ScenarioSpec spec;
+    spec.name = "windowed";
+    spec.arrival = arrival;
+    const std::string json = ScenarioSpecToJson(spec);
+    EXPECT_NE(json.find(ArrivalPatternName(arrival)), std::string::npos);
+    auto parsed = ParseScenarioSpec(json);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed->arrival, arrival);
+    EXPECT_EQ(ScenarioSpecToJson(*parsed), json);
+  }
+}
+
+TEST(ArrivalScheduleTest, TimestampsAreDeterministicAndNonDecreasing) {
+  for (const std::string& name : ScenarioNames()) {
+    SCOPED_TRACE(name);
+    auto spec = FindScenario(name);
+    ASSERT_TRUE(spec.ok());
+    spec->scale = gen::ScenarioScale::kTiny;
+    auto scenario = Materialize(*spec);
+    ASSERT_TRUE(scenario.ok()) << scenario.status();
+
+    const std::vector<ArrivalEvent> schedule =
+        ArrivalSchedule(*spec, scenario->table);
+    ASSERT_EQ(schedule.size(), scenario->table.num_rows());
+    // Rows are exactly ArrivalOrder's permutation; timestamps never run
+    // backwards (the window's event clock is a high watermark).
+    const std::vector<uint32_t> order = ArrivalOrder(*spec, scenario->table);
+    for (size_t i = 0; i < schedule.size(); ++i) {
+      ASSERT_EQ(schedule[i].row, order[i]);
+      if (i > 0) {
+        ASSERT_GE(schedule[i].ts, schedule[i - 1].ts) << "position " << i;
+      }
+    }
+    const std::vector<ArrivalEvent> again =
+        ArrivalSchedule(*spec, scenario->table);
+    for (size_t i = 0; i < schedule.size(); ++i) {
+      ASSERT_EQ(again[i].ts, schedule[i].ts);
+    }
+  }
+}
+
+TEST(ArrivalScheduleTest, DiurnalPacesOneDayWithPeakAndTrough) {
+  auto spec = FindScenario("tiny_clean");
+  ASSERT_TRUE(spec.ok());
+  spec->arrival = ArrivalPattern::kDiurnal;
+  auto scenario = Materialize(*spec);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  const std::vector<ArrivalEvent> schedule =
+      ArrivalSchedule(*spec, scenario->table);
+  ASSERT_GT(schedule.size(), 1000u);
+
+  uint64_t per_hour[24] = {};
+  for (const ArrivalEvent& ev : schedule) {
+    ASSERT_LT(ev.ts, 86400u) << "diurnal clock spans exactly one day";
+    ++per_hour[ev.ts / 3600];
+  }
+  uint64_t total = 0;
+  for (const uint64_t count : per_hour) total += count;
+  EXPECT_EQ(total, schedule.size());
+  // The evening peak (19:00) carries an order of magnitude more traffic
+  // than the overnight trough (03:00) — the regime shift a fixed-size
+  // window must ride through.
+  EXPECT_GT(per_hour[19], 5 * per_hour[3]);
+  EXPECT_GT(per_hour[3], 0u);
+}
+
+TEST(ArrivalScheduleTest, AttackBurstMidWindowFreezesClockAcrossBurst) {
+  auto spec = FindScenario("regime_shift");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->arrival, ArrivalPattern::kAttackBurstMidWindow);
+  auto scenario = Materialize(*spec);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  const std::vector<ArrivalEvent> schedule =
+      ArrivalSchedule(*spec, scenario->table);
+
+  constexpr table::UserId kMintedBase = 10000000;
+  uint64_t burst_ts = 0;
+  size_t burst_rows = 0;
+  uint64_t max_ts = 0;
+  for (const ArrivalEvent& ev : schedule) {
+    max_ts = std::max(max_ts, ev.ts);
+    if (scenario->table.user(ev.row) >= kMintedBase) {
+      if (burst_rows == 0) burst_ts = ev.ts;
+      ASSERT_EQ(ev.ts, burst_ts) << "clock must freeze across the burst";
+      ++burst_rows;
+    }
+  }
+  ASSERT_GT(burst_rows, 0u);
+  // The burst lands mid-trace: strictly inside the organic time span.
+  EXPECT_GT(burst_ts, 0u);
+  EXPECT_LT(burst_ts, max_ts);
+  // Organic traffic ticks 8 event-seconds per click.
+  EXPECT_EQ(max_ts, (schedule.size() - burst_rows - 1) * 8);
 }
 
 }  // namespace

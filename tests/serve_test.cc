@@ -151,6 +151,45 @@ TEST(ProtocolTest, StatsReplyV2TailCarriesQuantiles) {
   EXPECT_EQ(decoded->query_p99, 0.0025);
 }
 
+TEST(ProtocolTest, StatsReplyV3TailCarriesWindowFields) {
+  StatsReply reply;
+  reply.epoch = 4;
+  reply.stats.rebuild_in_progress = 1;
+  reply.stats.window_retained_rows = 1234;
+  reply.stats.window_segments = 5;
+  reply.stats.window_evicted_segments = 6;
+  reply.stats.window_evicted_rows = 789;
+  reply.stats.window_clock_high = 86399;
+  const auto decoded = DecodeStatsReply(Payload(EncodeStatsReply(reply)));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->version, StatsReply::kVersion);
+  EXPECT_EQ(decoded->stats.rebuild_in_progress, 1u);
+  EXPECT_EQ(decoded->stats.window_retained_rows, 1234u);
+  EXPECT_EQ(decoded->stats.window_segments, 5u);
+  EXPECT_EQ(decoded->stats.window_evicted_segments, 6u);
+  EXPECT_EQ(decoded->stats.window_evicted_rows, 789u);
+  EXPECT_EQ(decoded->stats.window_clock_high, 86399u);
+}
+
+TEST(ProtocolTest, StatsReplyV2PeerDecodesWithoutWindowFields) {
+  StatsReply reply;
+  reply.epoch = 8;
+  reply.ingest_p50 = 0.25;
+  reply.stats.window_retained_rows = 555;  // must NOT survive a v2 frame
+  std::string payload = Payload(EncodeStatsReply(reply));
+  // A v2 server stops after the six quantile doubles; patch the tail
+  // version byte accordingly.
+  payload.resize(1 + 12 * 8 + 1 + 6 * 8);
+  payload[1 + 12 * 8] = 2;
+  const auto decoded = DecodeStatsReply(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->version, 2u);
+  EXPECT_EQ(decoded->epoch, 8u);
+  EXPECT_EQ(decoded->ingest_p50, 0.25);
+  EXPECT_EQ(decoded->stats.window_retained_rows, 0u);
+  EXPECT_EQ(decoded->stats.rebuild_in_progress, 0u);
+}
+
 TEST(ProtocolTest, StatsReplyWithoutTailDecodesAsV1) {
   StatsReply reply;
   reply.epoch = 9;
@@ -497,6 +536,80 @@ TEST(DetectionServiceTest, FilterRecommendationsDropsFlaggedItems) {
   // The fixed tiny seed plants attacks on hot items, so at least one user's
   // raw slate must have contained a flagged item for the filter to remove.
   EXPECT_TRUE(saw_filtered_slate);
+  ASSERT_TRUE(service.Shutdown().ok());
+}
+
+// Backpressure surfaces in the flight recorder with the queue depth: a
+// refused push records a queue_full event carrying depth == capacity.
+TEST(DetectionServiceTest, RejectedIngestRecordsBackpressureFlightEvent) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  const bool was_enabled = recorder.enabled();
+  recorder.set_enabled(true);
+
+  ServeOptions options = TinyServeOptions();
+  options.queue_capacity = 4;
+  // Park the refresh thread so the overrun is deterministic.
+  options.ingest_batch = 1 << 20;
+  options.max_batch_delay_ms = 60000;
+  DetectionService service(options);
+  ASSERT_TRUE(service.Start(table::ClickTable()).ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(service.IngestClickAt({i, i, 1}, i).ok());
+  }
+  const uint64_t before = recorder.total_recorded();
+  ASSERT_EQ(service.IngestClickAt({4, 4, 1}, 4).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_GT(recorder.total_recorded(), before);
+
+  bool saw_queue_full = false;
+  for (const obs::FlightEvent& ev : recorder.Dump()) {
+    if (ev.kind == obs::FlightEventKind::kBackpressure &&
+        std::string(ev.detail) == "queue_full") {
+      saw_queue_full = true;
+      EXPECT_EQ(ev.a, 4u);   // queue depth at refusal == capacity
+      EXPECT_GE(ev.b, 1u);   // cumulative rejected count
+    }
+  }
+  EXPECT_TRUE(saw_queue_full);
+
+  ASSERT_TRUE(service.Shutdown().ok());
+  recorder.set_enabled(was_enabled);
+}
+
+// STATS exposes the overlap state machine: rebuild_in_progress is 1 while a
+// delayed pipelined rebuild is bootstrapping and 0 after adoption, and the
+// v3 tail carries the window gauges.
+TEST(TcpServerTest, StatsExposesRebuildInProgressAndWindowGauges) {
+  auto scenario = gen::MakeScenario(gen::ScenarioScale::kTiny, 42);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  ServeOptions options = TinyServeOptions();
+  options.rebuild_delay_for_test_ms = 80;
+  options.window.segment_clicks = 256;
+  DetectionService service(options);
+  ASSERT_TRUE(service.Start(scenario->table).ok());
+  TcpServer server(&service, TcpServer::Options{0, 1});
+  ASSERT_TRUE(server.Start().ok());
+  TcpClient client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+
+  ASSERT_TRUE(service.StartPipelinedRebuild().ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->version, StatsReply::kVersion);
+  EXPECT_EQ(stats->stats.rebuild_in_progress, 1u);
+  // The bootstrap table seeded the window; the v3 gauges reflect it.
+  EXPECT_EQ(stats->stats.window_retained_rows, scenario->table.num_rows());
+  EXPECT_GT(stats->stats.window_segments, 0u);
+  EXPECT_EQ(stats->stats.window_evicted_rows, 0u);
+
+  ASSERT_TRUE(service.WaitForRebuild().ok());
+  stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->stats.rebuild_in_progress, 0u);
+  EXPECT_GT(stats->stats.rebuilds, 0u);
+
+  client.Disconnect();
+  server.Stop();
   ASSERT_TRUE(service.Shutdown().ok());
 }
 

@@ -1,7 +1,8 @@
 // bench_trajectory — in-tree perf trajectory with regression gates.
 //
 //   bench_trajectory run       --bin-dir=build/bench [--out-dir=.]
-//                              [--suite=serving,medium_pipeline,adversarial,sharded]
+//                              [--suite=serving,medium_pipeline,adversarial,
+//                                       sharded,streaming]
 //   bench_trajectory normalize --in=records.jsonl --scenario=NAME
 //                              --source=BENCH [--out=BENCH_NAME.json]
 //   bench_trajectory compare   --baseline=BENCH_NAME.json
@@ -54,7 +55,8 @@ int Usage() {
       "usage: bench_trajectory <run|normalize|compare> [--flags]\n"
       "  run        execute the trajectory suite and write BENCH_*.json\n"
       "             --bin-dir=<dir with bench binaries> [--out-dir=.]\n"
-      "             [--suite=serving,medium_pipeline,adversarial,sharded]\n"
+      "             [--suite=serving,medium_pipeline,adversarial,sharded,\n"
+      "                      streaming]\n"
       "  normalize  fold one RICD_BENCH_JSON record into a trajectory file\n"
       "             --in=<jsonl> --scenario=<name> --source=<bench name>\n"
       "             [--out=<path>]\n"
@@ -84,6 +86,9 @@ constexpr SuiteScenario kSuite[] = {
     // bench_sharded multiplies the preset by 10 internally, so this entry
     // runs the shard sweep at 10x medium (800k users / 160k items).
     {"sharded", "bench_sharded", "medium", "42"},
+    // Windowed serving: sustained ingest qps, eviction cost and rebuild
+    // overlap latency over the regime_shift preset.
+    {"streaming", "bench_streaming", "tiny", "42"},
 };
 
 const SuiteScenario* FindScenario(const std::string& name) {
@@ -389,7 +394,8 @@ int RunSuite(const FlagParser& flags) {
   const auto bin_dir = flags.GetString("bin-dir", "");
   const auto out_dir = flags.GetString("out-dir", ".");
   const auto suite =
-      flags.GetString("suite", "serving,medium_pipeline,adversarial,sharded");
+      flags.GetString("suite",
+                      "serving,medium_pipeline,adversarial,sharded,streaming");
   if (!bin_dir.ok() || !out_dir.ok() || !suite.ok()) return 2;
   if (bin_dir->empty()) {
     return Fail(Status::InvalidArgument(
@@ -405,7 +411,7 @@ int RunSuite(const FlagParser& flags) {
     if (s == nullptr) {
       return Fail(Status::InvalidArgument(
           "unknown suite scenario '" + name +
-          "' (serving|medium_pipeline|adversarial|sharded)"));
+          "' (serving|medium_pipeline|adversarial|sharded|streaming)"));
     }
     selected.push_back(s);
   }

@@ -93,9 +93,11 @@ case ",$ONLY," in *,tsan,*)
   # flight_recorder_test hammers the seqlock-per-slot event ring;
   # shard_test runs the sharded-vs-monolithic differential, whose parallel
   # per-shard builds and lazy flat-id-map construction are the data races
-  # this leg would catch), plus the snapshot corruption suite so it sees
-  # all three sanitizers.
-  run_config tsan "thread" -R "race_test|thread_pool_test|metrics_test|trace_test|flight_recorder_test|snapshot_fuzz_test|parallel_pruning_test|serve_test|serve_stress_test|shard_test"
+  # this leg would catch; window_test races seal/evict in ClickWindow
+  # against concurrent snapshot readers and runs the windowed online-vs-
+  # offline differential over a live DetectionService), plus the snapshot
+  # corruption suite so it sees all three sanitizers.
+  run_config tsan "thread" -R "race_test|thread_pool_test|metrics_test|trace_test|flight_recorder_test|snapshot_fuzz_test|parallel_pruning_test|serve_test|serve_stress_test|shard_test|window_test"
 esac
 case ",$ONLY," in *,annotate,*)
   # Compile-time lock-discipline check: clang's -Wthread-safety over the

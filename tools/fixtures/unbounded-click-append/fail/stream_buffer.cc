@@ -1,0 +1,22 @@
+// Planted unbounded-click-append violations: click rows folded into member
+// tables with nothing ever evicting them — the standing-state leak the
+// window subsystem exists to prevent.
+#include "table/click_table.h"
+
+namespace fixture {
+
+class StreamBuffer {
+ public:
+  void Add(const ricd::table::ClickRecord& r) {
+    rows_.Append(r);
+  }
+
+  void AddBatch(const ricd::table::ClickTable& batch) {
+    rows_->AppendTable(batch);
+  }
+
+ private:
+  ricd::table::ClickTable rows_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Clean counterpart: member-state appends either go through the window
+// (whose retention evicts) or carry a `// bounded:` tag naming what clears
+// them; scratch tables local to a function are not standing state.
+#include "table/click_table.h"
+#include "window/click_window.h"
+
+namespace fixture {
+
+class WindowedBuffer {
+ public:
+  void Add(const ricd::table::ClickRecord& r, uint64_t ts) {
+    window_.Append(r, ts);  // bounded: window retention evicts
+  }
+
+  void AddDelta(const ricd::table::ClickTable& batch) {
+    delta_.AppendTable(batch);  // bounded: cleared when the rebuild adopts
+  }
+
+  ricd::table::ClickTable Consolidate(const ricd::table::ClickTable& a) {
+    ricd::table::ClickTable merged;
+    merged.AppendTable(a);
+    return merged;
+  }
+
+ private:
+  ricd::window::ClickWindow window_;
+  ricd::table::ClickTable delta_;
+};
+
+}  // namespace fixture

@@ -73,6 +73,13 @@
 //                              anywhere outside the Mutex/MutexLock shim in
 //                              src/common/thread_annotations.h — locking
 //                              goes through the RAII wrapper
+//   unbounded-click-append     Append/AppendTable of click rows into member
+//                              state (a `name_` receiver) in library code
+//                              outside src/window and src/table — standing
+//                              click state retains through window::ClickWindow
+//                              (which evicts) or carries a same-line
+//                              `// bounded: <reason>` tag naming what clears
+//                              it; anything else accumulates forever
 //   include-cycle              cycles in the quoted-include graph of the
 //                              scanned files (each cycle reported once)
 //   stale-allowlist            an allowlist entry whose rule is enabled but
@@ -349,6 +356,7 @@ const char* const kAllRules[] = {
     "atomic-order-justify",
     "guarded-field",
     "bare-lock",
+    "unbounded-click-append",
     "include-cycle",
     "stale-allowlist",
 };
@@ -570,6 +578,12 @@ class Linter {
         HasPrefix(file.rel_path, "src/shard/") ||
         HasPrefix(file.rel_path, "src/snapshot/") ||
         HasPrefix(file.rel_path, "src/graph/graph_builder.");
+    // Sanctioned homes of member-state click appends: the window itself
+    // (its live buffer is what retention bounds) and the table layer the
+    // append methods live in. Everywhere else a `name_.Append*` call is
+    // standing state with no eviction unless the site says what clears it.
+    const bool append_sanctioned = HasPrefix(file.rel_path, "src/window/") ||
+                                   HasPrefix(file.rel_path, "src/table/");
 
     const std::vector<Token>& t = file.tokens;
     auto is_punct = [&](size_t i, const char* p) {
@@ -651,6 +665,23 @@ class Linter {
                "direct GraphBuilder::FromTable — build through "
                "shard::BuildFullGraph (or BuildShardedGraph) so the build "
                "path honors RICD_SHARDS");
+      }
+      if (in_library && !append_sanctioned &&
+          (id == "Append" || id == "AppendTable") && i >= 2 &&
+          (is_punct(i - 1, ".") || is_punct(i - 1, "->")) &&
+          t[i - 2].kind == Token::kIdent && t[i - 2].text.back() == '_' &&
+          is_punct(i + 1, "(")) {
+        const auto comment = file.comments.find(line_no);
+        const bool tagged = comment != file.comments.end() &&
+                            HasPrefix(comment->second, "bounded:") &&
+                            !Trim(comment->second.substr(8)).empty();
+        if (!tagged) {
+          Report(file, line_no, "unbounded-click-append",
+                 "click rows appended into member state with nothing "
+                 "evicting them — retain through window::ClickWindow or tag "
+                 "the site with a same-line `// bounded: <reason>` naming "
+                 "what clears it");
+        }
       }
       if (!is_lock_shim &&
           (id == "lock" || id == "unlock" || id == "try_lock") && i >= 1 &&

@@ -1033,6 +1033,20 @@ int RunClient(const FlagParser& flags) {
                 static_cast<unsigned long long>(reply->stats.batches));
     std::printf("rebuilds:       %llu\n",
                 static_cast<unsigned long long>(reply->stats.rebuilds));
+    std::printf("rebuilding:     %s\n",
+                reply->stats.rebuild_in_progress != 0 ? "yes" : "no");
+    std::printf("window rows:    %llu retained / %llu evicted\n",
+                static_cast<unsigned long long>(
+                    reply->stats.window_retained_rows),
+                static_cast<unsigned long long>(
+                    reply->stats.window_evicted_rows));
+    std::printf("window segs:    %llu retained / %llu evicted\n",
+                static_cast<unsigned long long>(reply->stats.window_segments),
+                static_cast<unsigned long long>(
+                    reply->stats.window_evicted_segments));
+    std::printf("window clock:   %llu\n",
+                static_cast<unsigned long long>(
+                    reply->stats.window_clock_high));
     std::printf("stream edges:   %llu\n",
                 static_cast<unsigned long long>(reply->stats.stream_edges));
     std::printf("stream clicks:  %llu\n",
